@@ -1,0 +1,197 @@
+//! Concrete configurations: assignments of values to the active parameters
+//! of a [`crate::ConfigSpace`]. Printable in the auto-sklearn style of the
+//! paper's Figures 5 and 11.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A single parameter value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ParamValue {
+    /// Categorical choice.
+    Cat(String),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+}
+
+impl ParamValue {
+    /// The categorical string, if this is a categorical value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content (ints only).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float content; integers coerce.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(f) => Some(*f),
+            ParamValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// An immutable assignment of values to active parameters, keyed by name.
+/// Stored sorted so `Display`, equality, and hashing are deterministic.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Configuration {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Configuration {
+    /// Build from a name → value map.
+    pub fn from_map(values: impl IntoIterator<Item = (String, ParamValue)>) -> Self {
+        Configuration {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Whether the parameter is present (i.e. active).
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Raw value lookup.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Categorical lookup.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(ParamValue::as_str)
+    }
+
+    /// Integer lookup.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.values.get(name).and_then(ParamValue::as_int)
+    }
+
+    /// Float lookup (integers coerce).
+    pub fn get_float(&self, name: &str) -> Option<f64> {
+        self.values.get(name).and_then(ParamValue::as_float)
+    }
+
+    /// Parameter names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.values.keys()
+    }
+
+    /// Number of active parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Copy out as a mutable map (used to build modified configurations,
+    /// e.g. the paper's Figure 12 ablations).
+    pub fn to_map(&self) -> HashMap<String, ParamValue> {
+        self.values
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Return a copy with `name` set to `value` (inserting if new).
+    pub fn with(&self, name: impl Into<String>, value: ParamValue) -> Self {
+        let mut values = self.values.clone();
+        values.insert(name.into(), value);
+        Configuration { values }
+    }
+
+    /// Return a copy without `name` (no-op if absent).
+    pub fn without(&self, name: &str) -> Self {
+        let mut values = self.values.clone();
+        values.remove(name);
+        Configuration { values }
+    }
+}
+
+impl fmt::Display for Configuration {
+    /// Renders in the auto-sklearn dump style of the paper's Figure 11:
+    /// one `'name': value,` line per parameter.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for (k, v) in &self.values {
+            match v {
+                ParamValue::Cat(s) => writeln!(f, "  '{k}': '{s}',")?,
+                ParamValue::Int(i) => writeln!(f, "  '{k}': {i},")?,
+                ParamValue::Float(x) => writeln!(f, "  '{k}': {x},")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Configuration {
+        Configuration::from_map([
+            ("classifier:__choice__".to_string(), ParamValue::Cat("random_forest".into())),
+            ("random_forest:n_estimators".to_string(), ParamValue::Int(100)),
+            ("random_forest:max_features".to_string(), ParamValue::Float(0.377)),
+        ])
+    }
+
+    #[test]
+    fn typed_lookups() {
+        let c = sample();
+        assert_eq!(c.get_str("classifier:__choice__"), Some("random_forest"));
+        assert_eq!(c.get_int("random_forest:n_estimators"), Some(100));
+        assert_eq!(c.get_float("random_forest:max_features"), Some(0.377));
+        // Int coerces to float but not vice versa.
+        assert_eq!(c.get_float("random_forest:n_estimators"), Some(100.0));
+        assert_eq!(c.get_int("random_forest:max_features"), None);
+        assert_eq!(c.get_str("missing"), None);
+    }
+
+    #[test]
+    fn display_is_figure11_style() {
+        let c = sample();
+        let s = c.to_string();
+        assert!(s.contains("'classifier:__choice__': 'random_forest',"));
+        assert!(s.contains("'random_forest:n_estimators': 100,"));
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let c = sample();
+        let c2 = c.with("balancing:strategy", ParamValue::Cat("weighting".into()));
+        assert_eq!(c2.len(), 4);
+        assert!(!c.contains("balancing:strategy"));
+        let c3 = c2.without("balancing:strategy");
+        assert_eq!(c3, c);
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let a = Configuration::from_map([
+            ("b".to_string(), ParamValue::Int(1)),
+            ("a".to_string(), ParamValue::Int(2)),
+        ]);
+        let b = Configuration::from_map([
+            ("a".to_string(), ParamValue::Int(2)),
+            ("b".to_string(), ParamValue::Int(1)),
+        ]);
+        assert_eq!(a, b);
+    }
+}

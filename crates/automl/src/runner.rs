@@ -1,0 +1,289 @@
+//! The search loop: suggest → evaluate → record, under an evaluation-count
+//! or wall-clock budget (the paper's §III-A "time budget").
+
+use crate::config::Configuration;
+use crate::space::ConfigSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Search budget. The experiments default to evaluation counts for
+/// determinism; wall-clock mode mirrors the paper's seconds-based budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Stop after this many objective evaluations.
+    Evaluations(usize),
+    /// Stop once this much wall-clock time has elapsed (the evaluation in
+    /// flight when the deadline passes still completes).
+    WallClock(Duration),
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Objective value (higher is better; the experiments use validation F1).
+    pub score: f64,
+    /// 0-based evaluation index.
+    pub index: usize,
+}
+
+/// The full record of a search run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchHistory {
+    trials: Vec<Trial>,
+}
+
+impl SearchHistory {
+    /// All trials in evaluation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of evaluations performed.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether no evaluations have run.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The best trial so far (ties keep the earliest).
+    pub fn incumbent(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(b.index.cmp(&a.index)))
+    }
+
+    /// Best score so far (NEG_INFINITY when empty).
+    pub fn best_score(&self) -> f64 {
+        self.incumbent().map_or(f64::NEG_INFINITY, |t| t.score)
+    }
+
+    /// Best score after each evaluation (the convergence curve of the
+    /// paper's Figure 10).
+    pub fn best_score_trace(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                best = best.max(t.score);
+                best
+            })
+            .collect()
+    }
+
+    fn push(&mut self, config: Configuration, score: f64) {
+        let index = self.trials.len();
+        self.trials.push(Trial {
+            config,
+            score,
+            index,
+        });
+    }
+}
+
+/// A search strategy proposes the next configuration to evaluate.
+pub trait SearchAlgorithm {
+    /// Propose the next configuration given the history so far.
+    fn suggest(
+        &mut self,
+        space: &ConfigSpace,
+        history: &SearchHistory,
+        rng: &mut StdRng,
+    ) -> Configuration;
+
+    /// Human-readable name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Run a search: repeatedly ask `algo` for a configuration, evaluate it with
+/// `objective` (higher = better), and record the result, until the budget is
+/// exhausted. Deterministic for a fixed seed and evaluation budget.
+pub fn run_search(
+    space: &ConfigSpace,
+    algo: &mut dyn SearchAlgorithm,
+    objective: &mut dyn FnMut(&Configuration) -> f64,
+    budget: Budget,
+    seed: u64,
+) -> SearchHistory {
+    run_search_with_initial(space, algo, objective, budget, seed, &[])
+}
+
+/// [`run_search`] with warm-start configurations: the `initial` configs are
+/// evaluated first (in order, counting against the budget) so the search
+/// algorithm's model sees them from its first suggestion — auto-sklearn's
+/// meta-learning warm start, with the meta-learned portfolio supplied by
+/// the caller.
+pub fn run_search_with_initial(
+    space: &ConfigSpace,
+    algo: &mut dyn SearchAlgorithm,
+    objective: &mut dyn FnMut(&Configuration) -> f64,
+    budget: Budget,
+    seed: u64,
+    initial: &[Configuration],
+) -> SearchHistory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = SearchHistory::default();
+    let start = Instant::now();
+    let exhausted = |history: &SearchHistory, start: &Instant| match budget {
+        Budget::Evaluations(n) => history.len() >= n,
+        Budget::WallClock(d) => start.elapsed() >= d,
+    };
+    for config in initial {
+        if exhausted(&history, &start) {
+            break;
+        }
+        assert!(
+            space.validate(config).is_ok(),
+            "warm-start configuration is invalid for this space"
+        );
+        let score = objective(config);
+        history.push(config.clone(), score);
+    }
+    loop {
+        if exhausted(&history, &start) {
+            break;
+        }
+        let config = algo.suggest(space, &history, &mut rng);
+        debug_assert!(
+            space.validate(&config).is_ok(),
+            "search algorithm produced an invalid configuration"
+        );
+        let score = objective(&config);
+        history.push(config, score);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::RandomSearch;
+    use crate::space::Domain;
+
+    fn quadratic_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            "x",
+            Domain::Float {
+                lo: -2.0,
+                hi: 2.0,
+                log: false,
+            },
+        );
+        s
+    }
+
+    /// Maximize -(x-1)^2: optimum at x = 1.
+    fn objective(c: &Configuration) -> f64 {
+        let x = c.get_float("x").unwrap();
+        -(x - 1.0) * (x - 1.0)
+    }
+
+    #[test]
+    fn evaluation_budget_is_exact() {
+        let space = quadratic_space();
+        let mut algo = RandomSearch;
+        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(37), 0);
+        assert_eq!(h.len(), 37);
+    }
+
+    #[test]
+    fn incumbent_is_the_max() {
+        let space = quadratic_space();
+        let mut algo = RandomSearch;
+        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(50), 1);
+        let best = h.incumbent().unwrap();
+        for t in h.trials() {
+            assert!(t.score <= best.score);
+        }
+        assert_eq!(h.best_score(), best.score);
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let space = quadratic_space();
+        let mut algo = RandomSearch;
+        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(40), 2);
+        let trace = h.best_score_trace();
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(trace.len(), 40);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let space = quadratic_space();
+        let h1 = run_search(&space, &mut RandomSearch, &mut objective, Budget::Evaluations(20), 7);
+        let h2 = run_search(&space, &mut RandomSearch, &mut objective, Budget::Evaluations(20), 7);
+        assert_eq!(h1.best_score(), h2.best_score());
+        for (a, b) in h1.trials().iter().zip(h2.trials()) {
+            assert_eq!(a.config, b.config);
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_stops() {
+        let space = quadratic_space();
+        let h = run_search(
+            &space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::WallClock(Duration::from_millis(20)),
+            3,
+        );
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn warm_start_configs_are_evaluated_first() {
+        let space = quadratic_space();
+        use crate::config::ParamValue;
+        let good = Configuration::from_map([("x".to_string(), ParamValue::Float(1.0))]);
+        let h = run_search_with_initial(
+            &space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::Evaluations(10),
+            0,
+            &[good.clone()],
+        );
+        assert_eq!(h.trials()[0].config, good);
+        assert_eq!(h.trials()[0].score, 0.0);
+        assert_eq!(h.len(), 10);
+        // The warm start is the optimum here, so it stays the incumbent.
+        assert_eq!(h.incumbent().unwrap().index, 0);
+    }
+
+    #[test]
+    fn warm_start_respects_tiny_budgets() {
+        let space = quadratic_space();
+        use crate::config::ParamValue;
+        let configs: Vec<Configuration> = (0..5)
+            .map(|i| {
+                Configuration::from_map([("x".to_string(), ParamValue::Float(i as f64 / 10.0))])
+            })
+            .collect();
+        let h = run_search_with_initial(
+            &space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::Evaluations(3),
+            0,
+            &configs,
+        );
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn empty_history_best_is_neg_infinity() {
+        let h = SearchHistory::default();
+        assert_eq!(h.best_score(), f64::NEG_INFINITY);
+        assert!(h.incumbent().is_none());
+    }
+}

@@ -1,0 +1,9 @@
+//! Search algorithms: random search, SMAC-style SMBO, and TPE.
+
+pub mod random;
+pub mod smac;
+pub mod tpe;
+
+pub use random::RandomSearch;
+pub use smac::{expected_improvement, normal_cdf, normal_pdf, SmacParams, SmacSearch};
+pub use tpe::{TpeParams, TpeSearch};

@@ -1,0 +1,56 @@
+//! Random search: the baseline pipeline-search algorithm (paper §II-B lists
+//! it among the tuning algorithms a data scientist would set up manually).
+
+use crate::config::Configuration;
+use crate::runner::{SearchAlgorithm, SearchHistory};
+use crate::space::ConfigSpace;
+use rand::rngs::StdRng;
+
+/// Uniform random sampling from the configuration space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl SearchAlgorithm for RandomSearch {
+    fn suggest(
+        &mut self,
+        space: &ConfigSpace,
+        _history: &SearchHistory,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        space.sample(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Domain;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suggestions_are_valid_and_varied() {
+        let mut space = ConfigSpace::new();
+        space.add(
+            "x",
+            Domain::Int {
+                lo: 0,
+                hi: 1000,
+                log: false,
+            },
+        );
+        let mut algo = RandomSearch;
+        let mut rng = StdRng::seed_from_u64(0);
+        let history = SearchHistory::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let c = algo.suggest(&space, &history, &mut rng);
+            space.validate(&c).unwrap();
+            seen.insert(c.get_int("x").unwrap());
+        }
+        assert!(seen.len() > 20, "only {} distinct suggestions", seen.len());
+    }
+}

@@ -1,0 +1,470 @@
+//! Hierarchical configuration spaces (the auto-sklearn "search space" of
+//! paper §III-A): named parameters with categorical / integer / float
+//! domains, and activation conditions that make child parameters active only
+//! for particular values of a categorical parent (e.g. `random_forest:*`
+//! parameters only exist when `classifier:__choice__ = random_forest`).
+
+use crate::config::{Configuration, ParamValue};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// The value domain of one parameter.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Domain {
+    /// One of a fixed set of choices.
+    Categorical(Vec<String>),
+    /// Integer range `[lo, hi]` inclusive; `log` samples uniformly in
+    /// log-space (requires `lo >= 1`).
+    Int {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+        /// Sample log-uniformly.
+        log: bool,
+    },
+    /// Float range `[lo, hi]`; `log` samples uniformly in log-space
+    /// (requires `lo > 0`).
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Sample log-uniformly.
+        log: bool,
+    },
+}
+
+/// Activation condition: the parameter is active iff its categorical parent
+/// currently holds one of `values`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Condition {
+    /// Name of the (categorical) parent parameter.
+    pub parent: String,
+    /// Parent values that activate this parameter.
+    pub values: Vec<String>,
+}
+
+/// A named parameter with a domain and an optional activation condition.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Param {
+    /// Unique name, conventionally `component:param` (auto-sklearn style).
+    pub name: String,
+    /// Value domain.
+    pub domain: Domain,
+    /// Optional activation condition.
+    pub condition: Option<Condition>,
+}
+
+/// An ordered collection of parameters forming the search space.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ConfigSpace {
+    params: Vec<Param>,
+    index: HashMap<String, usize>,
+}
+
+impl ConfigSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        ConfigSpace::default()
+    }
+
+    /// Add an unconditional parameter. Parents must be added before their
+    /// children so sampling can resolve conditions in one pass.
+    ///
+    /// # Panics
+    /// On duplicate names.
+    pub fn add(&mut self, name: impl Into<String>, domain: Domain) -> &mut Self {
+        self.add_param(Param {
+            name: name.into(),
+            domain,
+            condition: None,
+        })
+    }
+
+    /// Add a parameter active only when `parent` holds one of `values`.
+    ///
+    /// # Panics
+    /// If the parent is unknown, non-categorical, or added after the child.
+    pub fn add_conditional(
+        &mut self,
+        name: impl Into<String>,
+        domain: Domain,
+        parent: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> &mut Self {
+        let parent = parent.into();
+        let pi = *self
+            .index
+            .get(&parent)
+            .unwrap_or_else(|| panic!("unknown parent parameter {parent}"));
+        assert!(
+            matches!(self.params[pi].domain, Domain::Categorical(_)),
+            "condition parent {parent} must be categorical"
+        );
+        self.add_param(Param {
+            name: name.into(),
+            domain,
+            condition: Some(Condition {
+                parent,
+                values: values.into_iter().map(Into::into).collect(),
+            }),
+        })
+    }
+
+    fn add_param(&mut self, p: Param) -> &mut Self {
+        assert!(
+            !self.index.contains_key(&p.name),
+            "duplicate parameter {}",
+            p.name
+        );
+        self.index.insert(p.name.clone(), self.params.len());
+        self.params.push(p);
+        self
+    }
+
+    /// The parameters in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Look up a parameter by name.
+    pub fn get(&self, name: &str) -> Option<&Param> {
+        self.index.get(name).map(|&i| &self.params[i])
+    }
+
+    /// Number of parameters (active or not).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Whether `param` is active under partially-built configuration
+    /// `values`.
+    fn is_active(&self, param: &Param, values: &HashMap<String, ParamValue>) -> bool {
+        match &param.condition {
+            None => true,
+            Some(cond) => match values.get(&cond.parent) {
+                Some(ParamValue::Cat(v)) => cond.values.iter().any(|c| c == v),
+                _ => false,
+            },
+        }
+    }
+
+    /// Draw a uniformly random valid configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> Configuration {
+        let mut values: HashMap<String, ParamValue> = HashMap::new();
+        for p in &self.params {
+            if !self.is_active(p, &values) {
+                continue;
+            }
+            let v = sample_domain(&p.domain, rng);
+            values.insert(p.name.clone(), v);
+        }
+        Configuration::from_map(values)
+    }
+
+    /// Produce a neighbor of `config`: one active parameter resampled, then
+    /// conditional activation recomputed (children of a changed choice are
+    /// freshly sampled; deactivated children are dropped).
+    pub fn neighbor(&self, config: &Configuration, rng: &mut StdRng) -> Configuration {
+        let active: Vec<&Param> = self
+            .params
+            .iter()
+            .filter(|p| config.contains(&p.name))
+            .collect();
+        if active.is_empty() {
+            return self.sample(rng);
+        }
+        let target = active[rng.random_range(0..active.len())].name.clone();
+        let mut values: HashMap<String, ParamValue> = HashMap::new();
+        for p in &self.params {
+            if !self.is_active(p, &values) {
+                continue;
+            }
+            let v = if p.name == target {
+                sample_domain(&p.domain, rng)
+            } else if let Some(existing) = config.get(&p.name) {
+                existing.clone()
+            } else {
+                // Newly activated child of a mutated parent.
+                sample_domain(&p.domain, rng)
+            };
+            values.insert(p.name.clone(), v);
+        }
+        Configuration::from_map(values)
+    }
+
+    /// Validate that a configuration assigns every active parameter a value
+    /// inside its domain and contains no inactive parameters.
+    pub fn validate(&self, config: &Configuration) -> Result<(), String> {
+        let mut values: HashMap<String, ParamValue> = HashMap::new();
+        for p in &self.params {
+            let active = self.is_active(p, &values);
+            match (active, config.get(&p.name)) {
+                (true, Some(v)) => {
+                    if !value_in_domain(v, &p.domain) {
+                        return Err(format!("{} = {v:?} outside its domain", p.name));
+                    }
+                    values.insert(p.name.clone(), v.clone());
+                }
+                (true, None) => return Err(format!("missing active parameter {}", p.name)),
+                (false, Some(_)) => {
+                    return Err(format!("inactive parameter {} has a value", p.name))
+                }
+                (false, None) => {}
+            }
+        }
+        for name in config.names() {
+            if !self.index.contains_key(name) {
+                return Err(format!("unknown parameter {name}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode a configuration as a fixed-width numeric vector for surrogate
+    /// models: one slot per parameter in declaration order. Categoricals
+    /// encode as their choice index, numerics normalize to `[0, 1]`
+    /// (log-aware), and inactive parameters encode as `-1`.
+    pub fn encode(&self, config: &Configuration) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| match config.get(&p.name) {
+                None => -1.0,
+                Some(v) => encode_value(v, &p.domain),
+            })
+            .collect()
+    }
+}
+
+fn sample_domain(domain: &Domain, rng: &mut StdRng) -> ParamValue {
+    match domain {
+        Domain::Categorical(choices) => {
+            assert!(!choices.is_empty(), "empty categorical domain");
+            ParamValue::Cat(choices[rng.random_range(0..choices.len())].clone())
+        }
+        Domain::Int { lo, hi, log } => {
+            assert!(lo <= hi, "empty int domain");
+            if *log {
+                assert!(*lo >= 1, "log int domain requires lo >= 1");
+                let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64 + 1.0).ln());
+                let v = rng.random_range(llo..lhi).exp().floor() as i64;
+                ParamValue::Int(v.clamp(*lo, *hi))
+            } else if lo == hi {
+                ParamValue::Int(*lo)
+            } else {
+                ParamValue::Int(rng.random_range(*lo..=*hi))
+            }
+        }
+        Domain::Float { lo, hi, log } => {
+            assert!(lo <= hi, "empty float domain");
+            if *log {
+                assert!(*lo > 0.0, "log float domain requires lo > 0");
+                let v = rng.random_range(lo.ln()..=hi.ln()).exp();
+                ParamValue::Float(v.clamp(*lo, *hi))
+            } else if lo == hi {
+                ParamValue::Float(*lo)
+            } else {
+                ParamValue::Float(rng.random_range(*lo..*hi))
+            }
+        }
+    }
+}
+
+fn value_in_domain(v: &ParamValue, domain: &Domain) -> bool {
+    match (v, domain) {
+        (ParamValue::Cat(s), Domain::Categorical(choices)) => choices.iter().any(|c| c == s),
+        (ParamValue::Int(i), Domain::Int { lo, hi, .. }) => i >= lo && i <= hi,
+        (ParamValue::Float(f), Domain::Float { lo, hi, .. }) => f >= lo && f <= hi,
+        _ => false,
+    }
+}
+
+fn encode_value(v: &ParamValue, domain: &Domain) -> f64 {
+    match (v, domain) {
+        (ParamValue::Cat(s), Domain::Categorical(choices)) => choices
+            .iter()
+            .position(|c| c == s)
+            .map_or(-1.0, |i| i as f64),
+        (ParamValue::Int(i), Domain::Int { lo, hi, log }) => {
+            if *log {
+                let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64).ln());
+                if lhi > llo {
+                    (((*i as f64).ln()) - llo) / (lhi - llo)
+                } else {
+                    0.0
+                }
+            } else if hi > lo {
+                (*i - *lo) as f64 / (*hi - *lo) as f64
+            } else {
+                0.0
+            }
+        }
+        (ParamValue::Float(f), Domain::Float { lo, hi, log }) => {
+            if *log {
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                if lhi > llo {
+                    (f.ln() - llo) / (lhi - llo)
+                } else {
+                    0.0
+                }
+            } else if hi > lo {
+                (f - lo) / (hi - lo)
+            } else {
+                0.0
+            }
+        }
+        _ => -1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            "classifier",
+            Domain::Categorical(vec!["rf".into(), "knn".into()]),
+        );
+        s.add_conditional(
+            "rf:n_estimators",
+            Domain::Int {
+                lo: 10,
+                hi: 100,
+                log: false,
+            },
+            "classifier",
+            ["rf"],
+        );
+        s.add_conditional(
+            "knn:k",
+            Domain::Int {
+                lo: 1,
+                hi: 20,
+                log: false,
+            },
+            "classifier",
+            ["knn"],
+        );
+        s.add(
+            "scaler",
+            Domain::Categorical(vec!["none".into(), "standard".into()]),
+        );
+        s.add(
+            "lr",
+            Domain::Float {
+                lo: 1e-4,
+                hi: 1.0,
+                log: true,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn samples_are_valid_and_respect_conditions() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+            let clf = c.get_str("classifier").unwrap();
+            assert_eq!(c.contains("rf:n_estimators"), clf == "rf");
+            assert_eq!(c.contains("knn:k"), clf == "knn");
+        }
+    }
+
+    #[test]
+    fn log_float_sampling_stays_in_range() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let c = space.sample(&mut rng);
+            let lr = c.get_float("lr").unwrap();
+            assert!((1e-4..=1.0).contains(&lr));
+        }
+    }
+
+    #[test]
+    fn neighbor_changes_something_but_stays_valid() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = space.sample(&mut rng);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let nb = space.neighbor(&base, &mut rng);
+            space.validate(&nb).unwrap();
+            if nb != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 30, "neighbors changed only {changed}/50 times");
+    }
+
+    #[test]
+    fn encode_width_is_param_count() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = space.sample(&mut rng);
+        let enc = space.encode(&c);
+        assert_eq!(enc.len(), space.len());
+        // Exactly one of the conditional slots is -1.
+        let inactive = enc.iter().filter(|&&v| v == -1.0).count();
+        assert_eq!(inactive, 1);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = space.sample(&mut rng);
+        let mut bad = c.to_map();
+        bad.insert("lr".into(), ParamValue::Float(99.0));
+        assert!(space.validate(&Configuration::from_map(bad)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inactive_assignment() {
+        let space = toy_space();
+        let mut map = HashMap::new();
+        map.insert("classifier".into(), ParamValue::Cat("rf".into()));
+        map.insert("rf:n_estimators".into(), ParamValue::Int(50));
+        map.insert("knn:k".into(), ParamValue::Int(5)); // inactive!
+        map.insert("scaler".into(), ParamValue::Cat("none".into()));
+        map.insert("lr".into(), ParamValue::Float(0.1));
+        assert!(space.validate(&Configuration::from_map(map)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn child_before_parent_panics() {
+        let mut s = ConfigSpace::new();
+        s.add_conditional(
+            "child",
+            Domain::Int {
+                lo: 0,
+                hi: 1,
+                log: false,
+            },
+            "parent",
+            ["x"],
+        );
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let space = toy_space();
+        let a = space.sample(&mut StdRng::seed_from_u64(9));
+        let b = space.sample(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

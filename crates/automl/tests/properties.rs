@@ -1,0 +1,156 @@
+//! Property tests for the AutoML engine: every sampled or suggested
+//! configuration is valid, encodings have fixed width, and search history
+//! invariants hold.
+
+use em_automl::{
+    run_search, Budget, ConfigSpace, Configuration, Domain, RandomSearch, SmacSearch, TpeSearch,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A moderately rich conditional space.
+fn build_space() -> ConfigSpace {
+    let mut s = ConfigSpace::new();
+    s.add(
+        "model",
+        Domain::Categorical(vec!["rf".into(), "gbm".into(), "knn".into()]),
+    );
+    s.add_conditional(
+        "rf:trees",
+        Domain::Int {
+            lo: 10,
+            hi: 500,
+            log: true,
+        },
+        "model",
+        ["rf"],
+    );
+    s.add_conditional(
+        "gbm:lr",
+        Domain::Float {
+            lo: 0.01,
+            hi: 1.0,
+            log: true,
+        },
+        "model",
+        ["gbm"],
+    );
+    s.add_conditional(
+        "knn:k",
+        Domain::Int {
+            lo: 1,
+            hi: 50,
+            log: false,
+        },
+        "model",
+        ["knn"],
+    );
+    s.add(
+        "scale",
+        Domain::Categorical(vec!["none".into(), "standard".into(), "robust".into()]),
+    );
+    s.add_conditional(
+        "robust:q_min",
+        Domain::Float {
+            lo: 0.0,
+            hi: 0.45,
+            log: false,
+        },
+        "scale",
+        ["robust"],
+    );
+    s
+}
+
+fn toy_objective(c: &Configuration) -> f64 {
+    let base = match c.get_str("model") {
+        Some("rf") => 0.8,
+        Some("gbm") => 0.6,
+        _ => 0.4,
+    };
+    let bonus = c
+        .get_float("rf:trees")
+        .map_or(0.0, |t| (t / 500.0) * 0.1);
+    base + bonus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_configs_always_validate(seed in 0u64..5000) {
+        let space = build_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = space.sample(&mut rng);
+        prop_assert!(space.validate(&c).is_ok());
+        // Exactly one model branch is active.
+        let branches = ["rf:trees", "gbm:lr", "knn:k"];
+        let active = branches.iter().filter(|b| c.contains(b)).count();
+        prop_assert_eq!(active, 1);
+    }
+
+    #[test]
+    fn neighbors_always_validate(seed in 0u64..2000) {
+        let space = build_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = space.sample(&mut rng);
+        for _ in 0..5 {
+            let nb = space.neighbor(&base, &mut rng);
+            prop_assert!(space.validate(&nb).is_ok(), "{nb}");
+        }
+    }
+
+    #[test]
+    fn encodings_have_fixed_width_and_bounded_values(seed in 0u64..2000) {
+        let space = build_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = space.sample(&mut rng);
+        let enc = space.encode(&c);
+        prop_assert_eq!(enc.len(), space.len());
+        for (i, &v) in enc.iter().enumerate() {
+            // -1 (inactive), a small categorical index, or a [0,1] numeric.
+            prop_assert!(v == -1.0 || (0.0..=3.0).contains(&v), "slot {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn search_history_is_well_formed(seed in 0u64..50, n in 5usize..25) {
+        let space = build_space();
+        let h = run_search(
+            &space,
+            &mut RandomSearch,
+            &mut toy_objective,
+            Budget::Evaluations(n),
+            seed,
+        );
+        prop_assert_eq!(h.len(), n);
+        let trace = h.best_score_trace();
+        for w in trace.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert_eq!(h.best_score(), *trace.last().unwrap());
+        for (i, t) in h.trials().iter().enumerate() {
+            prop_assert_eq!(t.index, i);
+            prop_assert!(space.validate(&t.config).is_ok());
+        }
+    }
+
+    #[test]
+    fn smac_and_tpe_produce_valid_configs(seed in 0u64..10) {
+        let space = build_space();
+        for algo in [0, 1] {
+            let h = if algo == 0 {
+                run_search(&space, &mut SmacSearch::default(), &mut toy_objective, Budget::Evaluations(16), seed)
+            } else {
+                run_search(&space, &mut TpeSearch::default(), &mut toy_objective, Budget::Evaluations(16), seed)
+            };
+            for t in h.trials() {
+                prop_assert!(space.validate(&t.config).is_ok());
+            }
+            // The "rf" branch dominates this objective; model-based search
+            // should find it by the end.
+            prop_assert_eq!(h.incumbent().unwrap().config.get_str("model"), Some("rf"));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Benchmarks for feature generation throughput (the cost of paper §III-B):
+//! Magellan's rule-based scheme vs AutoML-EM's exhaustive scheme, per pair
+//! and in parallel batches, on an easy (short-string) and a hard (long-text)
+//! benchmark.
+
+use automl_em::{FeatureGenerator, FeatureScheme};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use em_data::Benchmark;
+use em_table::RecordPair;
+use std::hint::black_box;
+
+fn featuregen_benches(c: &mut Criterion) {
+    for (label, benchmark) in [
+        ("fodors_zagats", Benchmark::FodorsZagats),
+        ("abt_buy", Benchmark::AbtBuy),
+    ] {
+        let ds = benchmark.generate_scaled(0, 0.05);
+        let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+        for (scheme_label, scheme) in [
+            ("magellan", FeatureScheme::Magellan),
+            ("automl_em", FeatureScheme::AutoMlEm),
+        ] {
+            let generator =
+                FeatureGenerator::plan_for_tables(scheme, &ds.table_a, &ds.table_b);
+            let mut group = c.benchmark_group(format!("featuregen/{label}/{scheme_label}"));
+            group.throughput(Throughput::Elements(1));
+            group.bench_function("single_pair", |b| {
+                b.iter(|| {
+                    generator.generate_row(
+                        black_box(&ds.table_a),
+                        black_box(&ds.table_b),
+                        pairs[0],
+                    )
+                })
+            });
+            group.throughput(Throughput::Elements(pairs.len() as u64));
+            group.bench_function("batch_parallel", |b| {
+                b.iter(|| generator.generate(&ds.table_a, &ds.table_b, black_box(&pairs)))
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, featuregen_benches);
+criterion_main!(benches);

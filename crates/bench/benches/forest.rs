@@ -1,0 +1,90 @@
+//! Benchmarks for the ML substrate's hot paths: tree and forest training,
+//! prediction, and the vote-fraction confidence used by Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use em_ml::{
+    Classifier, DecisionTree, ForestParams, Matrix, MaxFeatures, RandomForestClassifier,
+    TreeParams,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Two noisy interleaved clusters, `n` samples × `d` features.
+fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 2;
+        let center = c as f64 * 0.6;
+        rows.push(
+            (0..d)
+                .map(|_| center + rng.random_range(-0.5..0.5))
+                .collect(),
+        );
+        y.push(c);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn tree_benches(c: &mut Criterion) {
+    let (x, y) = dataset(1000, 30, 0);
+    let mut group = c.benchmark_group("tree");
+    group.bench_function("fit_1000x30", |b| {
+        b.iter(|| {
+            DecisionTree::fit_classifier(
+                black_box(&x),
+                black_box(&y),
+                2,
+                None,
+                TreeParams::default(),
+            )
+        })
+    });
+    let tree = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
+    group.throughput(Throughput::Elements(x.nrows() as u64));
+    group.bench_function("predict_1000", |b| b.iter(|| tree.predict(black_box(&x))));
+    group.finish();
+}
+
+fn forest_benches(c: &mut Criterion) {
+    let (x, y) = dataset(2000, 40, 1);
+    let params = ForestParams {
+        n_estimators: 50,
+        max_features: MaxFeatures::Sqrt,
+        ..ForestParams::default()
+    };
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(10);
+    group.bench_function("fit_50trees_2000x40_parallel", |b| {
+        b.iter(|| {
+            let mut rf = RandomForestClassifier::new(params.clone());
+            rf.fit(black_box(&x), black_box(&y), 2, None);
+            rf
+        })
+    });
+    group.bench_function("fit_50trees_2000x40_serial", |b| {
+        b.iter(|| {
+            let mut rf = RandomForestClassifier::new(ForestParams {
+                n_jobs: 1,
+                ..params.clone()
+            });
+            rf.fit(black_box(&x), black_box(&y), 2, None);
+            rf
+        })
+    });
+    let mut rf = RandomForestClassifier::new(params);
+    rf.fit(&x, &y, 2, None);
+    group.throughput(Throughput::Elements(x.nrows() as u64));
+    group.bench_function("predict_proba_2000", |b| {
+        b.iter(|| rf.predict_proba(black_box(&x)))
+    });
+    group.bench_function("vote_fraction_2000", |b| {
+        b.iter(|| rf.vote_fraction(black_box(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tree_benches, forest_benches);
+criterion_main!(benches);

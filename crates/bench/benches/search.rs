@@ -1,0 +1,102 @@
+//! Benchmarks for the AutoML engine itself (search overhead, excluding
+//! objective cost): configuration sampling, surrogate-guided suggestion, and
+//! a full small search on a cheap analytic objective.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_automl::{run_search, Budget, Configuration, RandomSearch, SmacSearch, TpeSearch};
+use automl_em::{build_space, ModelSpace, SpaceOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Cheap analytic objective over the real AutoML-EM space: prefers
+/// weighting + percentile selection + deep forests.
+fn objective(c: &Configuration) -> f64 {
+    let mut score = 0.0;
+    if c.get_str("balancing:strategy") == Some("weighting") {
+        score += 0.2;
+    }
+    if let Some(p) = c.get_float("preprocessor:select_percentile:percentile") {
+        score += 0.3 - (p - 60.0).abs() / 200.0;
+    }
+    if let Some(f) = c.get_float("classifier:random_forest:max_features") {
+        score += 0.3 - (f - 0.6).abs() / 4.0;
+    }
+    score
+}
+
+fn sampling_benches(c: &mut Criterion) {
+    let rf_space = build_space(SpaceOptions::default());
+    let all_space = build_space(SpaceOptions {
+        model_space: ModelSpace::AllModels,
+        ..SpaceOptions::default()
+    });
+    let mut group = c.benchmark_group("space");
+    group.bench_function("sample_rf_space", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(rf_space.sample(&mut rng)))
+    });
+    group.bench_function("sample_all_space", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(all_space.sample(&mut rng)))
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = all_space.sample(&mut rng);
+    group.bench_function("encode_all_space", |b| {
+        b.iter(|| black_box(all_space.encode(&config)))
+    });
+    group.bench_function("neighbor_all_space", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(all_space.neighbor(&config, &mut rng)))
+    });
+    group.finish();
+}
+
+fn search_benches(c: &mut Criterion) {
+    let space = build_space(SpaceOptions {
+        model_space: ModelSpace::AllModels,
+        ..SpaceOptions::default()
+    });
+    let mut group = c.benchmark_group("search/64_evals_cheap_objective");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            run_search(
+                &space,
+                &mut RandomSearch,
+                &mut objective,
+                Budget::Evaluations(64),
+                0,
+            )
+            .best_score()
+        })
+    });
+    group.bench_function("smac", |b| {
+        b.iter(|| {
+            run_search(
+                &space,
+                &mut SmacSearch::default(),
+                &mut objective,
+                Budget::Evaluations(64),
+                0,
+            )
+            .best_score()
+        })
+    });
+    group.bench_function("tpe", |b| {
+        b.iter(|| {
+            run_search(
+                &space,
+                &mut TpeSearch::default(),
+                &mut objective,
+                Budget::Evaluations(64),
+                0,
+            )
+            .best_score()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sampling_benches, search_benches);
+criterion_main!(benches);

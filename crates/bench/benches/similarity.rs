@@ -1,0 +1,70 @@
+//! Micro-benchmarks for the similarity substrate: each family of measures
+//! on short, medium, and long strings — the inner loop of feature
+//! generation (Tables I/II).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use em_text::{
+    cosine, jaccard, jaro_winkler, levenshtein_distance, monge_elkan, needleman_wunsch,
+    smith_waterman, Tokenizer,
+};
+use std::hint::black_box;
+
+const SHORT_A: &str = "arnie mortons";
+const SHORT_B: &str = "arnie morton's";
+const MEDIUM_A: &str = "efficient adaptive learning for distributed databases";
+const MEDIUM_B: &str = "eficient adaptive indexing for distributed database systems";
+const LONG_A: &str = "the sony wireless headphones are a premium product designed for everyday use with a comfortable grip and responsive controls featuring industry leading battery life and fast charging over usb-c";
+const LONG_B: &str = "sony wireless headphone premium design for every day use with comfortable grip and responsive control featuring industry leading battery life fast charging usb c two year warranty";
+
+fn bench_pair(c: &mut Criterion, label: &str, a: &'static str, b: &'static str) {
+    let mut group = c.benchmark_group(format!("similarity/{label}"));
+    group.bench_function("levenshtein", |bench| {
+        bench.iter(|| levenshtein_distance(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| jaro_winkler(black_box(a), black_box(b)))
+    });
+    group.bench_function("needleman_wunsch", |bench| {
+        bench.iter(|| needleman_wunsch(black_box(a), black_box(b)))
+    });
+    group.bench_function("smith_waterman", |bench| {
+        bench.iter(|| smith_waterman(black_box(a), black_box(b)))
+    });
+    group.bench_function("monge_elkan", |bench| {
+        bench.iter(|| monge_elkan(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaccard_space", |bench| {
+        bench.iter(|| jaccard(black_box(a), black_box(b), Tokenizer::Whitespace))
+    });
+    group.bench_function("jaccard_3gram", |bench| {
+        bench.iter(|| jaccard(black_box(a), black_box(b), Tokenizer::QGram(3)))
+    });
+    group.bench_function("cosine_3gram", |bench| {
+        bench.iter(|| cosine(black_box(a), black_box(b), Tokenizer::QGram(3)))
+    });
+    group.finish();
+}
+
+fn similarity_benches(c: &mut Criterion) {
+    bench_pair(c, "short", SHORT_A, SHORT_B);
+    bench_pair(c, "medium", MEDIUM_A, MEDIUM_B);
+    bench_pair(c, "long", LONG_A, LONG_B);
+}
+
+fn tokenizer_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenize");
+    group.bench_function("qgram3_long", |bench| {
+        bench.iter_batched(
+            || LONG_A,
+            |s| Tokenizer::QGram(3).token_set(black_box(s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("whitespace_long", |bench| {
+        bench.iter(|| Tokenizer::Whitespace.tokenize(black_box(LONG_A)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, similarity_benches, tokenizer_benches);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md §4):
+//!
+//! * **Search algorithm** — random vs SMAC vs TPE on the real EM pipeline
+//!   objective, same budget. The paper uses auto-sklearn's SMAC; this shows
+//!   what that choice buys over random search and against TPE.
+//! * **Active-learning confidence** — the paper's tree-agreement confidence
+//!   (Figure 7) vs the soft probability margin, same labeling budgets.
+//!
+//! ```sh
+//! cargo run --release -p em-bench --bin exp_ablation [-- --scale F --budget N]
+//! ```
+
+use automl_em::{
+    ActiveConfig, AutoMlEmActive, AutoMlEmOptions, FeatureScheme, GroundTruthOracle,
+    QueryStrategy, SearchChoice,
+};
+use em_automl::Budget;
+use em_bench::{pct, prepare, reference_for, row, ExpArgs};
+use em_data::Benchmark;
+use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
+use em_ml::{f1_score, Classifier, ForestParams, RandomForestClassifier};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Ablation A: search algorithm (scale {}, budget {}) ==\n",
+        args.scale, args.budget
+    );
+    let widths = [20, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["Dataset".into(), "random".into(), "smac".into(), "tpe".into()],
+            &widths
+        )
+    );
+    let datasets = if args.only.is_some() || args.hard_only {
+        args.benchmarks()
+    } else {
+        vec![Benchmark::ItunesAmazon, Benchmark::AmazonGoogle, Benchmark::AbtBuy]
+    };
+    for b in &datasets {
+        let reference = reference_for(*b);
+        let prep = prepare(*b, FeatureScheme::AutoMlEm, &args);
+        let mut cells = vec![reference.name.to_string()];
+        for search in [SearchChoice::Random, SearchChoice::Smac, SearchChoice::Tpe] {
+            let options = AutoMlEmOptions {
+                search,
+                budget: Budget::Evaluations(args.budget),
+                seed: args.seed,
+                ..Default::default()
+            };
+            let (_, test_f1, _) = prep.run_automl(options);
+            cells.push(pct(test_f1));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!("\n== Ablation B: active-learning confidence measure ==\n");
+    let widths = [20, 22, 12];
+    println!(
+        "{}",
+        row(
+            &["Dataset".into(), "Strategy".into(), "testF1".into()],
+            &widths
+        )
+    );
+    for b in &datasets {
+        let reference = reference_for(*b);
+        let prep = prepare(*b, FeatureScheme::AutoMlEm, &args);
+        let mut pool_idx = prep.split.train.clone();
+        pool_idx.extend_from_slice(&prep.split.valid);
+        let x_pool = prep.features.select_rows(&pool_idx);
+        let truth: Vec<usize> = pool_idx.iter().map(|&i| prep.labels[i]).collect();
+        let init = (x_pool.nrows() / 8).clamp(30, 300);
+        for (label, strategy) in [
+            ("tree agreement (paper)", QueryStrategy::VoteFraction),
+            ("probability margin", QueryStrategy::ProbabilityMargin),
+        ] {
+            let mut oracle = GroundTruthOracle::from_classes(&truth);
+            let run = AutoMlEmActive::new(ActiveConfig {
+                init_size: init,
+                ac_batch: 10,
+                st_batch: 100,
+                iterations: 10,
+                strategy,
+                seed: args.seed,
+                ..Default::default()
+            })
+            .run(&x_pool, &mut oracle);
+            // Downstream: forest on the collected labels, scored on test.
+            let (imputer, x_imp) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &x_pool);
+            let xt = x_imp.select_rows(&run.labeled.indices);
+            let mut rf = RandomForestClassifier::new(ForestParams {
+                n_estimators: 50,
+                seed: args.seed,
+                ..ForestParams::default()
+            });
+            rf.fit(&xt, &run.labeled.labels, 2, None);
+            let (x_test_raw, y_test) = {
+                let t = &prep.split.test;
+                (
+                    prep.features.select_rows(t),
+                    t.iter().map(|&i| prep.labels[i]).collect::<Vec<usize>>(),
+                )
+            };
+            let x_test = imputer.transform(&x_test_raw);
+            let f1 = f1_score(&y_test, &rf.predict(&x_test));
+            println!(
+                "{}",
+                row(&[reference.name.into(), label.into(), pct(f1)], &widths)
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Table III: the benchmark datasets — sizes, positives, attribute counts,
+//! and the attribute types our generator produces (sanity check that the
+//! synthetic stand-ins have the paper's shape).
+//!
+//! ```sh
+//! cargo run --release -p em-bench --bin exp_datasets [-- --scale F --seed N]
+//! ```
+
+use em_bench::{row, ExpArgs};
+use em_data::Benchmark;
+use em_table::infer_pair_types;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Table III: EM datasets (generated at scale {}) ==\n", args.scale);
+    let widths = [20, 12, 12, 8, 10, 40];
+    println!(
+        "{}",
+        row(
+            &[
+                "Dataset".into(),
+                "TotalPairs".into(),
+                "Positives".into(),
+                "#Attr".into(),
+                "PosRate".into(),
+                "Inferred attribute types".into(),
+            ],
+            &widths
+        )
+    );
+    for b in args.benchmarks() {
+        let profile = b.profile();
+        let ds = b.generate_scaled(args.seed, args.scale);
+        let stats = ds.stats();
+        let types = infer_pair_types(&ds.table_a, &ds.table_b);
+        let type_str = types
+            .iter()
+            .map(|t| format!("{t:?}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{}",
+            row(
+                &[
+                    profile.name.into(),
+                    format!("{}", stats.total),
+                    format!("{}", stats.positives),
+                    format!("{}", profile.n_attrs),
+                    format!("{:.3}", stats.positive_rate()),
+                    type_str,
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\npaper sizes at scale 1.0: {:?}",
+        Benchmark::all()
+            .iter()
+            .map(|b| (b.profile().name, b.profile().total_pairs, b.profile().positives))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,87 @@
+//! Table IV: "Can AutoML-EM beat human?" — Magellan (Table-I features +
+//! default random forest, the human-with-defaults baseline) versus AutoML-EM
+//! (Table-II features + SMAC pipeline search) on all eight benchmarks.
+//!
+//! Shape expectation (per the paper): AutoML-EM ≥ Magellan on every dataset;
+//! the largest gains appear on the hard, textual datasets (Amazon-Google,
+//! Abt-Buy); the paper reports an average ΔF1 of +5.8.
+//!
+//! ```sh
+//! cargo run --release -p em-bench --bin exp_table4 [-- --scale F --budget N --show-pipeline]
+//! ```
+
+use automl_em::{EmPipelineConfig, FeatureScheme};
+use em_bench::{automl_options, pct, prepare, reference_for, row, ExpArgs};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Table IV: Magellan vs AutoML-EM (scale {}, budget {} evals) ==\n",
+        args.scale, args.budget
+    );
+    let widths = [20, 10, 10, 8, 26];
+    println!(
+        "{}",
+        row(
+            &[
+                "Dataset".into(),
+                "Magellan".into(),
+                "AutoML-EM".into(),
+                "ΔF1".into(),
+                "paper (Mag / AutoML-EM / Δ)".into(),
+            ],
+            &widths
+        )
+    );
+    let mut deltas = Vec::new();
+    let mut magellans = Vec::new();
+    let mut automls = Vec::new();
+    for b in args.benchmarks() {
+        let reference = reference_for(b);
+        // Magellan baseline: Table-I features, default RF, no tuning.
+        let prep_m = prepare(b, FeatureScheme::Magellan, &args);
+        let magellan_f1 =
+            prep_m.run_fixed_pipeline(&EmPipelineConfig::default_random_forest(args.seed));
+        // AutoML-EM: Table-II features + SMAC search over the RF space.
+        let prep_a = prepare(b, FeatureScheme::AutoMlEm, &args);
+        let (_, automl_f1, result) = prep_a.run_automl(automl_options(&args));
+        deltas.push(automl_f1 - magellan_f1);
+        magellans.push(magellan_f1);
+        automls.push(automl_f1);
+        println!(
+            "{}",
+            row(
+                &[
+                    reference.name.into(),
+                    pct(magellan_f1),
+                    pct(automl_f1),
+                    format!("{:+.1}", 100.0 * (automl_f1 - magellan_f1)),
+                    format!(
+                        "{:.1} / {:.1} / {:+.1}",
+                        reference.magellan_f1,
+                        reference.automl_em_f1,
+                        reference.automl_em_f1 - reference.magellan_f1
+                    ),
+                ],
+                &widths
+            )
+        );
+        if args.show_pipeline {
+            println!("\nincumbent pipeline for {}:\n{}\n", reference.name, result.best_configuration);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\n{}",
+        row(
+            &[
+                "Average".into(),
+                pct(avg(&magellans)),
+                pct(avg(&automls)),
+                format!("{:+.1}", 100.0 * avg(&deltas)),
+                "paper: 78.1 / 83.9 / +5.8".into(),
+            ],
+            &widths
+        )
+    );
+}

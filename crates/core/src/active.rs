@@ -1,0 +1,551 @@
+//! AutoML-EM-Active — the paper's Algorithm 1: hybrid active learning +
+//! self-training on top of a random-forest labeler.
+//!
+//! Each iteration trains a random forest on the labeled pool, scores every
+//! unlabeled pair by *tree agreement* (the Figure 7 confidence), sends the
+//! `ac_batch` least-confident pairs to the human oracle, trusts the machine
+//! labels of the `st_batch` most-confident pairs (preserving the initial
+//! class ratio α to avoid concept drift, §IV Remarks), and retrains.
+//! Setting `st_batch = 0` recovers plain active learning (the paper's
+//! "AC + AutoML-EM" baseline).
+
+use crate::oracle::Oracle;
+use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
+use em_ml::{Classifier, ForestParams, Matrix, RandomForestClassifier};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How per-pair confidence is computed from the committee of trees —
+/// the paper uses tree-agreement (Figure 7); the alternatives implement its
+/// §VII future-work suggestions (maximum margin, query by committee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum QueryStrategy {
+    /// Fraction of trees agreeing with the majority vote (paper default).
+    VoteFraction,
+    /// Maximum margin: `|p(match) - p(non-match)|` from the averaged
+    /// probabilities.
+    ProbabilityMargin,
+    /// `1 - H(p) / log2(k)` over the averaged class probabilities. For
+    /// binary problems this ranks identically to `ProbabilityMargin` (the
+    /// entropy is monotone in the margin); it differs for multi-class use.
+    Entropy,
+}
+
+/// Configuration of an AutoML-EM-Active run (the knobs of §V-D1).
+#[derive(Debug, Clone)]
+pub struct ActiveConfig {
+    /// Initial random training-set size (`init` in Figures 13-15).
+    pub init_size: usize,
+    /// Human labels per iteration (`ac_batch`; the only human cost).
+    pub ac_batch: usize,
+    /// Machine labels per iteration (`st_batch`; 0 = plain active learning).
+    pub st_batch: usize,
+    /// Number of iterations (the paper runs 20).
+    pub iterations: usize,
+    /// Forest used as the iteration labeler.
+    pub forest: ForestParams,
+    /// Preserve the initial positive rate α among machine labels
+    /// (§IV Remark 2).
+    pub preserve_class_ratio: bool,
+    /// Confidence measure driving both batch selections.
+    pub strategy: QueryStrategy,
+    /// Seed for the initial sample.
+    pub seed: u64,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        ActiveConfig {
+            init_size: 100,
+            ac_batch: 20,
+            st_batch: 200,
+            iterations: 20,
+            forest: ForestParams {
+                n_estimators: 50,
+                ..ForestParams::default()
+            },
+            preserve_class_ratio: true,
+            strategy: QueryStrategy::VoteFraction,
+            seed: 0,
+        }
+    }
+}
+
+/// The labeled pool an active run accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledSet {
+    /// Pool indices of the labeled pairs, in acquisition order.
+    pub indices: Vec<usize>,
+    /// The labels used for training (human labels are gold; machine labels
+    /// are model predictions and may be wrong).
+    pub labels: Vec<usize>,
+    /// Whether each label came from the human oracle.
+    pub human: Vec<bool>,
+}
+
+impl LabeledSet {
+    fn push(&mut self, index: usize, label: usize, human: bool) {
+        self.indices.push(index);
+        self.labels.push(label);
+        self.human.push(human);
+    }
+
+    /// Number of labeled items.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of human-provided labels.
+    pub fn human_count(&self) -> usize {
+        self.human.iter().filter(|&&h| h).count()
+    }
+
+    /// Number of machine-inferred labels.
+    pub fn machine_count(&self) -> usize {
+        self.len() - self.human_count()
+    }
+}
+
+/// Per-iteration bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Cumulative human labels after this iteration.
+    pub human_labels: usize,
+    /// Cumulative machine labels after this iteration.
+    pub machine_labels: usize,
+    /// Mean confidence of the pairs sent to the human (low by design).
+    pub mean_ac_confidence: f64,
+    /// Mean confidence of the self-trained pairs (high by design).
+    pub mean_st_confidence: f64,
+}
+
+/// Result of an active run.
+#[derive(Debug, Clone)]
+pub struct ActiveRunResult {
+    /// The accumulated labeled pool.
+    pub labeled: LabeledSet,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+}
+
+/// The Algorithm-1 driver.
+#[derive(Debug, Clone, Default)]
+pub struct AutoMlEmActive {
+    /// Run configuration.
+    pub config: ActiveConfig,
+}
+
+impl AutoMlEmActive {
+    /// Create a driver.
+    pub fn new(config: ActiveConfig) -> Self {
+        AutoMlEmActive { config }
+    }
+
+    /// Run Algorithm 1 over a feature pool. `x_pool` rows are the unlabeled
+    /// candidate pairs (NaN cells allowed; a mean imputer fitted on the pool
+    /// cleans them). The oracle supplies human labels on demand.
+    pub fn run(&self, x_pool: &Matrix, oracle: &mut dyn Oracle) -> ActiveRunResult {
+        let n = x_pool.nrows();
+        let cfg = &self.config;
+        assert!(cfg.init_size >= 2, "need at least 2 initial labels");
+        assert!(n > cfg.init_size, "pool smaller than the initial sample");
+        let (_, x) = SimpleImputer::fit_transform(ImputeStrategy::Mean, x_pool);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut unlabeled: Vec<usize> = (0..n).collect();
+        unlabeled.shuffle(&mut rng);
+        let mut labeled = LabeledSet::default();
+        // Line 1-3: initial random sample labeled by the human.
+        for _ in 0..cfg.init_size.min(n) {
+            let idx = unlabeled.pop().expect("pool nonempty");
+            let y = usize::from(oracle.label(idx));
+            labeled.push(idx, y, true);
+        }
+        // α: positive rate of the initial training data (§IV Remark 2).
+        let alpha = labeled.labels.iter().filter(|&&y| y == 1).count() as f64
+            / labeled.len().max(1) as f64;
+        let mut iterations = Vec::new();
+        for it in 0..cfg.iterations {
+            if unlabeled.is_empty() {
+                break;
+            }
+            // Line 4/12: (re)train the model on the current labels.
+            let xt = x.select_rows(&labeled.indices);
+            let has_both = labeled.labels.contains(&0)
+                && labeled.labels.contains(&1);
+            if !has_both {
+                // Degenerate: the initial sample caught a single class; ask
+                // the human about random pairs until both classes appear.
+                let idx = unlabeled.pop().expect("pool nonempty");
+                let y = usize::from(oracle.label(idx));
+                labeled.push(idx, y, true);
+                continue;
+            }
+            let mut forest = RandomForestClassifier::new(ForestParams {
+                seed: cfg.forest.seed.wrapping_add(it as u64),
+                ..cfg.forest.clone()
+            });
+            forest.fit(&xt, &labeled.labels, 2, None);
+            // Line 6: confidence of every unlabeled pair.
+            let xu = x.select_rows(&unlabeled);
+            let confidence = confidence_scores(&forest, &xu, cfg.strategy);
+            let predictions = forest.predict(&xu);
+            // Line 7-8: lowest-confidence pairs go to the human.
+            let mut order: Vec<usize> = (0..unlabeled.len()).collect();
+            order.sort_by(|&a, &b| {
+                confidence[a]
+                    .partial_cmp(&confidence[b])
+                    .unwrap()
+                    .then(unlabeled[a].cmp(&unlabeled[b]))
+            });
+            let ac_take = cfg.ac_batch.min(order.len());
+            let ac_local: Vec<usize> = order[..ac_take].to_vec();
+            let mean_ac_confidence = mean_of(&ac_local, &confidence);
+            // Line 9: highest-confidence pairs get machine labels, with the
+            // α class-ratio preserved among them.
+            let st_candidates: Vec<usize> = order[ac_take..].to_vec();
+            let st_local = self.pick_self_training(&st_candidates, &confidence, &predictions, alpha);
+            let mean_st_confidence = mean_of(&st_local, &confidence);
+            // Lines 10-11: commit the batches and shrink U.
+            let mut remove: Vec<usize> = Vec::with_capacity(ac_local.len() + st_local.len());
+            for &li in &ac_local {
+                let idx = unlabeled[li];
+                let y = usize::from(oracle.label(idx));
+                labeled.push(idx, y, true);
+                remove.push(li);
+            }
+            for &li in &st_local {
+                let idx = unlabeled[li];
+                labeled.push(idx, predictions[li], false);
+                remove.push(li);
+            }
+            remove.sort_unstable_by(|a, b| b.cmp(a));
+            for li in remove {
+                unlabeled.swap_remove(li);
+            }
+            iterations.push(IterationStats {
+                iteration: it,
+                human_labels: labeled.human_count(),
+                machine_labels: labeled.machine_count(),
+                mean_ac_confidence,
+                mean_st_confidence,
+            });
+        }
+        ActiveRunResult {
+            labeled,
+            iterations,
+        }
+    }
+
+    /// Select the self-training batch from `candidates` (local indices,
+    /// ascending by confidence): take the most confident predicted-positives
+    /// and predicted-negatives in the α : (1-α) proportion.
+    fn pick_self_training(
+        &self,
+        candidates: &[usize],
+        confidence: &[f64],
+        predictions: &[usize],
+        alpha: f64,
+    ) -> Vec<usize> {
+        let st = self.config.st_batch;
+        if st == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        if !self.config.preserve_class_ratio {
+            let mut best: Vec<usize> = candidates.to_vec();
+            best.sort_by(|&a, &b| confidence[b].partial_cmp(&confidence[a]).unwrap());
+            best.truncate(st);
+            return best;
+        }
+        let want_pos = ((alpha * st as f64).round() as usize).min(st);
+        let want_neg = st - want_pos;
+        let mut pos: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&li| predictions[li] == 1)
+            .collect();
+        let mut neg: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&li| predictions[li] == 0)
+            .collect();
+        pos.sort_by(|&a, &b| confidence[b].partial_cmp(&confidence[a]).unwrap());
+        neg.sort_by(|&a, &b| confidence[b].partial_cmp(&confidence[a]).unwrap());
+        let mut out: Vec<usize> = Vec::with_capacity(st);
+        out.extend(pos.into_iter().take(want_pos));
+        out.extend(neg.into_iter().take(want_neg));
+        out
+    }
+}
+
+/// Per-sample confidence under the chosen strategy (higher = more certain).
+fn confidence_scores(
+    forest: &RandomForestClassifier,
+    x: &Matrix,
+    strategy: QueryStrategy,
+) -> Vec<f64> {
+    match strategy {
+        QueryStrategy::VoteFraction => forest.vote_fraction(x),
+        QueryStrategy::ProbabilityMargin => {
+            let p = forest.predict_proba(x);
+            (0..p.nrows()).map(|r| (p.get(r, 1) - p.get(r, 0)).abs()).collect()
+        }
+        QueryStrategy::Entropy => {
+            let p = forest.predict_proba(x);
+            let k = p.ncols() as f64;
+            (0..p.nrows())
+                .map(|r| {
+                    let mut h = 0.0;
+                    for c in 0..p.ncols() {
+                        let v = p.get(r, c);
+                        if v > 0.0 {
+                            h -= v * v.log2();
+                        }
+                    }
+                    1.0 - h / k.log2()
+                })
+                .collect()
+        }
+    }
+}
+
+fn mean_of(local: &[usize], values: &[f64]) -> f64 {
+    if local.is_empty() {
+        return f64::NAN;
+    }
+    local.iter().map(|&i| values[i]).sum::<f64>() / local.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use rand::RngExt;
+
+    /// Overlapping two-cluster pool with gold labels.
+    fn pool(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 4 == 0; // 25% positives, like EM data
+            let center = if c { 1.0 } else { 0.0 };
+            rows.push(vec![
+                center + rng.random_range(-0.45..0.45),
+                center + rng.random_range(-0.45..0.45),
+            ]);
+            y.push(usize::from(c));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn quick_config(st_batch: usize) -> ActiveConfig {
+        ActiveConfig {
+            init_size: 30,
+            ac_batch: 5,
+            st_batch,
+            iterations: 5,
+            forest: ForestParams {
+                n_estimators: 15,
+                ..ForestParams::default()
+            },
+            preserve_class_ratio: true,
+            strategy: QueryStrategy::VoteFraction,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn human_label_count_is_init_plus_iterations_times_batch() {
+        let (x, y) = pool(500, 0);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let result = AutoMlEmActive::new(quick_config(0)).run(&x, &mut oracle);
+        assert_eq!(result.labeled.human_count(), 30 + 5 * 5);
+        assert_eq!(oracle.queries(), 30 + 5 * 5);
+        assert_eq!(result.labeled.machine_count(), 0);
+    }
+
+    #[test]
+    fn self_training_adds_machine_labels_without_human_cost() {
+        let (x, y) = pool(500, 1);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let result = AutoMlEmActive::new(quick_config(20)).run(&x, &mut oracle);
+        assert_eq!(result.labeled.human_count(), 30 + 5 * 5);
+        assert_eq!(oracle.queries(), 30 + 5 * 5, "self-training must be free");
+        assert!(result.labeled.machine_count() > 0);
+        assert!(result.labeled.machine_count() <= 5 * 20);
+    }
+
+    #[test]
+    fn labeled_indices_are_unique() {
+        let (x, y) = pool(400, 2);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let result = AutoMlEmActive::new(quick_config(30)).run(&x, &mut oracle);
+        let mut idx = result.labeled.indices.clone();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), result.labeled.len());
+    }
+
+    #[test]
+    fn ac_picks_low_confidence_st_picks_high_confidence() {
+        let (x, y) = pool(600, 3);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let result = AutoMlEmActive::new(quick_config(40)).run(&x, &mut oracle);
+        for stats in &result.iterations {
+            if !stats.mean_st_confidence.is_nan() {
+                assert!(
+                    stats.mean_st_confidence >= stats.mean_ac_confidence,
+                    "iteration {}: st {} < ac {}",
+                    stats.iteration,
+                    stats.mean_st_confidence,
+                    stats.mean_ac_confidence
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_labels_are_mostly_correct_on_easy_data() {
+        let (x, y) = pool(600, 4);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let result = AutoMlEmActive::new(quick_config(30)).run(&x, &mut oracle);
+        let mut correct = 0;
+        let mut total = 0;
+        for ((idx, label), human) in result
+            .labeled
+            .indices
+            .iter()
+            .zip(&result.labeled.labels)
+            .zip(&result.labeled.human)
+        {
+            if !human {
+                total += 1;
+                if *label == y[*idx] {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.85, "machine-label accuracy {acc}");
+    }
+
+    #[test]
+    fn class_ratio_is_roughly_preserved() {
+        let (x, y) = pool(800, 5);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let cfg = ActiveConfig {
+            init_size: 100,
+            st_batch: 40,
+            iterations: 5,
+            ..quick_config(40)
+        };
+        let result = AutoMlEmActive::new(cfg).run(&x, &mut oracle);
+        let machine_pos = result
+            .labeled
+            .labels
+            .iter()
+            .zip(&result.labeled.human)
+            .filter(|(&l, &h)| !h && l == 1)
+            .count();
+        let machine_total = result.labeled.machine_count();
+        let ratio = machine_pos as f64 / machine_total.max(1) as f64;
+        // Pool is 25% positive; the preserved ratio should be in a broad
+        // band around that (predictions may run short of one class).
+        assert!((0.05..=0.5).contains(&ratio), "machine positive rate {ratio}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (x, y) = pool(300, 6);
+        let mut o1 = GroundTruthOracle::from_classes(&y);
+        let mut o2 = GroundTruthOracle::from_classes(&y);
+        let a = AutoMlEmActive::new(quick_config(10)).run(&x, &mut o1);
+        let b = AutoMlEmActive::new(quick_config(10)).run(&x, &mut o2);
+        assert_eq!(a.labeled.indices, b.labeled.indices);
+        assert_eq!(a.labeled.labels, b.labeled.labels);
+    }
+
+    #[test]
+    fn all_query_strategies_run_and_pick_uncertain_pairs() {
+        let (x, y) = pool(500, 8);
+        for strategy in [
+            QueryStrategy::VoteFraction,
+            QueryStrategy::ProbabilityMargin,
+            QueryStrategy::Entropy,
+        ] {
+            let mut oracle = GroundTruthOracle::from_classes(&y);
+            let cfg = ActiveConfig {
+                strategy,
+                ..quick_config(20)
+            };
+            let result = AutoMlEmActive::new(cfg).run(&x, &mut oracle);
+            assert_eq!(result.labeled.human_count(), 30 + 5 * 5, "{strategy:?}");
+            for stats in &result.iterations {
+                if !stats.mean_st_confidence.is_nan() {
+                    assert!(
+                        stats.mean_st_confidence >= stats.mean_ac_confidence,
+                        "{strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_produce_different_query_orders() {
+        // Heavily overlapping clusters: confidences vary continuously, so
+        // the hard-vote and soft-probability orderings must diverge.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..500 {
+            let c = i % 4 == 0;
+            let center = if c { 0.3 } else { 0.0 };
+            rows.push(vec![
+                center + rng.random_range(-0.5..0.5),
+                center + rng.random_range(-0.5..0.5),
+            ]);
+            y.push(usize::from(c));
+        }
+        let x = Matrix::from_rows(&rows);
+        // Fully grown trees have pure leaves, making soft probabilities a
+        // monotone transform of hard votes (identical rankings); impure
+        // leaves (min_samples_leaf > 1) are where the strategies diverge.
+        let run = |strategy| {
+            let mut oracle = GroundTruthOracle::from_classes(&y);
+            let cfg = ActiveConfig {
+                strategy,
+                forest: ForestParams {
+                    n_estimators: 15,
+                    min_samples_leaf: 8,
+                    ..ForestParams::default()
+                },
+                ..quick_config(0)
+            };
+            AutoMlEmActive::new(cfg).run(&x, &mut oracle).labeled.indices
+        };
+        let vf = run(QueryStrategy::VoteFraction);
+        let pm = run(QueryStrategy::ProbabilityMargin);
+        // The initial sample is identical; the queried tails should differ
+        // between the hard-vote and soft-probability views.
+        assert_eq!(vf[..30], pm[..30]);
+        assert_ne!(vf, pm);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool smaller")]
+    fn tiny_pool_rejected() {
+        let (x, y) = pool(20, 7);
+        let mut oracle = GroundTruthOracle::from_classes(&y);
+        let _ = AutoMlEmActive::new(quick_config(0)).run(&x, &mut oracle);
+    }
+}

@@ -1,0 +1,132 @@
+//! Labeling oracles: the "human" in the active-learning loop. The paper's
+//! experiments (and ours) simulate the human with gold labels while charging
+//! each query against the labeling budget.
+
+/// A labeling oracle answers match/non-match queries about pool items.
+pub trait Oracle {
+    /// Label pool item `index` (`true` = matching). Each call counts as one
+    /// human label.
+    fn label(&mut self, index: usize) -> bool;
+
+    /// Number of labels issued so far.
+    fn queries(&self) -> usize;
+}
+
+/// Oracle backed by gold labels (the standard active-learning evaluation
+/// setup).
+#[derive(Debug, Clone)]
+pub struct GroundTruthOracle {
+    labels: Vec<bool>,
+    queries: usize,
+}
+
+impl GroundTruthOracle {
+    /// Wrap a gold-label vector.
+    pub fn new(labels: Vec<bool>) -> Self {
+        GroundTruthOracle { labels, queries: 0 }
+    }
+
+    /// Convenience constructor from 0/1 class labels.
+    pub fn from_classes(y: &[usize]) -> Self {
+        Self::new(y.iter().map(|&c| c == 1).collect())
+    }
+}
+
+impl Oracle for GroundTruthOracle {
+    fn label(&mut self, index: usize) -> bool {
+        self.queries += 1;
+        self.labels[index]
+    }
+
+    fn queries(&self) -> usize {
+        self.queries
+    }
+}
+
+/// Oracle that flips each gold label with a fixed probability — for studying
+/// robustness to annotator error (an extension beyond the paper).
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    truth: Vec<bool>,
+    flip_probability: f64,
+    queries: usize,
+    rng_state: u64,
+}
+
+impl NoisyOracle {
+    /// Wrap gold labels with a per-query flip probability.
+    pub fn new(truth: Vec<bool>, flip_probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&flip_probability));
+        NoisyOracle {
+            truth,
+            flip_probability,
+            queries: 0,
+            rng_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// xorshift64* — a tiny deterministic stream independent of `rand`.
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&mut self, index: usize) -> bool {
+        self.queries += 1;
+        let truth = self.truth[index];
+        if self.next_unit() < self.flip_probability {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn queries(&self) -> usize {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_counts_queries() {
+        let mut o = GroundTruthOracle::from_classes(&[1, 0, 1]);
+        assert!(o.label(0));
+        assert!(!o.label(1));
+        assert_eq!(o.queries(), 2);
+    }
+
+    #[test]
+    fn noisy_oracle_zero_flip_is_exact() {
+        let truth = vec![true, false, true, false];
+        let mut o = NoisyOracle::new(truth.clone(), 0.0, 7);
+        for (i, &t) in truth.iter().enumerate() {
+            assert_eq!(o.label(i), t);
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_full_flip_inverts() {
+        let truth = vec![true, false];
+        let mut o = NoisyOracle::new(truth.clone(), 1.0, 7);
+        assert!(!o.label(0));
+        assert!(o.label(1));
+    }
+
+    #[test]
+    fn noisy_oracle_flip_rate_is_approximate() {
+        let truth = vec![true; 2000];
+        let mut o = NoisyOracle::new(truth, 0.3, 11);
+        let flipped = (0..2000).filter(|&i| !o.label(i)).count();
+        let rate = flipped as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+}

@@ -1,0 +1,603 @@
+//! The AutoML-EM search space (paper Figures 4/5): data preprocessing,
+//! feature preprocessing, model selection, and per-model hyperparameters as
+//! a conditional [`ConfigSpace`]. The model-space switch implements §III-C:
+//! random-forest-only (the AutoML-EM default) versus all models
+//! (the "all-model" baseline of Figure 10).
+
+use em_automl::{ConfigSpace, Domain};
+
+/// Which classifiers participate in model selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ModelSpace {
+    /// Only random forest (paper §III-C: "we only include the random forest
+    /// in the model repository").
+    RandomForestOnly,
+    /// The full auto-sklearn-style model repository.
+    AllModels,
+}
+
+/// Options controlling which modules the space contains — the switches the
+/// Figure 9 (feature-processing-only search) and Figure 12 (ablation)
+/// experiments flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceOptions {
+    /// Classifier repertoire.
+    pub model_space: ModelSpace,
+    /// Include balancing + rescaling choices (data preprocessing).
+    pub data_preprocessing: bool,
+    /// Include the feature-preprocessor choice.
+    pub feature_preprocessing: bool,
+    /// Include per-model hyperparameters (off = defaults only).
+    pub hyperparameters: bool,
+}
+
+impl Default for SpaceOptions {
+    fn default() -> Self {
+        SpaceOptions {
+            model_space: ModelSpace::RandomForestOnly,
+            data_preprocessing: true,
+            feature_preprocessing: true,
+            hyperparameters: true,
+        }
+    }
+}
+
+/// Build the AutoML-EM configuration space.
+pub fn build_space(options: SpaceOptions) -> ConfigSpace {
+    let mut s = ConfigSpace::new();
+    // --- Data preprocessing ---
+    if options.data_preprocessing {
+        s.add(
+            "balancing:strategy",
+            Domain::Categorical(vec!["none".into(), "weighting".into()]),
+        );
+        s.add(
+            "imputation:strategy",
+            Domain::Categorical(vec!["mean".into(), "median".into(), "most_frequent".into()]),
+        );
+        s.add(
+            "rescaling:__choice__",
+            Domain::Categorical(vec![
+                "none".into(),
+                "standardize".into(),
+                "minmax".into(),
+                "robust_scaler".into(),
+            ]),
+        );
+        s.add_conditional(
+            "rescaling:robust_scaler:q_min",
+            Domain::Float {
+                lo: 0.001,
+                hi: 0.3,
+                log: false,
+            },
+            "rescaling:__choice__",
+            ["robust_scaler"],
+        );
+        s.add_conditional(
+            "rescaling:robust_scaler:q_max",
+            Domain::Float {
+                lo: 0.7,
+                hi: 0.999,
+                log: false,
+            },
+            "rescaling:__choice__",
+            ["robust_scaler"],
+        );
+    } else {
+        s.add(
+            "imputation:strategy",
+            Domain::Categorical(vec!["mean".into(), "median".into(), "most_frequent".into()]),
+        );
+    }
+    // --- Feature preprocessing ---
+    if options.feature_preprocessing {
+        s.add(
+            "preprocessor:__choice__",
+            Domain::Categorical(vec![
+                "no_preprocessing".into(),
+                "select_percentile_classification".into(),
+                "select_rates".into(),
+                "variance_threshold".into(),
+                "pca".into(),
+                "feature_agglomeration".into(),
+            ]),
+        );
+        s.add_conditional(
+            "preprocessor:select_percentile:percentile",
+            Domain::Float {
+                lo: 1.0,
+                hi: 99.0,
+                log: false,
+            },
+            "preprocessor:__choice__",
+            ["select_percentile_classification"],
+        );
+        s.add_conditional(
+            "preprocessor:select_percentile:score_func",
+            Domain::Categorical(vec!["f_classif".into(), "chi2".into()]),
+            "preprocessor:__choice__",
+            ["select_percentile_classification"],
+        );
+        s.add_conditional(
+            "preprocessor:select_rates:alpha",
+            Domain::Float {
+                lo: 0.01,
+                hi: 0.5,
+                log: false,
+            },
+            "preprocessor:__choice__",
+            ["select_rates"],
+        );
+        s.add_conditional(
+            "preprocessor:select_rates:mode",
+            Domain::Categorical(vec!["fpr".into(), "fdr".into(), "fwe".into()]),
+            "preprocessor:__choice__",
+            ["select_rates"],
+        );
+        s.add_conditional(
+            "preprocessor:select_rates:score_func",
+            Domain::Categorical(vec!["f_classif".into(), "chi2".into()]),
+            "preprocessor:__choice__",
+            ["select_rates"],
+        );
+        s.add_conditional(
+            "preprocessor:variance_threshold:threshold",
+            Domain::Float {
+                lo: 0.0,
+                hi: 0.05,
+                log: false,
+            },
+            "preprocessor:__choice__",
+            ["variance_threshold"],
+        );
+        s.add_conditional(
+            "preprocessor:pca:keep_fraction",
+            Domain::Float {
+                lo: 0.5,
+                hi: 0.999,
+                log: false,
+            },
+            "preprocessor:__choice__",
+            ["pca"],
+        );
+        s.add_conditional(
+            "preprocessor:feature_agglomeration:cluster_fraction",
+            Domain::Float {
+                lo: 0.1,
+                hi: 0.9,
+                log: false,
+            },
+            "preprocessor:__choice__",
+            ["feature_agglomeration"],
+        );
+    }
+    // --- Model selection ---
+    let classifiers: Vec<String> = match options.model_space {
+        ModelSpace::RandomForestOnly => vec!["random_forest".into()],
+        ModelSpace::AllModels => vec![
+            "random_forest".into(),
+            "extra_trees".into(),
+            "decision_tree".into(),
+            "adaboost".into(),
+            "gradient_boosting".into(),
+            "logistic_regression".into(),
+            "linear_svm".into(),
+            "k_nearest_neighbors".into(),
+            "gaussian_nb".into(),
+        ],
+    };
+    s.add("classifier:__choice__", Domain::Categorical(classifiers));
+    if !options.hyperparameters {
+        return s;
+    }
+    // --- Hyperparameters (ranges mirror auto-sklearn / paper Fig. 11) ---
+    s.add_conditional(
+        "classifier:random_forest:criterion",
+        Domain::Categorical(vec!["gini".into(), "entropy".into()]),
+        "classifier:__choice__",
+        ["random_forest"],
+    );
+    s.add_conditional(
+        "classifier:random_forest:max_features",
+        Domain::Float {
+            lo: 0.05,
+            hi: 1.0,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["random_forest"],
+    );
+    s.add_conditional(
+        "classifier:random_forest:min_samples_split",
+        Domain::Int {
+            lo: 2,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["random_forest"],
+    );
+    s.add_conditional(
+        "classifier:random_forest:min_samples_leaf",
+        Domain::Int {
+            lo: 1,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["random_forest"],
+    );
+    s.add_conditional(
+        "classifier:random_forest:bootstrap",
+        Domain::Categorical(vec!["True".into(), "False".into()]),
+        "classifier:__choice__",
+        ["random_forest"],
+    );
+    if options.model_space == ModelSpace::RandomForestOnly {
+        return s;
+    }
+    s.add_conditional(
+        "classifier:extra_trees:criterion",
+        Domain::Categorical(vec!["gini".into(), "entropy".into()]),
+        "classifier:__choice__",
+        ["extra_trees"],
+    );
+    s.add_conditional(
+        "classifier:extra_trees:max_features",
+        Domain::Float {
+            lo: 0.05,
+            hi: 1.0,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["extra_trees"],
+    );
+    s.add_conditional(
+        "classifier:extra_trees:min_samples_leaf",
+        Domain::Int {
+            lo: 1,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["extra_trees"],
+    );
+    s.add_conditional(
+        "classifier:decision_tree:criterion",
+        Domain::Categorical(vec!["gini".into(), "entropy".into()]),
+        "classifier:__choice__",
+        ["decision_tree"],
+    );
+    s.add_conditional(
+        "classifier:decision_tree:max_depth",
+        Domain::Int {
+            lo: 1,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["decision_tree"],
+    );
+    s.add_conditional(
+        "classifier:decision_tree:min_samples_split",
+        Domain::Int {
+            lo: 2,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["decision_tree"],
+    );
+    s.add_conditional(
+        "classifier:decision_tree:min_samples_leaf",
+        Domain::Int {
+            lo: 1,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["decision_tree"],
+    );
+    s.add_conditional(
+        "classifier:adaboost:n_estimators",
+        Domain::Int {
+            lo: 20,
+            hi: 200,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["adaboost"],
+    );
+    s.add_conditional(
+        "classifier:adaboost:learning_rate",
+        Domain::Float {
+            lo: 0.01,
+            hi: 2.0,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["adaboost"],
+    );
+    s.add_conditional(
+        "classifier:adaboost:max_depth",
+        Domain::Int {
+            lo: 1,
+            hi: 10,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["adaboost"],
+    );
+    s.add_conditional(
+        "classifier:gradient_boosting:n_estimators",
+        Domain::Int {
+            lo: 30,
+            hi: 300,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["gradient_boosting"],
+    );
+    s.add_conditional(
+        "classifier:gradient_boosting:learning_rate",
+        Domain::Float {
+            lo: 0.01,
+            hi: 1.0,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["gradient_boosting"],
+    );
+    s.add_conditional(
+        "classifier:gradient_boosting:max_depth",
+        Domain::Int {
+            lo: 1,
+            hi: 8,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["gradient_boosting"],
+    );
+    s.add_conditional(
+        "classifier:gradient_boosting:min_samples_leaf",
+        Domain::Int {
+            lo: 1,
+            hi: 20,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["gradient_boosting"],
+    );
+    s.add_conditional(
+        "classifier:gradient_boosting:subsample",
+        Domain::Float {
+            lo: 0.5,
+            hi: 1.0,
+            log: false,
+        },
+        "classifier:__choice__",
+        ["gradient_boosting"],
+    );
+    s.add_conditional(
+        "classifier:logistic_regression:alpha",
+        Domain::Float {
+            lo: 1e-7,
+            hi: 1e-1,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["logistic_regression"],
+    );
+    s.add_conditional(
+        "classifier:linear_svm:lambda",
+        Domain::Float {
+            lo: 1e-6,
+            hi: 1e-1,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["linear_svm"],
+    );
+    s.add_conditional(
+        "classifier:k_nearest_neighbors:k",
+        Domain::Int {
+            lo: 1,
+            hi: 50,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["k_nearest_neighbors"],
+    );
+    s.add_conditional(
+        "classifier:k_nearest_neighbors:weights",
+        Domain::Categorical(vec!["uniform".into(), "distance".into()]),
+        "classifier:__choice__",
+        ["k_nearest_neighbors"],
+    );
+    s.add_conditional(
+        "classifier:gaussian_nb:var_smoothing",
+        Domain::Float {
+            lo: 1e-12,
+            hi: 1e-6,
+            log: true,
+        },
+        "classifier:__choice__",
+        ["gaussian_nb"],
+    );
+    s
+}
+
+/// An in-space "sensible default" configuration used to warm-start the
+/// search (auto-sklearn seeds its SMAC run with meta-learned defaults; with
+/// no meta-data available, the sklearn defaults are the portfolio): no
+/// balancing, mean imputation, no rescaling, no feature preprocessing, and
+/// a random forest close to sklearn's defaults.
+pub fn default_configuration(options: SpaceOptions) -> em_automl::Configuration {
+    use em_automl::ParamValue;
+    let mut values: Vec<(String, ParamValue)> = Vec::new();
+    values.push(("imputation:strategy".into(), ParamValue::Cat("mean".into())));
+    if options.data_preprocessing {
+        values.push(("balancing:strategy".into(), ParamValue::Cat("none".into())));
+        values.push(("rescaling:__choice__".into(), ParamValue::Cat("none".into())));
+    }
+    if options.feature_preprocessing {
+        values.push((
+            "preprocessor:__choice__".into(),
+            ParamValue::Cat("no_preprocessing".into()),
+        ));
+    }
+    values.push((
+        "classifier:__choice__".into(),
+        ParamValue::Cat("random_forest".into()),
+    ));
+    if options.hyperparameters {
+        values.push((
+            "classifier:random_forest:criterion".into(),
+            ParamValue::Cat("gini".into()),
+        ));
+        // sklearn's default is sqrt(d); the space encodes max_features as a
+        // fraction, and sqrt(d)/d ≈ 0.1-0.2 at EM dimensionalities.
+        values.push((
+            "classifier:random_forest:max_features".into(),
+            ParamValue::Float(0.15),
+        ));
+        values.push((
+            "classifier:random_forest:min_samples_split".into(),
+            ParamValue::Int(2),
+        ));
+        values.push((
+            "classifier:random_forest:min_samples_leaf".into(),
+            ParamValue::Int(1),
+        ));
+        values.push((
+            "classifier:random_forest:bootstrap".into(),
+            ParamValue::Cat("True".into()),
+        ));
+    }
+    em_automl::Configuration::from_map(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::decode_configuration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rf_only_space_always_selects_random_forest() {
+        let space = build_space(SpaceOptions::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+            assert_eq!(c.get_str("classifier:__choice__"), Some("random_forest"));
+        }
+    }
+
+    #[test]
+    fn all_model_space_reaches_every_classifier() {
+        let space = build_space(SpaceOptions {
+            model_space: ModelSpace::AllModels,
+            ..SpaceOptions::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let c = space.sample(&mut rng);
+            seen.insert(c.get_str("classifier:__choice__").unwrap().to_owned());
+        }
+        assert_eq!(seen.len(), 9, "saw only {seen:?}");
+    }
+
+    #[test]
+    fn all_samples_decode_into_pipelines() {
+        for options in [
+            SpaceOptions::default(),
+            SpaceOptions {
+                model_space: ModelSpace::AllModels,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                data_preprocessing: false,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                feature_preprocessing: false,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                hyperparameters: false,
+                ..SpaceOptions::default()
+            },
+        ] {
+            let space = build_space(options);
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..100 {
+                let c = space.sample(&mut rng);
+                space.validate(&c).unwrap();
+                // Decoding must never panic on a valid sample.
+                let _ = decode_configuration(&c, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_off_space_has_no_balancing_or_rescaling() {
+        let space = build_space(SpaceOptions {
+            data_preprocessing: false,
+            ..SpaceOptions::default()
+        });
+        assert!(space.get("balancing:strategy").is_none());
+        assert!(space.get("rescaling:__choice__").is_none());
+        // Imputation must survive: EM vectors always contain NaN.
+        assert!(space.get("imputation:strategy").is_some());
+    }
+
+    #[test]
+    fn fp_off_space_has_no_preprocessor() {
+        let space = build_space(SpaceOptions {
+            feature_preprocessing: false,
+            ..SpaceOptions::default()
+        });
+        assert!(space.get("preprocessor:__choice__").is_none());
+    }
+
+    #[test]
+    fn default_configuration_is_valid_in_every_space_variant() {
+        for options in [
+            SpaceOptions::default(),
+            SpaceOptions {
+                model_space: ModelSpace::AllModels,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                data_preprocessing: false,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                feature_preprocessing: false,
+                ..SpaceOptions::default()
+            },
+            SpaceOptions {
+                hyperparameters: false,
+                ..SpaceOptions::default()
+            },
+        ] {
+            let space = build_space(options);
+            let config = default_configuration(options);
+            space.validate(&config).unwrap_or_else(|e| panic!("{options:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn search_space_size_grows_with_all_models() {
+        let rf = build_space(SpaceOptions::default());
+        let all = build_space(SpaceOptions {
+            model_space: ModelSpace::AllModels,
+            ..SpaceOptions::default()
+        });
+        assert!(all.len() > rf.len() + 10);
+    }
+}

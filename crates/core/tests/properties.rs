@@ -1,0 +1,155 @@
+//! Property tests for the AutoML-EM core: feature-generation invariants,
+//! pipeline totality over the whole search space, and decode robustness.
+
+use automl_em::{
+    build_space, decode_configuration, FeatureGenerator, FeatureScheme, ModelSpace, SpaceOptions,
+};
+use em_table::{AttrType, RecordPair, Schema, Table, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random cell values including nulls (boxed so row strategies are Clone).
+fn value_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        2 => proptest::string::string_regex("[a-z]{1,8}( [a-z]{1,8}){0,3}")
+            .unwrap()
+            .prop_map(Value::Text),
+        1 => (-1000.0f64..1000.0).prop_map(Value::Number),
+        1 => any::<bool>().prop_map(Value::Bool),
+        1 => Just(Value::Null),
+    ]
+    .boxed()
+}
+
+/// A pair of single-schema tables with 1-6 rows each.
+fn table_pair(cols: usize) -> impl Strategy<Value = (Table, Table)> {
+    let rows = || {
+        proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), cols..=cols),
+            1..6,
+        )
+    };
+    (rows(), rows()).prop_map(move |(ra, rb)| {
+        let names: Vec<String> = (0..cols).map(|i| format!("attr{i}")).collect();
+        let mut a = Table::new(Schema::new(names.clone()));
+        let mut b = Table::new(Schema::new(names));
+        for r in ra {
+            a.push_row(r).unwrap();
+        }
+        for r in rb {
+            b.push_row(r).unwrap();
+        }
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feature_generation_is_total_and_shape_correct((a, b) in table_pair(3)) {
+        for scheme in [FeatureScheme::Magellan, FeatureScheme::AutoMlEm] {
+            let generator = FeatureGenerator::plan_for_tables(scheme, &a, &b);
+            let pairs: Vec<RecordPair> = (0..a.len())
+                .flat_map(|i| (0..b.len()).map(move |j| RecordPair::new(i, j)))
+                .collect();
+            let x = generator.generate(&a, &b, &pairs);
+            prop_assert_eq!(x.nrows(), pairs.len());
+            prop_assert_eq!(x.ncols(), generator.n_features());
+            // Every cell is finite or NaN — never infinite (raw NW scores
+            // are bounded by string lengths).
+            for v in x.as_slice() {
+                prop_assert!(v.is_nan() || v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_records_maximize_similarity_features((a, _) in table_pair(2)) {
+        // Pairing a table with itself: every *similarity* feature on a
+        // non-null attribute is at its identity value.
+        let generator = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &a, &a);
+        let names = generator.feature_names();
+        for i in 0..a.len() {
+            let row = generator.generate_row(&a, &a, RecordPair::new(i, i));
+            for (name, v) in names.iter().zip(&row) {
+                if v.is_nan() {
+                    continue;
+                }
+                if name.ends_with("lev_dist") {
+                    prop_assert_eq!(*v, 0.0, "{} on self-pair", name);
+                } else if name.ends_with("exact_match")
+                    || name.ends_with("jaro")
+                    || name.ends_with("jaro_winkler")
+                    || name.ends_with("lev_sim")
+                    || name.contains("jaccard")
+                    || name.contains("cosine")
+                    || name.contains("dice")
+                    || name.contains("overlap")
+                    || name.ends_with("abs_norm")
+                {
+                    prop_assert!((*v - 1.0).abs() < 1e-9, "{} = {} on self-pair", name, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn autoem_feature_count_formula(types in proptest::collection::vec(0usize..6, 1..6)) {
+        let attr_types: Vec<AttrType> = types
+            .iter()
+            .map(|&t| match t {
+                0 => AttrType::Boolean,
+                1 => AttrType::Numeric,
+                2 => AttrType::SingleWordString,
+                3 => AttrType::ShortString,
+                4 => AttrType::MediumString,
+                _ => AttrType::LongString,
+            })
+            .collect();
+        let names: Vec<String> = (0..attr_types.len()).map(|i| format!("a{i}")).collect();
+        let schema = Schema::new(names);
+        let generator = FeatureGenerator::plan(FeatureScheme::AutoMlEm, &schema, &attr_types);
+        let expected: usize = attr_types
+            .iter()
+            .map(|t| match t {
+                AttrType::Boolean => 1,
+                AttrType::Numeric => 4,
+                _ => 16,
+            })
+            .sum();
+        prop_assert_eq!(generator.n_features(), expected);
+        // Magellan never generates more than AutoML-EM.
+        let magellan = FeatureGenerator::plan(FeatureScheme::Magellan, &schema, &attr_types);
+        prop_assert!(magellan.n_features() <= generator.n_features());
+    }
+
+    #[test]
+    fn every_space_sample_decodes_and_fits(sample_seed in 0u64..300) {
+        // Any configuration the richest space can produce must decode into
+        // a pipeline that trains on a tiny dataset without panicking.
+        let space = build_space(SpaceOptions {
+            model_space: ModelSpace::AllModels,
+            ..SpaceOptions::default()
+        });
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        let config = space.sample(&mut rng);
+        let pipeline = decode_configuration(&config, sample_seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            let c = i % 2;
+            let noise = ((i * 7) % 13) as f64 / 13.0;
+            let missing = if i % 5 == 0 { f64::NAN } else { noise };
+            rows.push(vec![c as f64 + 0.05 * noise, noise, missing]);
+            y.push(c);
+        }
+        let x = em_ml::Matrix::from_rows(&rows);
+        let fitted = pipeline.fit(&x, &y);
+        let pred = fitted.predict(&x);
+        prop_assert_eq!(pred.len(), 24);
+        let f1 = fitted.f1(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+}

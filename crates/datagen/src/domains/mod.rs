@@ -1,0 +1,17 @@
+//! Concrete benchmark domains mirroring the paper's Table III datasets:
+//! restaurants (Fodors-Zagats), beers (BeerAdvo-RateBeer), songs
+//! (iTunes-Amazon), publications (DBLP-ACM / DBLP-Scholar), and products
+//! (Amazon-Google software, Walmart-Amazon electronics, Abt-Buy with long
+//! descriptions).
+
+mod beer;
+mod product;
+mod publication;
+mod restaurant;
+mod song;
+
+pub use beer::BeerDomain;
+pub use product::{DescriptionProductDomain, ElectronicsDomain, SoftwareDomain};
+pub use publication::PublicationDomain;
+pub use restaurant::RestaurantDomain;
+pub use song::SongDomain;

@@ -1,0 +1,241 @@
+//! Product domains:
+//! - [`SoftwareDomain`] — Amazon-Google shape (3 attributes: title,
+//!   manufacturer, price),
+//! - [`ElectronicsDomain`] — Walmart-Amazon shape (5 attributes: title,
+//!   category, brand, modelno, price),
+//! - [`DescriptionProductDomain`] — Abt-Buy shape (3 attributes: name,
+//!   description, price) with a *long-text* description attribute, the case
+//!   the paper highlights as hardest for non-deep-learning matchers.
+//!
+//! These are the "hard & large" benchmarks, so family siblings are
+//! near-duplicates: same brand, same product line, same wording — they
+//! differ only in a version number, an edition word, or one character of a
+//! model code. That is exactly the product-catalog ambiguity that pins real
+//! Abt-Buy / Amazon-Google F1 scores in the 40-70 range.
+
+use crate::entity::EntityDomain;
+use crate::vocab;
+use em_table::{Schema, Value};
+use rand::rngs::StdRng;
+
+/// Family base price plus a small per-member step, so sibling prices are
+/// confusably close.
+fn price_for(family: usize, member: usize) -> f64 {
+    let base_cents = 4900 + (family * 3337) % 45000;
+    let cents = base_cents + member * 300;
+    cents as f64 / 100.0
+}
+
+/// Model codes within a family differ in a single trailing letter:
+/// `SO410a` vs `SO410b` — one typo away from a sibling collision.
+fn model_number(family: usize, member: usize) -> String {
+    let brand = vocab::pick(vocab::BRANDS, family);
+    format!(
+        "{}{}{}",
+        brand[..2].to_ascii_uppercase(),
+        100 + (family * 7) % 900,
+        (b'a' + (member % 26) as u8) as char,
+    )
+}
+
+/// Software products (Amazon-Google): title, manufacturer, price.
+///
+/// Siblings are successive versions/editions of the same product
+/// ("photo studio 9.0 standard" vs "photo studio 9.0 professional" vs
+/// "photo studio 10.0 standard"), mirroring the real Amazon-Google
+/// confusables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareDomain;
+
+impl EntityDomain for SoftwareDomain {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(["title", "manufacturer", "price"])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        let publisher = vocab::pick(vocab::SOFTWARE_PUBLISHERS, family);
+        let product = vocab::pick(vocab::SOFTWARE_NAMES, family);
+        let version = 3 + family % 9 + member / 2;
+        let edition = if member.is_multiple_of(2) { "standard" } else { "professional" };
+        let title = format!("{publisher} {product} {version}.0 {edition}");
+        let _ = rng;
+        vec![
+            Value::Text(title),
+            Value::Text(publisher.to_owned()),
+            Value::Number(price_for(family, member) / 3.0),
+        ]
+    }
+}
+
+/// Electronics (Walmart-Amazon): title, category, brand, modelno, price.
+///
+/// Siblings share brand, product type, and marketing adjective — only the
+/// model code moves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElectronicsDomain;
+
+impl EntityDomain for ElectronicsDomain {
+    fn name(&self) -> &'static str {
+        "electronics"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(["title", "category", "brand", "modelno", "price"])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        let brand = vocab::pick(vocab::BRANDS, family);
+        let ptype = vocab::pick(vocab::PRODUCT_TYPES, family);
+        let adj = vocab::pick(vocab::PRODUCT_ADJECTIVES, family);
+        let model = model_number(family, member);
+        let title = format!("{brand} {adj} {ptype} {model}");
+        let category = ptype
+            .split_whitespace()
+            .last()
+            .unwrap_or("electronics")
+            .to_owned();
+        let _ = rng;
+        vec![
+            Value::Text(title),
+            Value::Text(category),
+            Value::Text(brand.to_owned()),
+            Value::Text(model),
+            Value::Number(price_for(family, member)),
+        ]
+    }
+}
+
+/// Products with long text descriptions (Abt-Buy): name, description, price.
+///
+/// Siblings share the brand, product type, and two of three description
+/// clauses; the distinguishing model code is one character apart — so a
+/// noisy positive and a sibling negative look almost identical, the Abt-Buy
+/// situation where Magellan's F1 collapses to ~44.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DescriptionProductDomain;
+
+impl EntityDomain for DescriptionProductDomain {
+    fn name(&self) -> &'static str {
+        "product_description"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(["name", "description", "price"])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        let brand = vocab::pick(vocab::BRANDS, family);
+        let ptype = vocab::pick(vocab::PRODUCT_TYPES, family);
+        let model = model_number(family, member);
+        let name = format!("{brand} {ptype} {model}");
+        // Long description (> 10 words, the paper's Long String bucket).
+        // All three clauses are family-determined: sibling descriptions are
+        // *identical except for the model code*, so the only signal
+        // separating a noisy positive from a sibling negative is one
+        // character of the model token — the Abt-Buy regime.
+        let c1 = vocab::pick(vocab::DESCRIPTION_CLAUSES, family);
+        let c2 = vocab::pick(vocab::DESCRIPTION_CLAUSES, family * 3 + 1);
+        let c3 = vocab::pick(vocab::DESCRIPTION_CLAUSES, family * 5 + 2);
+        let adj = vocab::pick(vocab::PRODUCT_ADJECTIVES, family);
+        let description = format!("the {brand} {model} is a {adj} {ptype} {c1} {c2} {c3}");
+        let _ = rng;
+        vec![
+            Value::Text(name),
+            Value::Text(description),
+            Value::Number(price_for(family, member)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_text::{jaccard, Tokenizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_shapes_match_table_iii() {
+        assert_eq!(SoftwareDomain.schema().len(), 3);
+        assert_eq!(ElectronicsDomain.schema().len(), 5);
+        assert_eq!(DescriptionProductDomain.schema().len(), 3);
+    }
+
+    #[test]
+    fn description_is_long_string() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = DescriptionProductDomain.base_record(1, 2, &mut rng);
+        let desc = r[1].as_text().unwrap();
+        assert!(
+            desc.split_whitespace().count() > 10,
+            "description too short: {desc}"
+        );
+    }
+
+    #[test]
+    fn electronics_family_shares_brand() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ElectronicsDomain.base_record(5, 0, &mut rng);
+        let b = ElectronicsDomain.base_record(5, 3, &mut rng);
+        assert_eq!(a[2], b[2]);
+        assert_ne!(a[3], b[3], "model numbers must differ");
+    }
+
+    #[test]
+    fn model_numbers_are_distinct_within_family() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in 0..4 {
+            seen.insert(model_number(7, m));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn siblings_are_near_duplicates() {
+        // The hard-negative design: sibling titles overlap heavily.
+        let mut rng = StdRng::seed_from_u64(2);
+        for f in 0..10 {
+            let a = SoftwareDomain.base_record(f, 0, &mut rng);
+            let b = SoftwareDomain.base_record(f, 1, &mut rng);
+            let sim = jaccard(
+                a[0].as_text().unwrap(),
+                b[0].as_text().unwrap(),
+                Tokenizer::Whitespace,
+            );
+            assert!(sim > 0.5, "sibling similarity only {sim}");
+            assert_ne!(a[0], b[0], "siblings are still distinct entities");
+        }
+    }
+
+    #[test]
+    fn sibling_prices_are_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for f in 0..10 {
+            let a = ElectronicsDomain.base_record(f, 0, &mut rng);
+            let b = ElectronicsDomain.base_record(f, 3, &mut rng);
+            let pa = a[4].as_number().unwrap();
+            let pb = b[4].as_number().unwrap();
+            assert!((pa - pb).abs() / pa.max(pb) < 0.25, "{pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn prices_are_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for f in 0..20 {
+            for m in 0..4 {
+                for rec in [
+                    SoftwareDomain.base_record(f, m, &mut rng),
+                    ElectronicsDomain.base_record(f, m, &mut rng),
+                    DescriptionProductDomain.base_record(f, m, &mut rng),
+                ] {
+                    let p = rec.last().unwrap().as_number().unwrap();
+                    assert!(p > 0.0);
+                }
+            }
+        }
+    }
+}

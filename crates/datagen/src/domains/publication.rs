@@ -1,0 +1,103 @@
+//! Publication domain (DBLP-ACM / DBLP-Scholar shape: 4 attributes — title,
+//! authors, venue, year; paper Table III). The `scholar_style` flag makes the
+//! B side render venues in abbreviated form and author lists with initials,
+//! mirroring how Google Scholar differs from DBLP.
+
+use crate::entity::EntityDomain;
+use crate::vocab;
+use em_table::{Schema, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Publications: members of a family share a venue and an author cluster
+/// (same research group publishing related papers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PublicationDomain {
+    /// Render venue/author strings the "scholar" way (short venue,
+    /// initials) — used for the harder DBLP-Scholar variant.
+    pub scholar_style: bool,
+}
+
+impl EntityDomain for PublicationDomain {
+    fn name(&self) -> &'static str {
+        "publication"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(["title", "authors", "venue", "year"])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        let (venue_long, venue_short) = vocab::VENUES[family % vocab::VENUES.len()];
+        // Sibling papers come from the same group: they share the leading
+        // title word and the subject noun, and mostly the author list —
+        // the classic DBLP hard negative (same authors, similar titles).
+        let w1 = vocab::pick(vocab::PAPER_WORDS, family * 5);
+        let w2 = vocab::pick(vocab::PAPER_WORDS, family + member * 11 + 7);
+        let w3 = vocab::pick(vocab::PAPER_WORDS, family * 9 + member * 13 + 2);
+        let noun = vocab::pick(vocab::PAPER_NOUNS, family * 3);
+        let title = format!("{w1} {w2} {w3} for {noun}");
+        let n_authors = 2 + member % 2;
+        let mut authors = Vec::new();
+        for a in 0..n_authors {
+            let first = vocab::pick(vocab::AUTHOR_FIRST, family * 7 + a * 3);
+            let last = vocab::pick(vocab::AUTHOR_LAST, family * 2 + a * 5);
+            if self.scholar_style {
+                authors.push(format!("{}. {last}", &first[..1]));
+            } else {
+                authors.push(format!("{first} {last}"));
+            }
+        }
+        let authors = authors.join(", ");
+        let venue = if self.scholar_style { venue_short } else { venue_long };
+        let year = 1998 + (family * 5 + member / 2 + rng.random_range(0..2)) % 25;
+        vec![
+            Value::Text(title),
+            Value::Text(authors),
+            Value::Text(venue.to_owned()),
+            Value::Number(year as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_shape() {
+        assert_eq!(PublicationDomain::default().schema().len(), 4);
+    }
+
+    #[test]
+    fn scholar_style_abbreviates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dblp = PublicationDomain {
+            scholar_style: false,
+        };
+        let scholar = PublicationDomain {
+            scholar_style: true,
+        };
+        let a = dblp.base_record(0, 0, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let b = scholar.base_record(0, 0, &mut rng2);
+        let va = a[2].as_text().unwrap();
+        let vb = b[2].as_text().unwrap();
+        assert!(va.len() > vb.len(), "{va} vs {vb}");
+        // Same title either way.
+        assert_eq!(a[0], b[0]);
+        // Scholar authors use initials.
+        assert!(b[1].as_text().unwrap().contains(". "));
+    }
+
+    #[test]
+    fn family_shares_venue() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = PublicationDomain::default();
+        let a = d.base_record(2, 0, &mut rng);
+        let b = d.base_record(2, 3, &mut rng);
+        assert_eq!(a[2], b[2]);
+        assert_ne!(a[0], b[0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Restaurant domain (Fodors-Zagats shape: 6 attributes — name, address,
+//! city, phone, type, class; paper Fig. 1 / Table III).
+
+use crate::entity::EntityDomain;
+use crate::vocab;
+use em_table::{Schema, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Restaurants: members of a family share a city and street, modeling
+/// same-neighborhood confusables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestaurantDomain;
+
+impl EntityDomain for RestaurantDomain {
+    fn name(&self) -> &'static str {
+        "restaurant"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(["name", "address", "city", "phone", "type", "class"])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        // Family anchors the location; member differentiates the identity.
+        let city = vocab::pick(vocab::CITIES, family);
+        let street = vocab::pick(vocab::STREETS, family * 3 + 1);
+        let suffix = vocab::pick(vocab::STREET_SUFFIXES, family + member);
+        let head = vocab::pick(vocab::NAME_HEADS, family * 7 + member * 3);
+        let tail = vocab::pick(vocab::NAME_TAILS, family * 5 + member * 11 + 1);
+        let extra = vocab::pick(vocab::NAME_HEADS, member * 13 + 5);
+        let name = if member.is_multiple_of(2) {
+            format!("{head} {tail}")
+        } else {
+            format!("{head} {extra} {tail}")
+        };
+        let number = 100 + (family * 97 + member * 31) % 9000;
+        let address = format!("{number} {street} {suffix}");
+        let area = 200 + (family * 13) % 700;
+        let line = 1000 + rng.random_range(0..9000);
+        let phone = format!("{area}-555-{line}");
+        let (cuisine, _) = vocab::CUISINES[(family + member) % vocab::CUISINES.len()];
+        let class = (family % 5 + 1) as f64;
+        vec![
+            Value::Text(name),
+            Value::Text(address),
+            Value::Text(city.to_owned()),
+            Value::Text(phone),
+            Value::Text(cuisine.to_owned()),
+            Value::Number(class),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_matches_fodors_zagats_shape() {
+        let d = RestaurantDomain;
+        assert_eq!(d.schema().len(), 6);
+        assert_eq!(d.schema().names()[0], "name");
+    }
+
+    #[test]
+    fn family_members_share_city_but_not_name() {
+        let d = RestaurantDomain;
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = d.base_record(3, 0, &mut rng);
+        let b = d.base_record(3, 1, &mut rng);
+        assert_eq!(a[2], b[2], "same family shares a city");
+        assert_ne!(a[0], b[0], "different members have different names");
+    }
+
+    #[test]
+    fn different_families_differ() {
+        let d = RestaurantDomain;
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = d.base_record(0, 0, &mut rng);
+        let b = d.base_record(1, 0, &mut rng);
+        assert_ne!(a[2], b[2]);
+    }
+
+    #[test]
+    fn record_arity_matches_schema() {
+        let d = RestaurantDomain;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.base_record(9, 2, &mut rng).len(), d.schema().len());
+    }
+}

@@ -1,0 +1,100 @@
+//! Song domain (iTunes-Amazon shape: 8 attributes — song name, artist name,
+//! album name, genre, price, copyright, time, released; paper Table III).
+
+use crate::entity::EntityDomain;
+use crate::vocab;
+use em_table::{Schema, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Songs: members of a family are tracks by the same artist on the same
+/// album — the classic hard-negative structure of music catalogs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SongDomain;
+
+impl EntityDomain for SongDomain {
+    fn name(&self) -> &'static str {
+        "song"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new([
+            "song_name",
+            "artist_name",
+            "album_name",
+            "genre",
+            "price",
+            "copyright",
+            "time",
+            "released",
+        ])
+    }
+
+    fn base_record(&self, family: usize, member: usize, rng: &mut StdRng) -> Vec<Value> {
+        let artist = format!(
+            "{} {}",
+            vocab::pick(vocab::ARTISTS, family),
+            vocab::pick(vocab::ARTISTS, family * 5 + 3)
+        );
+        let album = format!(
+            "{} {}",
+            vocab::pick(vocab::SONG_WORDS, family * 7 + 2),
+            vocab::pick(vocab::SONG_WORDS, family * 11 + 4)
+        );
+        // Sibling tracks on the same album share the first title word and
+        // half the time the second ("golden night dance" vs "golden night
+        // fire" vs "golden rain fire") — catalog-style confusables.
+        let song = format!(
+            "{} {} {}",
+            vocab::pick(vocab::SONG_WORDS, family * 3),
+            vocab::pick(vocab::SONG_WORDS, family * 5 + member % 2 + 1),
+            vocab::pick(vocab::SONG_WORDS, family * 7 + member * 2 + 9)
+        );
+        let genre = vocab::pick(vocab::GENRES, family);
+        let price = 0.69 + ((family + member) % 3) as f64 * 0.30;
+        let year = 1995 + (family * 3 + member % 2) % 28;
+        let label = vocab::pick(vocab::BREWERIES, family + 7); // label names reuse a pool
+        let copyright = format!("(c) {year} {label} records");
+        let secs = 150 + (family * 31 + member * 53) % 240 + rng.random_range(0..5);
+        let time = format!("{}:{:02}", secs / 60, secs % 60);
+        vec![
+            Value::Text(song),
+            Value::Text(artist),
+            Value::Text(album),
+            Value::Text(genre.to_owned()),
+            Value::Number((price * 100.0).round() / 100.0),
+            Value::Text(copyright),
+            Value::Text(time),
+            Value::Number(year as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_shape() {
+        assert_eq!(SongDomain.schema().len(), 8);
+    }
+
+    #[test]
+    fn family_shares_artist_and_album() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = SongDomain.base_record(4, 0, &mut rng);
+        let b = SongDomain.base_record(4, 2, &mut rng);
+        assert_eq!(a[1], b[1]);
+        assert_eq!(a[2], b[2]);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn time_format_is_mm_ss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = SongDomain.base_record(0, 0, &mut rng);
+        let t = r[6].as_text().unwrap();
+        assert!(t.contains(':'), "{t}");
+    }
+}

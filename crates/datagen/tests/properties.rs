@@ -1,0 +1,105 @@
+//! Property tests for the benchmark generators: determinism, label
+//! consistency, profile adherence, and noise-model invariants.
+
+use em_data::{Benchmark, NoiseModel, FAMILY_SIZE};
+use em_table::Value;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::BeerAdvoRateBeer),
+        Just(Benchmark::FodorsZagats),
+        Just(Benchmark::ItunesAmazon),
+        Just(Benchmark::DblpAcm),
+        Just(Benchmark::DblpScholar),
+        Just(Benchmark::AmazonGoogle),
+        Just(Benchmark::WalmartAmazon),
+        Just(Benchmark::AbtBuy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic(b in any_benchmark(), seed in 0u64..50) {
+        let d1 = b.generate_scaled(seed, 0.05);
+        let d2 = b.generate_scaled(seed, 0.05);
+        prop_assert_eq!(d1.table_a, d2.table_a);
+        prop_assert_eq!(d1.table_b, d2.table_b);
+        prop_assert_eq!(d1.pairs, d2.pairs);
+    }
+
+    #[test]
+    fn labels_match_the_diagonal_construction(b in any_benchmark(), seed in 0u64..20) {
+        let ds = b.generate_scaled(seed, 0.08);
+        for p in &ds.pairs {
+            prop_assert_eq!(p.label, p.pair.left == p.pair.right);
+            prop_assert!(p.pair.left < ds.table_a.len());
+            prop_assert!(p.pair.right < ds.table_b.len());
+        }
+    }
+
+    #[test]
+    fn positive_rate_tracks_the_profile(b in any_benchmark(), seed in 0u64..10) {
+        let ds = b.generate_scaled(seed, 0.25);
+        let profile = b.profile();
+        let expected = profile.positives as f64 / profile.total_pairs as f64;
+        let got = ds.stats().positive_rate();
+        prop_assert!(
+            (got - expected).abs() < 0.05,
+            "{}: rate {got} vs profile {expected}", ds.name
+        );
+    }
+
+    #[test]
+    fn hard_negatives_stay_within_families(b in any_benchmark(), seed in 0u64..10) {
+        let ds = b.generate_scaled(seed, 0.1);
+        // Every negative is either within one family (hard) or across
+        // families (easy); families are contiguous blocks of FAMILY_SIZE.
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for p in ds.pairs.iter().filter(|p| !p.label) {
+            if p.pair.left / FAMILY_SIZE == p.pair.right / FAMILY_SIZE {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        prop_assert!(within > 0, "{} has no hard negatives", ds.name);
+        prop_assert!(across > 0, "{} has no easy negatives", ds.name);
+    }
+
+    #[test]
+    fn noise_models_keep_values_sane(
+        text in "[a-z]{1,8}( [a-z]{1,8}){0,4}",
+        number in -1e4f64..1e4,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in [NoiseModel::light(), NoiseModel::medium(), NoiseModel::heavy()] {
+            match model.apply_string(&text, &mut rng) {
+                Value::Null => {}
+                Value::Text(t) => prop_assert!(!t.is_empty()),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+            match model.apply_number(number, &mut rng) {
+                Value::Null => {}
+                Value::Number(x) => prop_assert!(x.is_finite()),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn none_noise_is_identity_everywhere(
+        text in "[a-z]{1,8}( [a-z]{1,8}){0,3}",
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nm = NoiseModel::none();
+        prop_assert_eq!(nm.apply_string(&text, &mut rng), Value::Text(text.clone()));
+    }
+}

@@ -1,0 +1,176 @@
+//! `FeatureAgglomeration`: average-linkage hierarchical clustering of
+//! *features* (by Euclidean distance between columns), pooling each cluster
+//! to its mean — a feature-preprocessing option of the search space
+//! (paper Fig. 4).
+
+use crate::matrix::Matrix;
+
+/// A fitted feature-agglomeration transform.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FeatureAgglomeration {
+    /// Cluster id per input feature.
+    labels: Vec<usize>,
+    /// Number of clusters (= output dimensionality).
+    n_clusters: usize,
+}
+
+impl FeatureAgglomeration {
+    /// Cluster the features of `x` into `n_clusters` groups with
+    /// average-linkage agglomeration on column Euclidean distance.
+    pub fn fit(x: &Matrix, n_clusters: usize) -> Self {
+        let d = x.ncols();
+        let k = n_clusters.clamp(1, d.max(1));
+        // Pairwise squared distances between feature columns.
+        let cols: Vec<Vec<f64>> = (0..d).map(|c| x.col(c)).collect();
+        // active clusters: members + centroid-free average linkage via
+        // cluster-pair average of pointwise distances. For simplicity and
+        // determinism we use the squared Euclidean distance between cluster
+        // mean columns (centroid linkage), updated on merge.
+        let mut members: Vec<Vec<usize>> = (0..d).map(|c| vec![c]).collect();
+        let mut centroids: Vec<Vec<f64>> = cols.clone();
+        let mut active: Vec<bool> = vec![true; d];
+        let mut n_active = d;
+        while n_active > k {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX);
+            let mut best_d = f64::INFINITY;
+            for i in 0..d {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..d {
+                    if !active[j] {
+                        continue;
+                    }
+                    let dist = sq_dist(&centroids[i], &centroids[j]);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = (i, j);
+                    }
+                }
+            }
+            let (i, j) = best;
+            // Merge j into i: weighted centroid update.
+            let wi = members[i].len() as f64;
+            let wj = members[j].len() as f64;
+            let merged: Vec<f64> = centroids[i]
+                .iter()
+                .zip(&centroids[j])
+                .map(|(a, b)| (a * wi + b * wj) / (wi + wj))
+                .collect();
+            centroids[i] = merged;
+            let moved = std::mem::take(&mut members[j]);
+            members[i].extend(moved);
+            active[j] = false;
+            n_active -= 1;
+        }
+        // Assign compact cluster ids in order of first member.
+        let mut labels = vec![0usize; d];
+        let mut next = 0usize;
+        for i in 0..d {
+            if active[i] {
+                for &m in &members[i] {
+                    labels[m] = next;
+                }
+                next += 1;
+            }
+        }
+        FeatureAgglomeration {
+            labels,
+            n_clusters: next,
+        }
+    }
+
+    /// Pool each feature cluster to its mean.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.labels.len(), "column count changed");
+        let mut out = Matrix::zeros(x.nrows(), self.n_clusters);
+        let mut counts = vec![0usize; self.n_clusters];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        for (r, row) in x.rows_iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let l = self.labels[j];
+                out.set(r, l, out.get(r, l) + v);
+            }
+            for (l, &c) in counts.iter().enumerate() {
+                out.set(r, l, out.get(r, l) / c as f64);
+            }
+        }
+        out
+    }
+
+    /// Cluster id per input feature.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Output dimensionality.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Features 0 & 1 nearly identical, feature 2 very different.
+    fn data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, t + 0.01, 100.0 - t]
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn merges_correlated_features_first() {
+        let fa = FeatureAgglomeration::fit(&data(), 2);
+        assert_eq!(fa.labels()[0], fa.labels()[1]);
+        assert_ne!(fa.labels()[0], fa.labels()[2]);
+    }
+
+    #[test]
+    fn output_width_matches_clusters() {
+        let x = data();
+        for k in 1..=3 {
+            let fa = FeatureAgglomeration::fit(&x, k);
+            assert_eq!(fa.n_clusters(), k);
+            assert_eq!(fa.transform(&x).ncols(), k);
+        }
+    }
+
+    #[test]
+    fn pooled_value_is_cluster_mean() {
+        let x = data();
+        let fa = FeatureAgglomeration::fit(&x, 2);
+        let out = fa.transform(&x);
+        // Cluster of features {0, 1}: pooled value = (x0 + x1) / 2.
+        let merged_col = fa.labels()[0];
+        let expect = (x.get(5, 0) + x.get(5, 1)) / 2.0;
+        assert!((out.get(5, merged_col) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_k_clamps_to_feature_count() {
+        let x = data();
+        let fa = FeatureAgglomeration::fit(&x, 99);
+        assert_eq!(fa.n_clusters(), 3);
+    }
+
+    #[test]
+    fn single_cluster_averages_everything() {
+        let x = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let fa = FeatureAgglomeration::fit(&x, 1);
+        let out = fa.transform(&x);
+        assert_eq!(out.col(0), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Feature decomposition / construction: PCA and feature agglomeration
+//! (the remaining "Feature Preprocessing" options of the paper's Figure 4).
+
+pub mod agglom;
+pub mod pca;
+
+pub use agglom::FeatureAgglomeration;
+pub use pca::Pca;

@@ -1,0 +1,237 @@
+//! Principal component analysis via power iteration with deflation — the
+//! `pca(...)` feature-preprocessing option of the AutoML search space
+//! (paper Fig. 4).
+
+use crate::matrix::Matrix;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pca {
+    /// Per-feature training means (data is centered before projection).
+    means: Vec<f64>,
+    /// Principal axes, one row per component.
+    components: Vec<Vec<f64>>,
+    /// Eigenvalues (variance explained per component, descending).
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit `n_components` principal components (clamped to the feature
+    /// count). Uses the `d × d` covariance matrix and seeded power iteration
+    /// with Hotelling deflation, which is plenty for EM's ≤ ~200 features.
+    pub fn fit(x: &Matrix, n_components: usize) -> Self {
+        let n = x.nrows();
+        let d = x.ncols();
+        assert!(n >= 2, "PCA needs at least two samples");
+        let k = n_components.clamp(1, d);
+        let means: Vec<f64> = (0..d).map(|c| crate::stats::mean(&x.col(c))).collect();
+        // Covariance matrix (population normalization). Index loops keep
+        // the symmetric-update intent obvious.
+        #[allow(clippy::needless_range_loop)]
+        let mut cov = vec![vec![0.0f64; d]; d];
+        #[allow(clippy::needless_range_loop)]
+        for row in x.rows_iter() {
+            for i in 0..d {
+                let xi = row[i] - means[i];
+                for j in i..d {
+                    cov[i][j] += xi * (row[j] - means[j]);
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= n as f64;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let mut components = Vec::with_capacity(k);
+        let mut explained_variance = Vec::with_capacity(k);
+        for comp in 0..k {
+            let (v, lambda) = dominant_eigenvector(&cov, comp as u64);
+            if lambda <= 1e-12 {
+                break;
+            }
+            // Deflate: cov -= lambda * v v^T
+            for i in 0..d {
+                for j in 0..d {
+                    cov[i][j] -= lambda * v[i] * v[j];
+                }
+            }
+            components.push(v);
+            explained_variance.push(lambda);
+        }
+        if components.is_empty() {
+            // Degenerate data (all constant): fall back to the first axis.
+            let mut v = vec![0.0; d];
+            v[0] = 1.0;
+            components.push(v);
+            explained_variance.push(0.0);
+        }
+        Pca {
+            means,
+            components,
+            explained_variance,
+        }
+    }
+
+    /// Project samples onto the principal axes.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.means.len(), "column count changed");
+        let mut out = Matrix::zeros(x.nrows(), self.components.len());
+        for (r, row) in x.rows_iter().enumerate() {
+            for (c, comp) in self.components.iter().enumerate() {
+                let mut dot = 0.0;
+                for (j, &v) in comp.iter().enumerate() {
+                    dot += v * (row[j] - self.means[j]);
+                }
+                out.set(r, c, dot);
+            }
+        }
+        out
+    }
+
+    /// Variance captured by each fitted component (descending).
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Number of fitted components (may be fewer than requested for
+    /// rank-deficient data).
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Power iteration with a deterministic pseudo-random start.
+fn dominant_eigenvector(m: &[Vec<f64>], seed: u64) -> (Vec<f64>, f64) {
+    let d = m.len();
+    // Deterministic, seed-dependent start vector.
+    let mut v: Vec<f64> = (0..d)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5 + 1e-3
+        })
+        .collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..500 {
+        let mut w = vec![0.0; d];
+        for i in 0..d {
+            let mut s = 0.0;
+            for j in 0..d {
+                s += m[i][j] * v[j];
+            }
+            w[i] = s;
+        }
+        let new_lambda = norm(&w);
+        if new_lambda <= 1e-15 {
+            return (v, 0.0);
+        }
+        for x in w.iter_mut() {
+            *x /= new_lambda;
+        }
+        let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        let delta_neg: f64 = w.iter().zip(&v).map(|(a, b)| (a + b).abs()).sum();
+        v = w;
+        lambda = new_lambda;
+        if delta < 1e-12 || delta_neg < 1e-12 {
+            break;
+        }
+    }
+    (v, lambda)
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the y = x line with small perpendicular noise.
+    fn line_data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_follows_the_line() {
+        let pca = Pca::fit(&line_data(), 2);
+        let c = &pca.explained_variance();
+        // First component captures vastly more variance.
+        assert!(c[0] > 50.0 * c[1], "{c:?}");
+    }
+
+    #[test]
+    fn transform_shape() {
+        let x = line_data();
+        let pca = Pca::fit(&x, 1);
+        let out = pca.transform(&x);
+        assert_eq!(out.ncols(), 1);
+        assert_eq!(out.nrows(), 50);
+    }
+
+    #[test]
+    fn transformed_variance_matches_eigenvalue() {
+        let x = line_data();
+        let pca = Pca::fit(&x, 2);
+        let out = pca.transform(&x);
+        for c in 0..pca.n_components() {
+            let v = crate::stats::variance(&out.col(c));
+            assert!(
+                (v - pca.explained_variance()[c]).abs() < 1e-6,
+                "component {c}: {v} vs {}",
+                pca.explained_variance()[c]
+            );
+        }
+    }
+
+    #[test]
+    fn components_are_centered_projections() {
+        let x = line_data();
+        let pca = Pca::fit(&x, 2);
+        let out = pca.transform(&x);
+        for c in 0..out.ncols() {
+            assert!(crate::stats::mean(&out.col(c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_data_truncates_components() {
+        // 1-D data embedded in 3 dims: only one non-zero eigenvalue.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0, 0.0]).collect();
+        let pca = Pca::fit(&Matrix::from_rows(&rows), 3);
+        assert_eq!(pca.n_components(), 1);
+    }
+
+    #[test]
+    fn constant_data_does_not_crash() {
+        let rows = vec![vec![1.0, 2.0]; 5];
+        let pca = Pca::fit(&Matrix::from_rows(&rows), 2);
+        let out = pca.transform(&Matrix::from_rows(&rows));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = line_data();
+        let a = Pca::fit(&x, 2).transform(&x);
+        let b = Pca::fit(&x, 2).transform(&x);
+        assert_eq!(a, b);
+    }
+}

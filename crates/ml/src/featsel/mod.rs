@@ -1,0 +1,15 @@
+//! Univariate feature selection (the "Feature Preprocessing" column of the
+//! paper's Figure 4): ANOVA-F and chi² scores, `SelectPercentile`,
+//! `SelectRates` with FPR/FDR/FWE control, and `VarianceThreshold`.
+
+pub mod anova;
+pub mod chi2;
+pub mod percentile;
+pub mod rates;
+pub mod variance;
+
+pub use anova::{f_classif, FTestResult};
+pub use chi2::{chi2, Chi2Result};
+pub use percentile::{select_k_best, select_percentile, FittedSelector, ScoreFunc};
+pub use rates::{select_rates, RateMode};
+pub use variance::variance_threshold;

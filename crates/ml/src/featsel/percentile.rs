@@ -1,0 +1,193 @@
+//! `SelectPercentile`: keep the top-scoring fraction of features
+//! (paper Figure 3b tunes exactly this knob; Figure 11's incumbent pipeline
+//! uses `select_percentile_classification` with `percentile ≈ 55.8`).
+
+use crate::featsel::anova::f_classif;
+use crate::featsel::chi2::chi2;
+use crate::matrix::Matrix;
+
+/// Univariate scoring function for feature selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScoreFunc {
+    /// One-way ANOVA F (sklearn `f_classif`).
+    FClassif,
+    /// Chi-squared (sklearn `chi2`).
+    Chi2,
+}
+
+impl ScoreFunc {
+    /// Compute `(scores, p_values)` per feature.
+    pub fn score(&self, x: &Matrix, y: &[usize], n_classes: usize) -> (Vec<f64>, Vec<f64>) {
+        match self {
+            ScoreFunc::FClassif => {
+                let r = f_classif(x, y, n_classes);
+                (r.f_values, r.p_values)
+            }
+            ScoreFunc::Chi2 => {
+                let r = chi2(x, y, n_classes);
+                (r.chi2_values, r.p_values)
+            }
+        }
+    }
+}
+
+/// A fitted feature-subset selector: remembers which column indices survive.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FittedSelector {
+    selected: Vec<usize>,
+    n_input_features: usize,
+}
+
+impl FittedSelector {
+    /// Build from an explicit support set (ascending column indices).
+    pub fn from_support(selected: Vec<usize>, n_input_features: usize) -> Self {
+        FittedSelector {
+            selected,
+            n_input_features,
+        }
+    }
+
+    /// Indices of the surviving features.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// Keep only the selected columns.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.ncols(),
+            self.n_input_features,
+            "column count changed since fit"
+        );
+        x.select_columns(&self.selected)
+    }
+}
+
+/// Fit a `SelectPercentile` selector: keep the top `percentile`% of features
+/// by score. At least one feature always survives (sklearn would produce an
+/// empty matrix; keeping the single best feature keeps pipelines runnable,
+/// documented deviation).
+pub fn select_percentile(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    score_func: ScoreFunc,
+    percentile: f64,
+) -> FittedSelector {
+    assert!((0.0..=100.0).contains(&percentile), "percentile out of range");
+    let (scores, _) = score_func.score(x, y, n_classes);
+    let d = x.ncols();
+    let keep = (((percentile / 100.0) * d as f64).round() as usize).clamp(1, d);
+    select_top_k(&scores, keep, d)
+}
+
+/// Fit a fixed-k selector (sklearn `SelectKBest`): keep the `k` best
+/// features by score (clamped to `[1, d]`).
+pub fn select_k_best(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    score_func: ScoreFunc,
+    k: usize,
+) -> FittedSelector {
+    let (scores, _) = score_func.score(x, y, n_classes);
+    let d = x.ncols();
+    select_top_k(&scores, k.clamp(1, d), d)
+}
+
+fn select_top_k(scores: &[f64], k: usize, d: usize) -> FittedSelector {
+    let mut order: Vec<usize> = (0..d).collect();
+    // Sort by descending score; NaN scores sink to the end; ties keep the
+    // lower index first for determinism.
+    order.sort_by(|&a, &b| {
+        let sa = if scores[a].is_nan() { f64::NEG_INFINITY } else { scores[a] };
+        let sb = if scores[b].is_nan() { f64::NEG_INFINITY } else { scores[b] };
+        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+    });
+    let mut selected: Vec<usize> = order.into_iter().take(k).collect();
+    selected.sort_unstable();
+    FittedSelector::from_support(selected, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 features with decreasing informativeness.
+    fn data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            let noise = ((i * 13) % 17) as f64 / 17.0;
+            rows.push(vec![
+                c as f64,                  // perfectly informative
+                c as f64 + noise,          // informative + noise
+                noise,                     // pure noise
+                0.5,                       // constant
+            ]);
+            y.push(c);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn percentile_keeps_best_features() {
+        let (x, y) = data();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, 50.0);
+        assert_eq!(sel.selected(), &[0, 1]);
+        let out = sel.transform(&x);
+        assert_eq!(out.ncols(), 2);
+    }
+
+    #[test]
+    fn percentile_100_keeps_everything() {
+        let (x, y) = data();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, 100.0);
+        assert_eq!(sel.selected().len(), 4);
+    }
+
+    #[test]
+    fn percentile_0_keeps_one() {
+        let (x, y) = data();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, 0.0);
+        assert_eq!(sel.selected(), &[0]);
+    }
+
+    #[test]
+    fn k_best_exact_count() {
+        let (x, y) = data();
+        for k in 1..=4 {
+            let sel = select_k_best(&x, &y, 2, ScoreFunc::FClassif, k);
+            assert_eq!(sel.selected().len(), k);
+        }
+        // Oversized k clamps.
+        let sel = select_k_best(&x, &y, 2, ScoreFunc::FClassif, 99);
+        assert_eq!(sel.selected().len(), 4);
+    }
+
+    #[test]
+    fn chi2_variant_also_ranks_informative_first() {
+        let (x, y) = data();
+        let sel = select_k_best(&x, &y, 2, ScoreFunc::Chi2, 1);
+        assert_eq!(sel.selected(), &[0]);
+    }
+
+    #[test]
+    fn transform_preserves_column_order() {
+        let (x, y) = data();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, 50.0);
+        let out = sel.transform(&x);
+        // Column 0 of output is original column 0, column 1 is original 1.
+        assert_eq!(out.get(1, 0), x.get(1, 0));
+        assert_eq!(out.get(1, 1), x.get(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count changed")]
+    fn transform_rejects_mismatched_width() {
+        let (x, y) = data();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, 50.0);
+        let _ = sel.transform(&Matrix::zeros(2, 7));
+    }
+}

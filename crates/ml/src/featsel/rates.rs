@@ -1,0 +1,141 @@
+//! `SelectRates` (sklearn `GenericUnivariateSelect` with p-value based
+//! modes): keep features whose test p-values pass an error-rate criterion.
+//! The paper's Figure 5 pipeline dump shows
+//! `preprocessor:select_rates:mode: 'fdr'` with a chi² score function.
+
+use crate::featsel::percentile::{FittedSelector, ScoreFunc};
+use crate::matrix::Matrix;
+
+/// Error-rate control mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RateMode {
+    /// False positive rate: keep features with `p < alpha`.
+    Fpr,
+    /// False discovery rate (Benjamini-Hochberg).
+    Fdr,
+    /// Family-wise error (Bonferroni): keep `p < alpha / n_features`.
+    Fwe,
+}
+
+/// Fit a `SelectRates` selector. At least one feature always survives (the
+/// best-scoring one) so downstream models stay runnable — a documented
+/// deviation from sklearn, which errors on empty selections.
+pub fn select_rates(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    score_func: ScoreFunc,
+    mode: RateMode,
+    alpha: f64,
+) -> FittedSelector {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+    let (scores, p_values) = score_func.score(x, y, n_classes);
+    let d = x.ncols();
+    let mut selected: Vec<usize> = match mode {
+        RateMode::Fpr => (0..d).filter(|&j| p_values[j] < alpha).collect(),
+        RateMode::Fwe => (0..d).filter(|&j| p_values[j] < alpha / d as f64).collect(),
+        RateMode::Fdr => benjamini_hochberg(&p_values, alpha),
+    };
+    if selected.is_empty() {
+        // Fall back to the single best-scoring feature.
+        let best = (0..d)
+            .max_by(|&a, &b| {
+                let sa = if scores[a].is_nan() { f64::NEG_INFINITY } else { scores[a] };
+                let sb = if scores[b].is_nan() { f64::NEG_INFINITY } else { scores[b] };
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap_or(0);
+        selected = vec![best];
+    }
+    selected.sort_unstable();
+    FittedSelector::from_support(selected, d)
+}
+
+/// Benjamini-Hochberg step-up procedure: returns indices of rejected
+/// hypotheses (i.e. features to keep).
+fn benjamini_hochberg(p_values: &[f64], alpha: f64) -> Vec<usize> {
+    let d = p_values.len();
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).unwrap());
+    // Find the largest rank k with p_(k) <= alpha * k / d.
+    let mut cutoff_rank = None;
+    for (rank0, &j) in order.iter().enumerate() {
+        let k = rank0 + 1;
+        if p_values[j] <= alpha * k as f64 / d as f64 {
+            cutoff_rank = Some(rank0);
+        }
+    }
+    match cutoff_rank {
+        Some(r) => order[..=r].to_vec(),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One strongly informative feature among noise.
+    fn data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let c = i % 2;
+            let n1 = ((i * 7) % 13) as f64 / 13.0;
+            let n2 = ((i * 11) % 19) as f64 / 19.0;
+            rows.push(vec![c as f64 + 0.1 * n1, n1, n2]);
+            y.push(c);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fpr_keeps_significant_features() {
+        let (x, y) = data();
+        let sel = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fpr, 0.05);
+        assert!(sel.selected().contains(&0));
+        assert!(!sel.selected().contains(&2));
+    }
+
+    #[test]
+    fn fwe_is_stricter_than_fpr() {
+        let (x, y) = data();
+        let fpr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fpr, 0.05);
+        let fwe = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fwe, 0.05);
+        assert!(fwe.selected().len() <= fpr.selected().len());
+    }
+
+    #[test]
+    fn fdr_between_fwe_and_fpr() {
+        let (x, y) = data();
+        let fpr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fpr, 0.05).selected().len();
+        let fdr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fdr, 0.05).selected().len();
+        let fwe = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fwe, 0.05).selected().len();
+        assert!(fwe <= fdr && fdr <= fpr, "fwe={fwe} fdr={fdr} fpr={fpr}");
+    }
+
+    #[test]
+    fn nothing_significant_keeps_best() {
+        // Pure noise features with alpha ~ 0: fallback keeps exactly 1.
+        let (x, y) = data();
+        let sel = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fwe, 1e-12);
+        assert_eq!(sel.selected().len(), 1);
+        assert_eq!(sel.selected(), &[0]);
+    }
+
+    #[test]
+    fn bh_known_example() {
+        // p = [0.01, 0.02, 0.03, 0.5], alpha = 0.05, d = 4
+        // thresholds: 0.0125, 0.025, 0.0375, 0.05
+        // p(1)=0.01<=0.0125 ok; p(2)=0.02<=0.025 ok; p(3)=0.03<=0.0375 ok; p(4)=0.5>0.05
+        let kept = benjamini_hochberg(&[0.01, 0.02, 0.03, 0.5], 0.05);
+        let mut kept = kept;
+        kept.sort_unstable();
+        assert_eq!(kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bh_empty_when_no_rejections() {
+        assert!(benjamini_hochberg(&[0.9, 0.8], 0.05).is_empty());
+    }
+}

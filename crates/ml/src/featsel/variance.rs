@@ -1,0 +1,56 @@
+//! `VarianceThreshold`: drop features whose variance is at or below a
+//! threshold — the cheapest feature-preprocessing option in the search space.
+
+use crate::featsel::percentile::FittedSelector;
+use crate::matrix::Matrix;
+use crate::stats::variance;
+
+/// Fit a variance-threshold selector. Keeps features with
+/// `variance > threshold`; if none qualify, keeps the single
+/// highest-variance feature so the pipeline stays runnable.
+pub fn variance_threshold(x: &Matrix, threshold: f64) -> FittedSelector {
+    let d = x.ncols();
+    let vars: Vec<f64> = (0..d).map(|c| variance(&x.col(c))).collect();
+    let mut selected: Vec<usize> = (0..d).filter(|&c| vars[c] > threshold).collect();
+    if selected.is_empty() && d > 0 {
+        let best = (0..d)
+            .max_by(|&a, &b| vars[a].partial_cmp(&vars[b]).unwrap())
+            .unwrap();
+        selected = vec![best];
+    }
+    FittedSelector::from_support(selected, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_constant_features() {
+        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
+        let sel = variance_threshold(&x, 0.0);
+        assert_eq!(sel.selected(), &[0]);
+    }
+
+    #[test]
+    fn threshold_filters_low_variance() {
+        // var(col0) = 2/3, var(col1) ~ 0.0002/3
+        let x = Matrix::from_rows(&[vec![1.0, 0.50], vec![2.0, 0.51], vec![3.0, 0.50]]);
+        let sel = variance_threshold(&x, 0.01);
+        assert_eq!(sel.selected(), &[0]);
+    }
+
+    #[test]
+    fn all_constant_keeps_one() {
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let sel = variance_threshold(&x, 0.0);
+        assert_eq!(sel.selected().len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything_varying() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        let sel = variance_threshold(&x, 0.0);
+        assert_eq!(sel.selected(), &[0, 1]);
+    }
+}

@@ -1,0 +1,671 @@
+//! Random forests and extra-trees — the workhorse models of AutoML-EM
+//! (the paper restricts the model space to random forest, §III-C).
+//!
+//! `RandomForestClassifier::vote_fraction` exposes the tree-agreement
+//! confidence the paper's Figure 7 uses to separate active-learning picks
+//! (low agreement) from self-training picks (high agreement).
+
+use crate::matrix::Matrix;
+use crate::tree::{Criterion, DecisionTree, MaxFeatures, Splitter, TreeParams};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hyperparameters shared by the forest models. Field names and defaults
+/// mirror scikit-learn's `RandomForestClassifier` (paper Fig. 5/11).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Split criterion (gini or entropy).
+    pub criterion: Criterion,
+    /// Maximum depth per tree.
+    pub max_depth: Option<usize>,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// Bootstrap-resample the training set per tree.
+    pub bootstrap: bool,
+    /// Minimum impurity decrease per split.
+    pub min_impurity_decrease: f64,
+    /// Base RNG seed; tree `t` uses `seed + t`.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub n_jobs: usize,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_estimators: 100,
+            criterion: Criterion::Gini,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            min_impurity_decrease: 0.0,
+            seed: 0,
+            n_jobs: 0,
+        }
+    }
+}
+
+fn resolve_jobs(n_jobs: usize) -> usize {
+    if n_jobs > 0 {
+        n_jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Train `n` trees in parallel with per-tree seeds and optional bootstrap.
+fn fit_trees(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    sample_weight: Option<&[f64]>,
+    params: &ForestParams,
+    splitter: Splitter,
+) -> Vec<DecisionTree> {
+    let n = x.nrows();
+    let n_trees = params.n_estimators.max(1);
+    let jobs = resolve_jobs(params.n_jobs).min(n_trees);
+    let results = parking_lot::Mutex::new(vec![None; n_trees]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= n_trees {
+                    break;
+                }
+                let tree_params = TreeParams {
+                    criterion: params.criterion,
+                    max_depth: params.max_depth,
+                    min_samples_split: params.min_samples_split,
+                    min_samples_leaf: params.min_samples_leaf,
+                    max_features: params.max_features,
+                    splitter,
+                    min_impurity_decrease: params.min_impurity_decrease,
+                    seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                };
+                let tree = if params.bootstrap {
+                    let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
+                    let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                    let xb = x.select_rows(&idx);
+                    let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                    let wb: Option<Vec<f64>> =
+                        sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
+                    DecisionTree::fit_classifier(&xb, &yb, n_classes, wb.as_deref(), tree_params)
+                } else {
+                    DecisionTree::fit_classifier(x, y, n_classes, sample_weight, tree_params)
+                };
+                results.lock()[t] = Some(tree);
+            });
+        }
+    })
+    .expect("forest worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|t| t.expect("all trees trained"))
+        .collect()
+}
+
+/// Salt mixed into per-tree seeds so the bootstrap RNG and the split RNG
+/// draw independent streams.
+const BOOTSTRAP_SALT: u64 = 0xB001_57A9;
+
+/// Random forest classifier (bagging + per-split feature subsampling).
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    /// Hyperparameters (read-only after `fit`).
+    pub params: ForestParams,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Create an unfitted forest with the given hyperparameters.
+    pub fn new(params: ForestParams) -> Self {
+        RandomForestClassifier {
+            params,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// The fitted trees (empty before `fit`).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Mean-decrease-in-impurity importances averaged over the trees
+    /// (sklearn's `feature_importances_`), normalized to sum to 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before inspecting importances");
+        let d = self.trees[0].n_features();
+        let mut out = vec![0.0; d];
+        for tree in &self.trees {
+            for (o, v) in out.iter_mut().zip(tree.feature_importances()) {
+                *o += v;
+            }
+        }
+        let total: f64 = out.iter().sum();
+        if total > 0.0 {
+            out.iter_mut().for_each(|v| *v /= total);
+        }
+        out
+    }
+
+    /// Out-of-bag F1: evaluate each training sample only with the trees
+    /// whose bootstrap draw excluded it — an unbiased generalization
+    /// estimate without a held-out split.
+    ///
+    /// Must be called with the *same* `(x, y)` the forest was fitted on
+    /// (the bootstrap draws are reconstructed from the per-tree seeds).
+    /// Returns `None` when the forest was fitted without bootstrap or some
+    /// sample never fell out of bag.
+    pub fn oob_f1(&self, x: &Matrix, y: &[usize]) -> Option<f64> {
+        if !self.params.bootstrap || self.trees.is_empty() {
+            return None;
+        }
+        let n = x.nrows();
+        assert_eq!(n, y.len(), "X/y length mismatch");
+        let mut votes = vec![vec![0.0f64; self.n_classes]; n];
+        let mut seen = vec![false; n];
+        for (t, tree) in self.trees.iter().enumerate() {
+            // Reconstruct tree t's bootstrap draw (same arithmetic as fit).
+            let tree_seed = self
+                .params
+                .seed
+                .wrapping_add(t as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(tree_seed ^ BOOTSTRAP_SALT);
+            let mut in_bag = vec![false; n];
+            for _ in 0..n {
+                in_bag[rng.random_range(0..n)] = true;
+            }
+            for (i, row) in x.rows_iter().enumerate() {
+                if !in_bag[i] {
+                    seen[i] = true;
+                    for (c, &p) in tree.predict_proba_row(row).iter().enumerate() {
+                        votes[i][c] += p;
+                    }
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return None;
+        }
+        let pred: Vec<usize> = votes
+            .iter()
+            .map(|v| {
+                let mut best = 0;
+                for (c, &p) in v.iter().enumerate() {
+                    if p > v[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect();
+        Some(crate::metrics::f1_score(y, &pred))
+    }
+
+    /// Per-sample agreement of the ensemble: the fraction of trees whose
+    /// individual hard prediction equals the majority prediction. This is
+    /// the confidence score of the paper's Figure 7 — low values fall into
+    /// the "inconsistent" regions R2/R3 (active-learning targets), high
+    /// values into R1/R4 (self-training targets).
+    pub fn vote_fraction(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before predicting");
+        let n = x.nrows();
+        let mut votes = vec![vec![0usize; self.n_classes]; n];
+        for tree in &self.trees {
+            for (r, row) in x.rows_iter().enumerate() {
+                let dist = tree.predict_proba_row(row);
+                let mut best = 0;
+                for (c, &p) in dist.iter().enumerate() {
+                    if p > dist[best] {
+                        best = c;
+                    }
+                }
+                votes[r][best] += 1;
+            }
+        }
+        votes
+            .iter()
+            .map(|v| *v.iter().max().unwrap() as f64 / self.trees.len() as f64)
+            .collect()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
+        self.n_classes = n_classes;
+        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params, Splitter::Best);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        assert!(!self.trees.is_empty(), "fit before predicting");
+        let mut out = Matrix::zeros(x.nrows(), self.n_classes);
+        for tree in &self.trees {
+            for (r, row) in x.rows_iter().enumerate() {
+                let dist = tree.predict_proba_row(row);
+                for (c, &p) in dist.iter().enumerate() {
+                    out.set(r, c, out.get(r, c) + p);
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        for r in 0..out.nrows() {
+            for c in 0..out.ncols() {
+                out.set(r, c, out.get(r, c) / k);
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(RandomForestClassifier::feature_importances(self))
+    }
+}
+
+/// Extra-trees classifier: no bootstrap by default, random split thresholds.
+#[derive(Debug, Clone)]
+pub struct ExtraTreesClassifier {
+    /// Hyperparameters (read-only after `fit`).
+    pub params: ForestParams,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl ExtraTreesClassifier {
+    /// Create an unfitted extra-trees ensemble.
+    pub fn new(mut params: ForestParams) -> Self {
+        // sklearn's ExtraTrees default: no bootstrap.
+        params.bootstrap = false;
+        ExtraTreesClassifier {
+            params,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for ExtraTreesClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
+        self.n_classes = n_classes;
+        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params, Splitter::Random);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        assert!(!self.trees.is_empty(), "fit before predicting");
+        let mut out = Matrix::zeros(x.nrows(), self.n_classes);
+        for tree in &self.trees {
+            for (r, row) in x.rows_iter().enumerate() {
+                let dist = tree.predict_proba_row(row);
+                for (c, &p) in dist.iter().enumerate() {
+                    out.set(r, c, out.get(r, c) + p);
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        for r in 0..out.nrows() {
+            for c in 0..out.ncols() {
+                out.set(r, c, out.get(r, c) / k);
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        let d = self.trees.first()?.n_features();
+        let mut out = vec![0.0; d];
+        for tree in &self.trees {
+            for (o, v) in out.iter_mut().zip(tree.feature_importances()) {
+                *o += v;
+            }
+        }
+        let total: f64 = out.iter().sum();
+        if total > 0.0 {
+            out.iter_mut().for_each(|v| *v /= total);
+        }
+        Some(out)
+    }
+}
+
+/// Random forest regressor (used as the SMAC surrogate in `em-automl`).
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    /// Hyperparameters (criterion is forced to MSE).
+    pub params: ForestParams,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForestRegressor {
+    /// Create an unfitted regressor.
+    pub fn new(mut params: ForestParams) -> Self {
+        params.criterion = Criterion::Mse;
+        RandomForestRegressor {
+            params,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Fit on continuous targets.
+    pub fn fit(&mut self, x: &Matrix, targets: &[f64]) {
+        let n = x.nrows();
+        let n_trees = self.params.n_estimators.max(1);
+        let jobs = resolve_jobs(self.params.n_jobs).min(n_trees);
+        let results = parking_lot::Mutex::new(vec![None; n_trees]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let params = &self.params;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|_| loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= n_trees {
+                        break;
+                    }
+                    let tree_params = TreeParams {
+                        criterion: Criterion::Mse,
+                        max_depth: params.max_depth,
+                        min_samples_split: params.min_samples_split,
+                        min_samples_leaf: params.min_samples_leaf,
+                        max_features: params.max_features,
+                        splitter: Splitter::Best,
+                        min_impurity_decrease: params.min_impurity_decrease,
+                        seed: params
+                            .seed
+                            .wrapping_add(t as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    };
+                    let tree = if params.bootstrap {
+                        let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
+                        let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                        let xb = x.select_rows(&idx);
+                        let tb: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
+                        DecisionTree::fit_regressor(&xb, &tb, None, tree_params)
+                    } else {
+                        DecisionTree::fit_regressor(x, targets, None, tree_params)
+                    };
+                    results.lock()[t] = Some(tree);
+                });
+            }
+        })
+        .expect("forest worker panicked");
+        self.trees = results
+            .into_inner()
+            .into_iter()
+            .map(|t| t.expect("all trees trained"))
+            .collect();
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before predicting");
+        let mut out = vec![0.0; x.nrows()];
+        for tree in &self.trees {
+            for (r, v) in tree.predict_values(x).into_iter().enumerate() {
+                out[r] += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        out.iter_mut().for_each(|v| *v /= k);
+        out
+    }
+
+    /// Per-sample mean and variance of the tree predictions — the surrogate
+    /// uncertainty SMAC's expected-improvement acquisition needs.
+    pub fn predict_with_variance(&self, x: &Matrix) -> Vec<(f64, f64)> {
+        assert!(!self.trees.is_empty(), "fit before predicting");
+        let per_tree: Vec<Vec<f64>> = self.trees.iter().map(|t| t.predict_values(x)).collect();
+        (0..x.nrows())
+            .map(|r| {
+                let vals: Vec<f64> = per_tree.iter().map(|p| p[r]).collect();
+                let m = crate::stats::mean(&vals);
+                let v = crate::stats::variance(&vals);
+                (m, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Noisy two-cluster data in 4 dimensions.
+    fn clusters(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { 0.0 } else { 1.0 };
+            rows.push((0..4).map(|_| center + rng.random_range(-0.3..0.3)).collect());
+            y.push(c);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn small_forest(seed: u64) -> RandomForestClassifier {
+        RandomForestClassifier::new(ForestParams {
+            n_estimators: 25,
+            seed,
+            ..ForestParams::default()
+        })
+    }
+
+    #[test]
+    fn forest_learns_clusters() {
+        let (x, y) = clusters(200, 1);
+        let mut rf = small_forest(0);
+        rf.fit(&x, &y, 2, None);
+        let acc = rf
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn forest_deterministic_under_seed() {
+        let (x, y) = clusters(100, 2);
+        let mut a = small_forest(7);
+        let mut b = small_forest(7);
+        a.fit(&x, &y, 2, None);
+        b.fit(&x, &y, 2, None);
+        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Overlapping clusters: probabilities on ambiguous points depend on
+        // the bootstrap draws, so different seeds must diverge somewhere.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 2;
+            let center = c as f64 * 0.5;
+            rows.push(vec![center + rng.random_range(-0.6..0.6)]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut a = small_forest(7);
+        let mut b = small_forest(8);
+        a.fit(&x, &y, 2, None);
+        b.fit(&x, &y, 2, None);
+        assert_ne!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn vote_fraction_confidence_structure() {
+        let (x, y) = clusters(200, 3);
+        let mut rf = small_forest(1);
+        rf.fit(&x, &y, 2, None);
+        let conf = rf.vote_fraction(&x);
+        // Every agreement fraction is in [0.5, 1] for binary problems.
+        for &c in &conf {
+            assert!((0.5..=1.0).contains(&c), "confidence {c}");
+        }
+        // A point far from both clusters' boundary is high-confidence.
+        let easy = Matrix::from_rows(&[vec![-0.5; 4], vec![1.5; 4]]);
+        for c in rf.vote_fraction(&easy) {
+            assert!(c > 0.9, "easy point confidence {c}");
+        }
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, y) = clusters(80, 4);
+        let mut rf = small_forest(0);
+        rf.fit(&x, &y, 2, None);
+        let p = rf.predict_proba(&x);
+        for r in 0..p.nrows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extra_trees_learn_too() {
+        let (x, y) = clusters(200, 5);
+        let mut et = ExtraTreesClassifier::new(ForestParams {
+            n_estimators: 30,
+            seed: 0,
+            ..ForestParams::default()
+        });
+        et.fit(&x, &y, 2, None);
+        let acc = et
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regressor_fits_linear_signal() {
+        let x = Matrix::from_rows(&(0..100).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>());
+        let t: Vec<f64> = (0..100).map(|i| 2.0 * (i as f64 / 10.0) + 1.0).collect();
+        let mut rf = RandomForestRegressor::new(ForestParams {
+            n_estimators: 30,
+            max_features: MaxFeatures::All,
+            seed: 0,
+            ..ForestParams::default()
+        });
+        rf.fit(&x, &t);
+        let pred = rf.predict(&x);
+        let mse: f64 = pred
+            .iter()
+            .zip(&t)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / t.len() as f64;
+        assert!(mse < 0.5, "mse {mse}");
+    }
+
+    #[test]
+    fn regressor_variance_nonnegative() {
+        let x = Matrix::from_rows(&(0..50).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let t: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let mut rf = RandomForestRegressor::new(ForestParams {
+            n_estimators: 10,
+            seed: 0,
+            ..ForestParams::default()
+        });
+        rf.fit(&x, &t);
+        for (m, v) in rf.predict_with_variance(&x) {
+            assert!(v >= 0.0);
+            assert!(m.is_finite());
+        }
+    }
+
+    #[test]
+    fn oob_f1_approximates_holdout_f1() {
+        let (x, y) = clusters(300, 7);
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_estimators: 40,
+            seed: 2,
+            ..ForestParams::default()
+        });
+        rf.fit(&x, &y, 2, None);
+        let oob = rf.oob_f1(&x, &y).expect("bootstrap forest has OOB");
+        // Fresh data from the same distribution as an oracle comparison.
+        let (xt, yt) = clusters(300, 77);
+        let holdout = crate::metrics::f1_score(&yt, &rf.predict(&xt));
+        assert!((oob - holdout).abs() < 0.1, "oob {oob} vs holdout {holdout}");
+    }
+
+    #[test]
+    fn oob_is_none_without_bootstrap() {
+        let (x, y) = clusters(60, 8);
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_estimators: 10,
+            bootstrap: false,
+            ..ForestParams::default()
+        });
+        rf.fit(&x, &y, 2, None);
+        assert!(rf.oob_f1(&x, &y).is_none());
+    }
+
+    #[test]
+    fn forest_importances_rank_informative_features_first() {
+        // Feature 0 carries the class; features 1-3 are noise.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let c = i % 2;
+            rows.push(vec![
+                c as f64 + rng.random_range(-0.2..0.2),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut rf = small_forest(3);
+        rf.fit(&x, &y, 2, None);
+        let imp = rf.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1] && imp[0] > imp[2] && imp[0] > imp[3], "{imp:?}");
+        assert!(imp[0] > 0.5, "{imp:?}");
+    }
+
+    #[test]
+    fn single_job_matches_parallel() {
+        let (x, y) = clusters(100, 6);
+        let mut par = small_forest(11);
+        let mut ser = RandomForestClassifier::new(ForestParams {
+            n_jobs: 1,
+            ..par.params.clone()
+        });
+        par.fit(&x, &y, 2, None);
+        ser.fit(&x, &y, 2, None);
+        assert_eq!(par.predict_proba(&x), ser.predict_proba(&x));
+    }
+}

@@ -1,0 +1,179 @@
+//! k-nearest-neighbors classifier (brute force, Euclidean distance) — one of
+//! the "all-model" search-space members (paper Fig. 4's `KNeighborsClassifier`).
+
+use crate::matrix::Matrix;
+use crate::Classifier;
+
+/// Neighbor weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum KnnWeights {
+    /// Each neighbor votes equally.
+    Uniform,
+    /// Votes weighted by inverse distance (exact matches dominate).
+    Distance,
+}
+
+/// k-NN hyperparameters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KnnParams {
+    /// Number of neighbors consulted.
+    pub k: usize,
+    /// Vote weighting.
+    pub weights: KnnWeights,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        KnnParams {
+            k: 5,
+            weights: KnnWeights::Uniform,
+        }
+    }
+}
+
+/// Brute-force k-NN classifier. Stores the training data; prediction is
+/// `O(n_train * n_query * d)`, fine at benchmark scale.
+#[derive(Debug, Clone)]
+pub struct KNeighborsClassifier {
+    /// Hyperparameters.
+    pub params: KnnParams,
+    x_train: Option<Matrix>,
+    y_train: Vec<usize>,
+    sample_weight: Vec<f64>,
+    n_classes: usize,
+}
+
+impl KNeighborsClassifier {
+    /// Create an unfitted model.
+    pub fn new(params: KnnParams) -> Self {
+        KNeighborsClassifier {
+            params,
+            x_train: None,
+            y_train: Vec::new(),
+            sample_weight: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KNeighborsClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
+        assert_eq!(x.nrows(), y.len(), "X/y length mismatch");
+        self.x_train = Some(x.clone());
+        self.y_train = y.to_vec();
+        self.sample_weight = sample_weight.map_or_else(|| vec![1.0; y.len()], <[f64]>::to_vec);
+        self.n_classes = n_classes;
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let train = self.x_train.as_ref().expect("fit before predicting");
+        let k = self.params.k.clamp(1, train.nrows());
+        let mut out = Matrix::zeros(x.nrows(), self.n_classes);
+        for (r, row) in x.rows_iter().enumerate() {
+            // Collect (distance, train index), partial-select the k nearest.
+            let mut dists: Vec<(f64, usize)> = train
+                .rows_iter()
+                .enumerate()
+                .map(|(i, t)| (squared_distance(row, t), i))
+                .collect();
+            dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+            let mut votes = vec![0.0f64; self.n_classes];
+            for &(d2, i) in &dists[..k] {
+                let w = match self.params.weights {
+                    KnnWeights::Uniform => self.sample_weight[i],
+                    KnnWeights::Distance => self.sample_weight[i] / (d2.sqrt() + 1e-12),
+                };
+                votes[self.y_train[i]] += w;
+            }
+            let total: f64 = votes.iter().sum();
+            for (c, v) in votes.iter().enumerate() {
+                out.set(r, c, if total > 0.0 { v / total } else { 1.0 / self.n_classes as f64 });
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Matrix, Vec<usize>) {
+        // Left cluster class 0, right cluster class 1.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            y.push(0);
+            rows.push(vec![1.0 + 0.01 * i as f64, 0.0]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = grid();
+        let mut knn = KNeighborsClassifier::new(KnnParams::default());
+        knn.fit(&x, &y, 2, None);
+        let q = Matrix::from_rows(&[vec![0.02, 0.0], vec![1.05, 0.0]]);
+        assert_eq!(knn.predict(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let (x, y) = grid();
+        let mut knn = KNeighborsClassifier::new(KnnParams { k: 1, ..KnnParams::default() });
+        knn.fit(&x, &y, 2, None);
+        assert_eq!(knn.predict(&x), y);
+    }
+
+    #[test]
+    fn distance_weighting_prefers_closer_class() {
+        // Query nearer the single class-1 point than the two class-0 points.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![1.0]]);
+        let y = vec![0, 0, 1];
+        let mut knn = KNeighborsClassifier::new(KnnParams {
+            k: 3,
+            weights: KnnWeights::Distance,
+        });
+        knn.fit(&x, &y, 2, None);
+        let q = Matrix::from_rows(&[vec![0.99]]);
+        assert_eq!(knn.predict(&q), vec![1]);
+        // Uniform weighting with k=3 would say class 0 here.
+        let mut uni = KNeighborsClassifier::new(KnnParams {
+            k: 3,
+            weights: KnnWeights::Uniform,
+        });
+        uni.fit(&x, &y, 2, None);
+        assert_eq!(uni.predict(&q), vec![0]);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut knn = KNeighborsClassifier::new(KnnParams { k: 50, ..KnnParams::default() });
+        knn.fit(&x, &[0, 1], 2, None);
+        let p = knn.predict_proba(&Matrix::from_rows(&[vec![0.5]]));
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, y) = grid();
+        let mut knn = KNeighborsClassifier::new(KnnParams::default());
+        knn.fit(&x, &y, 2, None);
+        let p = knn.predict_proba(&x);
+        for r in 0..p.nrows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense row-major `f64` matrix — the feature-vector container every model
+//! and preprocessor in this crate consumes. Cells may be NaN (missing) until
+//! an imputer runs.
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// When `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { data, rows, cols }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// When the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Cell mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// New matrix keeping only the given columns, in the given order.
+    pub fn select_columns(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for r in 0..self.rows {
+            for (j, &c) in cols.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// New matrix keeping only the given rows, in the given order.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Vertically stack `self` on top of `other`.
+    ///
+    /// # Panics
+    /// When the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column mismatch in vstack");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            data,
+            rows: self.rows + other.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Per-column mean ignoring NaN cells; NaN when a column is all-NaN.
+    pub fn col_mean_ignore_nan(&self, c: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in 0..self.rows {
+            let v = self.get(r, c);
+            if !v.is_nan() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// True if any cell is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.data.iter().any(|v| v.is_nan())
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.nrows(), m.ncols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn select_columns() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = m.select_rows(&[2, 2, 0]);
+        assert_eq!(s.col(0), vec![3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn vstack() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let v = a.vstack(&b);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn nan_handling() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![3.0, 5.0]]);
+        assert!(m.has_nan());
+        assert_eq!(m.col_mean_ignore_nan(0), 2.0);
+        assert_eq!(m.col_mean_ignore_nan(1), 5.0);
+        let empty = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(empty.col_mean_ignore_nan(0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::from_rows(&[]);
+        assert_eq!((m.nrows(), m.ncols()), (0, 0));
+        assert_eq!(m.rows_iter().count(), 0);
+    }
+}

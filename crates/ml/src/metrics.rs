@@ -1,0 +1,239 @@
+//! Evaluation metrics: the paper's evaluation function is F1 on the positive
+//! (matching) class (§II-A).
+
+/// Binary confusion-matrix counts for the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Count a prediction/truth pair list. Labels are class indices;
+    /// class 1 is "matching" (positive).
+    pub fn from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t == 1, p == 1) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when there are no true positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// F1 score of class 1 directly from label vectors.
+pub fn f1_score(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    Confusion::from_predictions(y_true, y_pred).f1()
+}
+
+/// Precision of class 1 directly from label vectors.
+pub fn precision_score(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    Confusion::from_predictions(y_true, y_pred).precision()
+}
+
+/// Recall of class 1 directly from label vectors.
+pub fn recall_score(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    Confusion::from_predictions(y_true, y_pred).recall()
+}
+
+/// Accuracy directly from label vectors.
+pub fn accuracy_score(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    Confusion::from_predictions(y_true, y_pred).accuracy()
+}
+
+/// A point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Precision-recall curve from match probabilities: one point per distinct
+/// score, thresholds descending (recall ascending). Useful for picking
+/// operating points on imbalanced EM data.
+pub fn precision_recall_curve(y_true: &[usize], scores: &[f64]) -> Vec<PrPoint> {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let total_pos = y_true.iter().filter(|&&c| c == 1).count();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut out = Vec::new();
+    let mut tp = 0usize;
+    let mut predicted = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        // Consume all samples sharing this score before emitting a point.
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            predicted += 1;
+            tp += usize::from(y_true[order[i]] == 1);
+            i += 1;
+        }
+        out.push(PrPoint {
+            threshold,
+            precision: tp as f64 / predicted as f64,
+            recall: if total_pos == 0 {
+                0.0
+            } else {
+                tp as f64 / total_pos as f64
+            },
+        });
+    }
+    out
+}
+
+/// Average precision: the area under the PR curve via the step-wise
+/// interpolation sklearn uses (`sum (R_i - R_{i-1}) * P_i`).
+pub fn average_precision(y_true: &[usize], scores: &[f64]) -> f64 {
+    let curve = precision_recall_curve(y_true, scores);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = vec![1, 0, 1, 0];
+        assert_eq!(f1_score(&y, &y), 1.0);
+        assert_eq!(accuracy_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // tp=2 fp=1 fn=1 tn=1
+        let y_true = vec![1, 1, 1, 0, 0];
+        let y_pred = vec![1, 1, 0, 1, 0];
+        let c = Confusion::from_predictions(&y_true, &y_pred);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // No predicted positives.
+        assert_eq!(f1_score(&[1, 1], &[0, 0]), 0.0);
+        // No true positives at all.
+        assert_eq!(f1_score(&[0, 0], &[0, 0]), 0.0);
+        assert_eq!(precision_score(&[0, 0], &[0, 0]), 0.0);
+        assert_eq!(recall_score(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let y_true = vec![1, 1, 1, 1, 0, 0, 0, 0];
+        let y_pred = vec![1, 1, 0, 0, 1, 0, 0, 0];
+        let p = precision_score(&y_true, &y_pred);
+        let r = recall_score(&y_true, &y_pred);
+        let f = f1_score(&y_true, &y_pred);
+        assert!((f - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_perfect_ranking() {
+        let y = vec![1, 1, 0, 0];
+        let s = vec![0.9, 0.8, 0.2, 0.1];
+        let curve = precision_recall_curve(&y, &s);
+        // Recall climbs to 1.0 while precision stays 1.0, then decays.
+        assert_eq!(curve[1].recall, 1.0);
+        assert_eq!(curve[1].precision, 1.0);
+        assert_eq!(average_precision(&y, &s), 1.0);
+    }
+
+    #[test]
+    fn pr_curve_worst_ranking() {
+        let y = vec![0, 0, 1];
+        let s = vec![0.9, 0.8, 0.1];
+        let ap = average_precision(&y, &s);
+        assert!((ap - 1.0 / 3.0).abs() < 1e-12, "{ap}");
+    }
+
+    #[test]
+    fn pr_curve_handles_ties() {
+        let y = vec![1, 0, 1, 0];
+        let s = vec![0.5, 0.5, 0.5, 0.5];
+        let curve = precision_recall_curve(&y, &s);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].precision, 0.5);
+        assert_eq!(curve[0].recall, 1.0);
+    }
+
+    #[test]
+    fn average_precision_is_bounded(){
+        let y = vec![1, 0, 1, 0, 0, 1];
+        let s = vec![0.7, 0.6, 0.9, 0.3, 0.2, 0.4];
+        let ap = average_precision(&y, &s);
+        assert!((0.0..=1.0).contains(&ap));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = f1_score(&[1], &[1, 0]);
+    }
+}

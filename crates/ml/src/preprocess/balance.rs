@@ -1,0 +1,85 @@
+//! Class balancing (auto-sklearn's `balancing:strategy`, Figs. 5/11).
+//!
+//! EM training data is heavily imbalanced (few matches among many
+//! non-matches), so the `weighting` strategy — sample weights inversely
+//! proportional to class frequency — is a standard pipeline component.
+
+/// Balancing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BalancingStrategy {
+    /// No balancing: uniform sample weights.
+    None,
+    /// sklearn's `class_weight="balanced"`:
+    /// `w_c = n_samples / (n_classes * count_c)`.
+    Weighting,
+}
+
+/// Per-class weights under the given strategy. Classes absent from `y`
+/// receive weight 0 (they can never be sampled anyway).
+pub fn class_weights(strategy: BalancingStrategy, y: &[usize], n_classes: usize) -> Vec<f64> {
+    match strategy {
+        BalancingStrategy::None => vec![1.0; n_classes],
+        BalancingStrategy::Weighting => {
+            let mut counts = vec![0usize; n_classes];
+            for &c in y {
+                counts[c] += 1;
+            }
+            let n = y.len() as f64;
+            counts
+                .iter()
+                .map(|&c| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        n / (n_classes as f64 * c as f64)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Expand per-class weights into per-sample weights.
+pub fn sample_weights(strategy: BalancingStrategy, y: &[usize], n_classes: usize) -> Vec<f64> {
+    let cw = class_weights(strategy, y, n_classes);
+    y.iter().map(|&c| cw[c]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_uniform() {
+        let y = vec![0, 0, 0, 1];
+        assert_eq!(sample_weights(BalancingStrategy::None, &y, 2), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn weighting_balances_total_mass() {
+        // 3 negatives, 1 positive.
+        let y = vec![0, 0, 0, 1];
+        let w = sample_weights(BalancingStrategy::Weighting, &y, 2);
+        // w0 = 4 / (2*3) = 2/3; w1 = 4 / (2*1) = 2.
+        assert!((w[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w[3] - 2.0).abs() < 1e-12);
+        // Total weight per class is equal.
+        let mass0: f64 = w[..3].iter().sum();
+        let mass1 = w[3];
+        assert!((mass0 - mass1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_data_gets_uniform_weights() {
+        let y = vec![0, 1, 0, 1];
+        let w = sample_weights(BalancingStrategy::Weighting, &y, 2);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn missing_class_weight_is_zero() {
+        let y = vec![0, 0];
+        let cw = class_weights(BalancingStrategy::Weighting, &y, 2);
+        assert_eq!(cw[1], 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Missing-value imputation (auto-sklearn's `imputation:strategy`, Fig. 5).
+//!
+//! EM feature vectors contain NaN whenever either record's attribute value
+//! was missing, so every pipeline starts with an imputer.
+
+use crate::matrix::Matrix;
+
+/// Imputation strategy, mirroring sklearn's `SimpleImputer`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ImputeStrategy {
+    /// Column mean of observed values.
+    Mean,
+    /// Column median of observed values.
+    Median,
+    /// Most frequent observed value (mode; ties broken by smaller value).
+    MostFrequent,
+    /// A constant fill value.
+    Constant(f64),
+}
+
+/// Fitted imputer holding one fill value per column.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimpleImputer {
+    /// Strategy used at fit time.
+    pub strategy: ImputeStrategy,
+    statistics: Vec<f64>,
+}
+
+impl SimpleImputer {
+    /// Learn per-column fill values from `x`. Columns that are entirely NaN
+    /// fall back to 0.0 (sklearn drops them; keeping the column with a
+    /// neutral fill keeps feature indices stable for the pipeline).
+    pub fn fit(strategy: ImputeStrategy, x: &Matrix) -> Self {
+        let statistics = (0..x.ncols())
+            .map(|c| {
+                let observed: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+                if observed.is_empty() {
+                    return match strategy {
+                        ImputeStrategy::Constant(v) => v,
+                        _ => 0.0,
+                    };
+                }
+                match strategy {
+                    ImputeStrategy::Mean => crate::stats::mean(&observed),
+                    ImputeStrategy::Median => crate::stats::median(&observed),
+                    ImputeStrategy::MostFrequent => mode(&observed),
+                    ImputeStrategy::Constant(v) => v,
+                }
+            })
+            .collect();
+        SimpleImputer {
+            strategy,
+            statistics,
+        }
+    }
+
+    /// Replace NaN cells with the learned fill values.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.statistics.len(), "column count changed");
+        let mut out = x.clone();
+        for r in 0..out.nrows() {
+            for c in 0..out.ncols() {
+                if out.get(r, c).is_nan() {
+                    out.set(r, c, self.statistics[c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(strategy: ImputeStrategy, x: &Matrix) -> (Self, Matrix) {
+        let imp = Self::fit(strategy, x);
+        let out = imp.transform(x);
+        (imp, out)
+    }
+
+    /// The learned per-column fill values.
+    pub fn statistics(&self) -> &[f64] {
+        &self.statistics
+    }
+}
+
+/// Mode with ties broken toward the smaller value. Values are matched
+/// exactly, which suits EM features (many exact 0.0 / 1.0 entries).
+fn mode(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded by caller"));
+    let mut best_val = sorted[0];
+    let mut best_count = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        if j - i > best_count {
+            best_count = j - i;
+            best_val = sorted[i];
+        }
+        i = j;
+    }
+    best_val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_nans() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, f64::NAN, 0.0],
+            vec![3.0, 4.0, 0.0],
+            vec![f64::NAN, 6.0, 1.0],
+            vec![5.0, 2.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn mean_imputation() {
+        let (imp, out) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &with_nans());
+        assert_eq!(imp.statistics()[0], 3.0);
+        assert_eq!(out.get(2, 0), 3.0);
+        assert_eq!(out.get(0, 1), 4.0);
+        assert!(!out.has_nan());
+    }
+
+    #[test]
+    fn median_imputation() {
+        let (imp, _) = SimpleImputer::fit_transform(ImputeStrategy::Median, &with_nans());
+        assert_eq!(imp.statistics()[0], 3.0);
+        assert_eq!(imp.statistics()[1], 4.0);
+    }
+
+    #[test]
+    fn most_frequent_imputation() {
+        let (imp, _) = SimpleImputer::fit_transform(ImputeStrategy::MostFrequent, &with_nans());
+        assert_eq!(imp.statistics()[2], 0.0);
+    }
+
+    #[test]
+    fn constant_imputation() {
+        let (_, out) = SimpleImputer::fit_transform(ImputeStrategy::Constant(-1.0), &with_nans());
+        assert_eq!(out.get(2, 0), -1.0);
+    }
+
+    #[test]
+    fn all_nan_column_fills_zero() {
+        let x = Matrix::from_rows(&[vec![f64::NAN], vec![f64::NAN]]);
+        let (_, out) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &x);
+        assert_eq!(out.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn non_nan_cells_untouched() {
+        let x = with_nans();
+        let (_, out) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &x);
+        assert_eq!(out.get(1, 1), 4.0);
+        assert_eq!(out.get(3, 0), 5.0);
+    }
+
+    #[test]
+    fn transform_on_new_data_uses_train_stats() {
+        let (imp, _) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &with_nans());
+        let test = Matrix::from_rows(&[vec![f64::NAN, f64::NAN, f64::NAN]]);
+        let out = imp.transform(&test);
+        assert_eq!(out.row(0), &[3.0, 4.0, 0.25]);
+    }
+
+    #[test]
+    fn mode_tie_breaks_small() {
+        assert_eq!(mode(&[2.0, 1.0, 2.0, 1.0]), 1.0);
+        assert_eq!(mode(&[5.0]), 5.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Data preprocessing: imputation, scaling, and class balancing
+//! (the "Data Preprocessing" column of the paper's Figure 4).
+
+pub mod balance;
+pub mod impute;
+pub mod scale;
+
+pub use balance::{class_weights, sample_weights, BalancingStrategy};
+pub use impute::{ImputeStrategy, SimpleImputer};
+pub use scale::{FittedScaler, ScalerKind};

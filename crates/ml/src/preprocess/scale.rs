@@ -1,0 +1,256 @@
+//! Feature rescaling (auto-sklearn's `rescaling:__choice__`, Figs. 5/11).
+//!
+//! Provides the three scalers the paper's pipelines use: standardization,
+//! min-max, and the quantile-based `RobustScaler` whose `q_min` parameter is
+//! tuned in Figure 3c.
+
+use crate::matrix::Matrix;
+use crate::stats::{mean, quantile};
+
+/// A fitted scaler: per-column `(center, scale)` applied as
+/// `(x - center) / scale`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FittedScaler {
+    kind: ScalerKind,
+    centers: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+/// Which scaler produced a [`FittedScaler`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ScalerKind {
+    /// Zero mean, unit variance.
+    Standard,
+    /// Rescale to `[0, 1]` using the column min/max.
+    MinMax,
+    /// Center on the median, scale by the `[q_min, q_max]` quantile range —
+    /// robust to outliers (sklearn `RobustScaler`). Quantiles in percent.
+    Robust {
+        /// Lower quantile (percent, e.g. 25.0).
+        q_min: f64,
+        /// Upper quantile (percent, e.g. 75.0).
+        q_max: f64,
+    },
+    /// Identity (the "none" rescaling choice).
+    None,
+}
+
+impl FittedScaler {
+    /// Learn scaling statistics from `x`. Degenerate columns (zero spread)
+    /// get scale 1 so the transform stays finite.
+    pub fn fit(kind: ScalerKind, x: &Matrix) -> Self {
+        let d = x.ncols();
+        let mut centers = vec![0.0; d];
+        let mut scales = vec![1.0; d];
+        match kind {
+            ScalerKind::None => {}
+            ScalerKind::Standard => {
+                for c in 0..d {
+                    let col = x.col(c);
+                    centers[c] = mean(&col);
+                    let sd = crate::stats::variance(&col).sqrt();
+                    scales[c] = if sd > 1e-12 { sd } else { 1.0 };
+                }
+            }
+            ScalerKind::MinMax => {
+                for c in 0..d {
+                    let col = x.col(c);
+                    let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    centers[c] = lo;
+                    let range = hi - lo;
+                    scales[c] = if range > 1e-12 { range } else { 1.0 };
+                }
+            }
+            ScalerKind::Robust { q_min, q_max } => {
+                assert!(q_min < q_max, "robust scaler needs q_min < q_max");
+                for c in 0..d {
+                    let col = x.col(c);
+                    centers[c] = quantile(&col, 0.5);
+                    let lo = quantile(&col, q_min / 100.0);
+                    let hi = quantile(&col, q_max / 100.0);
+                    let iqr = hi - lo;
+                    scales[c] = if iqr > 1e-12 { iqr } else { 1.0 };
+                }
+            }
+        }
+        FittedScaler {
+            kind,
+            centers,
+            scales,
+        }
+    }
+
+    /// Apply `(x - center) / scale` per column.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.ncols(), self.centers.len(), "column count changed");
+        if matches!(self.kind, ScalerKind::None) {
+            return x.clone();
+        }
+        let mut out = x.clone();
+        for r in 0..out.nrows() {
+            for c in 0..out.ncols() {
+                out.set(r, c, (out.get(r, c) - self.centers[c]) / self.scales[c]);
+            }
+        }
+        out
+    }
+
+    /// Invert the transform (used by property tests).
+    pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
+        if matches!(self.kind, ScalerKind::None) {
+            return x.clone();
+        }
+        let mut out = x.clone();
+        for r in 0..out.nrows() {
+            for c in 0..out.ncols() {
+                out.set(r, c, out.get(r, c) * self.scales[c] + self.centers[c]);
+            }
+        }
+        out
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(kind: ScalerKind, x: &Matrix) -> (Self, Matrix) {
+        let s = Self::fit(kind, x);
+        let out = s.transform(x);
+        (s, out)
+    }
+
+    /// The scaler variant.
+    pub fn kind(&self) -> ScalerKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+            vec![5.0, 1000.0], // outlier in column 1
+        ])
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let (_, out) = FittedScaler::fit_transform(ScalerKind::Standard, &sample());
+        for c in 0..2 {
+            let col = out.col(c);
+            assert!(mean(&col).abs() < 1e-9);
+            assert!((crate::stats::variance(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_unit_range() {
+        let (_, out) = FittedScaler::fit_transform(ScalerKind::MinMax, &sample());
+        for c in 0..2 {
+            let col = out.col(c);
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert!((lo - 0.0).abs() < 1e-12);
+            assert!((hi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn robust_scaler_centers_on_median() {
+        let (s, out) = FittedScaler::fit_transform(
+            ScalerKind::Robust {
+                q_min: 25.0,
+                q_max: 75.0,
+            },
+            &sample(),
+        );
+        // Median of column 0 is 3.0 -> its transformed value is 0.
+        assert!(out.get(2, 0).abs() < 1e-12);
+        // The outlier influences min-max hugely but robust scale mildly:
+        // transform of 40 (the 4th value of col 1) stays small.
+        assert!(out.get(3, 1).abs() < 2.0);
+        assert_eq!(
+            s.kind(),
+            ScalerKind::Robust {
+                q_min: 25.0,
+                q_max: 75.0
+            }
+        );
+    }
+
+    #[test]
+    fn different_q_min_changes_output() {
+        let a = FittedScaler::fit_transform(
+            ScalerKind::Robust {
+                q_min: 5.0,
+                q_max: 95.0,
+            },
+            &sample(),
+        )
+        .1;
+        let b = FittedScaler::fit_transform(
+            ScalerKind::Robust {
+                q_min: 45.0,
+                q_max: 95.0,
+            },
+            &sample(),
+        )
+        .1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        let x = Matrix::from_rows(&[vec![7.0], vec![7.0], vec![7.0]]);
+        for kind in [
+            ScalerKind::Standard,
+            ScalerKind::MinMax,
+            ScalerKind::Robust {
+                q_min: 25.0,
+                q_max: 75.0,
+            },
+        ] {
+            let (_, out) = FittedScaler::fit_transform(kind, &x);
+            assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let x = sample();
+        let (_, out) = FittedScaler::fit_transform(ScalerKind::None, &x);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn round_trip() {
+        let x = sample();
+        for kind in [
+            ScalerKind::Standard,
+            ScalerKind::MinMax,
+            ScalerKind::Robust {
+                q_min: 10.0,
+                q_max: 90.0,
+            },
+        ] {
+            let (s, out) = FittedScaler::fit_transform(kind, &x);
+            let back = s.inverse_transform(&out);
+            for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_test() {
+        let (s, _) = FittedScaler::fit_transform(ScalerKind::Standard, &sample());
+        let test = Matrix::from_rows(&[vec![3.0, 220.0]]);
+        let out = s.transform(&test);
+        // Column 0 mean is 3.0 -> transformed to 0.
+        assert!(out.get(0, 0).abs() < 1e-9);
+    }
+}

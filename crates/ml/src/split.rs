@@ -1,0 +1,211 @@
+//! Seeded train/validation/test splitting with optional stratification.
+//!
+//! The paper splits each benchmark 4:1 into train/test and then the training
+//! portion 4:1 again into train/validation (§V-A), i.e. 64/16/20 overall.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffle `0..n` deterministically with the given seed.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Split `0..n` into two index sets with `test_fraction` of the items in the
+/// second set, after a seeded shuffle.
+pub fn train_test_indices(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    let idx = shuffled_indices(n, seed);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let n_test = n_test.min(n);
+    let (test, train) = idx.split_at(n_test);
+    (train.to_vec(), test.to_vec())
+}
+
+/// Stratified variant of [`train_test_indices`]: the class proportions of
+/// `y` are preserved (as closely as rounding allows) in both output sets.
+pub fn stratified_train_test_indices(
+    y: &[usize],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &c) in y.iter().enumerate() {
+        per_class[c].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for members in per_class.iter_mut() {
+        members.shuffle(&mut rng);
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(members.len());
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    // Re-shuffle so downstream consumers don't see class-sorted data.
+    train.shuffle(&mut rng);
+    test.shuffle(&mut rng);
+    (train, test)
+}
+
+/// Stratified k-fold splitter: returns `k` `(train, test)` index pairs in
+/// which each class is spread as evenly as possible across folds. The paper
+/// uses one hold-out split (§V-A); k-fold is provided for library
+/// completeness and more stable model comparison on small datasets.
+pub fn stratified_k_fold(y: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(y.len() >= k, "fewer samples than folds");
+    let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &c) in y.iter().enumerate() {
+        per_class[c].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; y.len()];
+    for members in per_class.iter_mut() {
+        members.shuffle(&mut rng);
+        for (pos, &i) in members.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Three-way split used throughout the experiments: train / validation /
+/// test with the paper's 64/16/20 proportions (stratified).
+#[derive(Debug, Clone)]
+pub struct ThreeWaySplit {
+    /// Training indices (~64%).
+    pub train: Vec<usize>,
+    /// Validation indices (~16%).
+    pub valid: Vec<usize>,
+    /// Test indices (~20%).
+    pub test: Vec<usize>,
+}
+
+/// Produce the paper's 64/16/20 stratified split.
+pub fn paper_split(y: &[usize], seed: u64) -> ThreeWaySplit {
+    let (train_pool, test) = stratified_train_test_indices(y, 0.2, seed);
+    // Split the 80% pool 4:1 into train/valid, stratified on the pool labels.
+    let pool_y: Vec<usize> = train_pool.iter().map(|&i| y[i]).collect();
+    let (tr_local, va_local) = stratified_train_test_indices(&pool_y, 0.2, seed.wrapping_add(1));
+    let train = tr_local.iter().map(|&i| train_pool[i]).collect();
+    let valid = va_local.iter().map(|&i| train_pool[i]).collect();
+    ThreeWaySplit { train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_indices(100, 0.2, 7);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(train_test_indices(50, 0.3, 42), train_test_indices(50, 0.3, 42));
+        assert_ne!(
+            train_test_indices(50, 0.3, 42).1,
+            train_test_indices(50, 0.3, 43).1
+        );
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        // 20% positives.
+        let y: Vec<usize> = (0..200).map(|i| usize::from(i % 5 == 0)).collect();
+        let (train, test) = stratified_train_test_indices(&y, 0.25, 1);
+        let pos_test = test.iter().filter(|&&i| y[i] == 1).count();
+        let pos_train = train.iter().filter(|&&i| y[i] == 1).count();
+        assert_eq!(test.len(), 50);
+        assert_eq!(pos_test, 10);
+        assert_eq!(pos_train, 30);
+    }
+
+    #[test]
+    fn paper_split_proportions() {
+        let y: Vec<usize> = (0..1000).map(|i| usize::from(i % 10 == 0)).collect();
+        let s = paper_split(&y, 3);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1000);
+        assert!((s.test.len() as i64 - 200).abs() <= 2, "test {}", s.test.len());
+        assert!((s.valid.len() as i64 - 160).abs() <= 3, "valid {}", s.valid.len());
+        // Disjointness.
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn k_fold_partitions_and_stratifies() {
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i % 4 == 0)).collect();
+        let folds = stratified_k_fold(&y, 5, 1);
+        assert_eq!(folds.len(), 5);
+        // Test sets partition the data.
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..100).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 100);
+            // Every fold holds its proportional share of positives.
+            let pos = test.iter().filter(|&&i| y[i] == 1).count();
+            assert_eq!(pos, 5, "fold positives {pos}");
+            // Disjoint train/test.
+            let ts: std::collections::BTreeSet<_> = test.iter().collect();
+            assert!(train.iter().all(|i| !ts.contains(i)));
+        }
+    }
+
+    #[test]
+    fn k_fold_is_deterministic() {
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 0];
+        assert_eq!(stratified_k_fold(&y, 2, 3), stratified_k_fold(&y, 2, 3));
+        assert_ne!(stratified_k_fold(&y, 2, 3), stratified_k_fold(&y, 2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k1() {
+        let _ = stratified_k_fold(&[0, 1], 1, 0);
+    }
+
+    #[test]
+    fn zero_fraction() {
+        let (train, test) = train_test_indices(10, 0.0, 0);
+        assert!(test.is_empty());
+        assert_eq!(train.len(), 10);
+    }
+}

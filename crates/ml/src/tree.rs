@@ -1,0 +1,800 @@
+//! CART decision trees: the building block of every tree ensemble in this
+//! crate (random forest, extra-trees, AdaBoost, gradient boosting) and of the
+//! SMAC surrogate model in `em-automl`.
+//!
+//! Supports weighted samples, gini/entropy impurity for classification and
+//! MSE for regression, per-node random feature subsampling (`max_features`),
+//! and the extra-trees "random threshold" splitter.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Criterion {
+    /// Gini impurity (classification).
+    Gini,
+    /// Shannon entropy (classification).
+    Entropy,
+    /// Variance reduction (regression).
+    Mse,
+}
+
+/// How many features to consider at each split.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum MaxFeatures {
+    /// All features (classic CART).
+    All,
+    /// `ceil(sqrt(d))` features (random-forest default).
+    Sqrt,
+    /// `ceil(log2(d))` features.
+    Log2,
+    /// A fraction of the features, `ceil(fraction * d)` (auto-sklearn encodes
+    /// `max_features` this way — see paper Fig. 11's 0.9008...).
+    Fraction(f64),
+    /// An absolute count, clamped to `[1, d]`.
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolve to a concrete feature count for dimensionality `d`.
+    pub fn resolve(&self, d: usize) -> usize {
+        if d == 0 {
+            return 0;
+        }
+        let k = match *self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (d as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::Fraction(f) => ((f.clamp(0.0, 1.0)) * d as f64).ceil() as usize,
+            MaxFeatures::Count(c) => c,
+        };
+        k.clamp(1, d)
+    }
+}
+
+/// Threshold-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Splitter {
+    /// Exhaustive best split per candidate feature (CART / random forest).
+    Best,
+    /// One uniformly random threshold per candidate feature (extra-trees).
+    Random,
+}
+
+/// Hyperparameters of a single tree.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TreeParams {
+    /// Split-quality criterion.
+    pub criterion: Criterion,
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Per-split feature subsampling.
+    pub max_features: MaxFeatures,
+    /// Threshold-selection strategy.
+    pub splitter: Splitter,
+    /// Minimum impurity decrease required to accept a split.
+    pub min_impurity_decrease: f64,
+    /// RNG seed for feature subsampling / random thresholds.
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            criterion: Criterion::Gini,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            splitter: Splitter::Best,
+            min_impurity_decrease: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        /// Classification: weighted class distribution (normalized).
+        /// Regression: single-element vector holding the leaf mean.
+        dist: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree (classification or regression depending on
+/// which `fit_*` constructor was used).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DecisionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    /// Number of classes (0 for a regression tree).
+    n_classes: usize,
+    n_features: usize,
+    /// Unnormalized mean-decrease-in-impurity per feature, accumulated at
+    /// fit time (weight-of-node × impurity decrease per split).
+    importances: Vec<f64>,
+}
+
+/// Target wrapper so classification and regression share one builder.
+enum Target<'a> {
+    Classes { y: &'a [usize], n_classes: usize },
+    Values(&'a [f64]),
+}
+
+impl DecisionTree {
+    /// Fit a classification tree.
+    ///
+    /// `y` holds class indices in `0..n_classes`; `sample_weight` defaults to
+    /// uniform weights. NaN feature values are rejected: run an imputer first.
+    ///
+    /// # Panics
+    /// On shape mismatches, NaN features, or an MSE criterion.
+    pub fn fit_classifier(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        sample_weight: Option<&[f64]>,
+        params: TreeParams,
+    ) -> Self {
+        assert_ne!(params.criterion, Criterion::Mse, "use fit_regressor for MSE");
+        assert_eq!(x.nrows(), y.len(), "X/y length mismatch");
+        assert!(!x.has_nan(), "NaN features: impute before fitting trees");
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        Self::fit_inner(x, Target::Classes { y, n_classes }, sample_weight, params)
+    }
+
+    /// Fit a regression tree (criterion is forced to MSE).
+    ///
+    /// # Panics
+    /// On shape mismatches or NaN features.
+    pub fn fit_regressor(
+        x: &Matrix,
+        targets: &[f64],
+        sample_weight: Option<&[f64]>,
+        mut params: TreeParams,
+    ) -> Self {
+        params.criterion = Criterion::Mse;
+        assert_eq!(x.nrows(), targets.len(), "X/y length mismatch");
+        assert!(!x.has_nan(), "NaN features: impute before fitting trees");
+        Self::fit_inner(x, Target::Values(targets), sample_weight, params)
+    }
+
+    fn fit_inner(
+        x: &Matrix,
+        target: Target<'_>,
+        sample_weight: Option<&[f64]>,
+        params: TreeParams,
+    ) -> Self {
+        let n = x.nrows();
+        assert!(n > 0, "cannot fit a tree on zero samples");
+        let default_w;
+        let w: &[f64] = match sample_weight {
+            Some(w) => {
+                assert_eq!(w.len(), n, "weight length mismatch");
+                w
+            }
+            None => {
+                default_w = vec![1.0; n];
+                &default_w
+            }
+        };
+        let n_classes = match &target {
+            Target::Classes { n_classes, .. } => *n_classes,
+            Target::Values(_) => 0,
+        };
+        let mut tree = DecisionTree {
+            params: params.clone(),
+            nodes: Vec::new(),
+            n_classes,
+            n_features: x.ncols(),
+            importances: vec![0.0; x.ncols()],
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let idx: Vec<usize> = (0..n).collect();
+        tree.build(x, &target, w, idx, 0, &mut rng);
+        tree
+    }
+
+    /// Recursively grow the tree; returns the new node's index.
+    fn build(
+        &mut self,
+        x: &Matrix,
+        target: &Target<'_>,
+        w: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let (impurity, leaf_dist) = self.node_stats(target, w, &idx);
+        let stop = idx.len() < self.params.min_samples_split
+            || self.params.max_depth.is_some_and(|d| depth >= d)
+            || impurity <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold, gain)) = self.best_split(x, target, w, &idx, rng) {
+                if gain >= self.params.min_impurity_decrease.max(1e-12) {
+                    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                        idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
+                    if left_idx.len() >= self.params.min_samples_leaf
+                        && right_idx.len() >= self.params.min_samples_leaf
+                    {
+                        // Mean-decrease-in-impurity accounting: gains are
+                        // weighted by the node's sample mass, matching
+                        // sklearn's `feature_importances_`.
+                        let node_w: f64 = idx.iter().map(|&i| w[i]).sum();
+                        self.importances[feature] += node_w * gain;
+                        // Reserve a slot so children see stable parent index.
+                        let my = self.nodes.len();
+                        self.nodes.push(Node::Leaf { dist: Vec::new() });
+                        let left = self.build(x, target, w, left_idx, depth + 1, rng);
+                        let right = self.build(x, target, w, right_idx, depth + 1, rng);
+                        self.nodes[my] = Node::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        };
+                        return my;
+                    }
+                }
+            }
+        }
+        let my = self.nodes.len();
+        self.nodes.push(Node::Leaf { dist: leaf_dist });
+        my
+    }
+
+    /// Impurity and leaf payload for a node's sample set.
+    fn node_stats(&self, target: &Target<'_>, w: &[f64], idx: &[usize]) -> (f64, Vec<f64>) {
+        match target {
+            Target::Classes { y, n_classes } => {
+                let mut counts = vec![0.0f64; *n_classes];
+                for &i in idx {
+                    counts[y[i]] += w[i];
+                }
+                let total: f64 = counts.iter().sum();
+                let imp = impurity_from_counts(&counts, total, self.params.criterion);
+                let dist = if total > 0.0 {
+                    counts.iter().map(|c| c / total).collect()
+                } else {
+                    vec![1.0 / *n_classes as f64; *n_classes]
+                };
+                (imp, dist)
+            }
+            Target::Values(t) => {
+                let mut sw = 0.0;
+                let mut sum = 0.0;
+                let mut sum_sq = 0.0;
+                for &i in idx {
+                    sw += w[i];
+                    sum += w[i] * t[i];
+                    sum_sq += w[i] * t[i] * t[i];
+                }
+                let mean = if sw > 0.0 { sum / sw } else { 0.0 };
+                let var = if sw > 0.0 { (sum_sq / sw - mean * mean).max(0.0) } else { 0.0 };
+                (var, vec![mean])
+            }
+        }
+    }
+
+    /// Search candidate features for the best split.
+    /// Returns `(feature, threshold, weighted impurity decrease)`.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        target: &Target<'_>,
+        w: &[f64],
+        idx: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64, f64)> {
+        let d = x.ncols();
+        let k = self.params.max_features.resolve(d);
+        let mut features: Vec<usize> = (0..d).collect();
+        if k < d {
+            features.shuffle(rng);
+            features.truncate(k);
+        }
+        let (parent_imp, _) = self.node_stats(target, w, idx);
+        let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+        if total_w <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &features {
+            let candidate = match self.params.splitter {
+                Splitter::Best => self.best_threshold_for(x, target, w, idx, f, parent_imp, total_w),
+                Splitter::Random => {
+                    self.random_threshold_for(x, target, w, idx, f, parent_imp, total_w, rng)
+                }
+            };
+            if let Some((threshold, gain)) = candidate {
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Exhaustive scan over sorted values of feature `f`.
+    #[allow(clippy::too_many_arguments)]
+    fn best_threshold_for(
+        &self,
+        x: &Matrix,
+        target: &Target<'_>,
+        w: &[f64],
+        idx: &[usize],
+        f: usize,
+        parent_imp: f64,
+        total_w: f64,
+    ) -> Option<(f64, f64)> {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| x.get(a, f).partial_cmp(&x.get(b, f)).expect("NaN feature"));
+        let n = order.len();
+        let min_leaf = self.params.min_samples_leaf;
+        match target {
+            Target::Classes { y, n_classes } => {
+                let mut left_counts = vec![0.0f64; *n_classes];
+                let mut right_counts = vec![0.0f64; *n_classes];
+                for &i in &order {
+                    right_counts[y[i]] += w[i];
+                }
+                let mut left_w = 0.0;
+                let mut best: Option<(f64, f64)> = None;
+                for pos in 0..n - 1 {
+                    let i = order[pos];
+                    left_counts[y[i]] += w[i];
+                    right_counts[y[i]] -= w[i];
+                    left_w += w[i];
+                    let v_here = x.get(i, f);
+                    let v_next = x.get(order[pos + 1], f);
+                    if v_here == v_next {
+                        continue;
+                    }
+                    if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
+                        continue;
+                    }
+                    let right_w = total_w - left_w;
+                    let imp_l = impurity_from_counts(&left_counts, left_w, self.params.criterion);
+                    let imp_r = impurity_from_counts(&right_counts, right_w, self.params.criterion);
+                    let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((midpoint(v_here, v_next), gain));
+                    }
+                }
+                best
+            }
+            Target::Values(t) => {
+                let mut left_w = 0.0;
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                let (mut right_w, mut right_sum, mut right_sq) = (0.0, 0.0, 0.0);
+                for &i in &order {
+                    right_w += w[i];
+                    right_sum += w[i] * t[i];
+                    right_sq += w[i] * t[i] * t[i];
+                }
+                let mut best: Option<(f64, f64)> = None;
+                for pos in 0..n - 1 {
+                    let i = order[pos];
+                    left_w += w[i];
+                    left_sum += w[i] * t[i];
+                    left_sq += w[i] * t[i] * t[i];
+                    right_w -= w[i];
+                    right_sum -= w[i] * t[i];
+                    right_sq -= w[i] * t[i] * t[i];
+                    let v_here = x.get(i, f);
+                    let v_next = x.get(order[pos + 1], f);
+                    if v_here == v_next {
+                        continue;
+                    }
+                    if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
+                        continue;
+                    }
+                    let imp_l = variance_from_sums(left_w, left_sum, left_sq);
+                    let imp_r = variance_from_sums(right_w, right_sum, right_sq);
+                    let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((midpoint(v_here, v_next), gain));
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Extra-trees: a single uniform threshold in the node's value range.
+    #[allow(clippy::too_many_arguments)]
+    fn random_threshold_for(
+        &self,
+        x: &Matrix,
+        target: &Target<'_>,
+        w: &[f64],
+        idx: &[usize],
+        f: usize,
+        parent_imp: f64,
+        total_w: f64,
+        rng: &mut StdRng,
+    ) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in idx {
+            let v = x.get(i, f);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi <= lo {
+            return None;
+        }
+        let threshold = rng.random_range(lo..hi);
+        let (left, right): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x.get(i, f) <= threshold);
+        if left.len() < self.params.min_samples_leaf || right.len() < self.params.min_samples_leaf {
+            return None;
+        }
+        let (imp_l, _) = self.node_stats(target, w, &left);
+        let (imp_r, _) = self.node_stats(target, w, &right);
+        let lw: f64 = left.iter().map(|&i| w[i]).sum();
+        let rw: f64 = right.iter().map(|&i| w[i]).sum();
+        let gain = parent_imp - (lw * imp_l + rw * imp_r) / total_w;
+        Some((threshold, gain))
+    }
+
+    /// Leaf index reached by sample `row` (used by gradient boosting).
+    pub fn apply(&self, row: &[f64]) -> usize {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    // NaN goes left by convention.
+                    let v = row[*feature];
+                    node = if v <= *threshold || v.is_nan() { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Class-probability distribution for one sample (classification only).
+    pub fn predict_proba_row(&self, row: &[f64]) -> &[f64] {
+        match &self.nodes[self.apply(row)] {
+            Node::Leaf { dist } => dist,
+            Node::Split { .. } => unreachable!("apply returns leaves"),
+        }
+    }
+
+    /// Class-probability matrix (n × n_classes).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        assert!(self.n_classes > 0, "regression tree has no probabilities");
+        let mut out = Matrix::zeros(x.nrows(), self.n_classes);
+        for (r, row) in x.rows_iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.predict_proba_row(row));
+        }
+        out
+    }
+
+    /// Hard class predictions (classification only).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let proba = self.predict_proba(x);
+        (0..proba.nrows()).map(|r| argmax(proba.row(r))).collect()
+    }
+
+    /// Regression predictions (regression trees only).
+    pub fn predict_values(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(self.n_classes, 0, "classification tree has no values");
+        x.rows_iter()
+            .map(|row| match &self.nodes[self.apply(row)] {
+                Node::Leaf { dist } => dist[0],
+                Node::Split { .. } => unreachable!(),
+            })
+            .collect()
+    }
+
+    /// Overwrite the value of leaf `leaf` (gradient boosting's Newton step).
+    pub fn set_leaf_value(&mut self, leaf: usize, value: f64) {
+        match &mut self.nodes[leaf] {
+            Node::Leaf { dist } => {
+                dist.clear();
+                dist.push(value);
+            }
+            Node::Split { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Total node count (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves (diagnostics).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// The number of features the tree was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Mean-decrease-in-impurity feature importances, normalized to sum to
+    /// 1 (all-zero for a tree that never split).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.n_features];
+        }
+        self.importances.iter().map(|v| v / total).collect()
+    }
+}
+
+fn midpoint(a: f64, b: f64) -> f64 {
+    a + (b - a) / 2.0
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn impurity_from_counts(counts: &[f64], total: f64, criterion: Criterion) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Gini => {
+            let mut s = 0.0;
+            for &c in counts {
+                let p = c / total;
+                s += p * p;
+            }
+            1.0 - s
+        }
+        Criterion::Entropy => {
+            let mut h = 0.0;
+            for &c in counts {
+                if c > 0.0 {
+                    let p = c / total;
+                    h -= p * p.log2();
+                }
+            }
+            h
+        }
+        Criterion::Mse => unreachable!("MSE uses variance_from_sums"),
+    }
+}
+
+fn variance_from_sums(w: f64, sum: f64, sum_sq: f64) -> f64 {
+    if w <= 0.0 {
+        return 0.0;
+    }
+    let mean = sum / w;
+    (sum_sq / w - mean * mean).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated clusters on one feature.
+    fn separable() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![i as f64 / 100.0, 0.5]);
+            y.push(0);
+        }
+        for i in 0..20 {
+            rows.push(vec![0.8 + i as f64 / 100.0, 0.5]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
+        assert_eq!(t.predict(&x), y);
+        // Should need exactly one split.
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![1, 1, 1];
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0, 1, 0, 1]; // needs depth >= 2
+        let p = TreeParams {
+            max_depth: Some(1),
+            ..TreeParams::default()
+        };
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = separable();
+        let p = TreeParams {
+            min_samples_leaf: 15,
+            ..TreeParams::default()
+        };
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        // 40 samples, leaves must have >= 15 each: the 20/20 split is legal.
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn weighted_samples_shift_the_split() {
+        // One mislabeled point with huge weight dominates.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0, 0, 1, 1];
+        let w = vec![1.0, 100.0, 1.0, 1.0];
+        let t = DecisionTree::fit_classifier(&x, &y, 2, Some(&w), TreeParams::default());
+        // Prediction at x=1 must be class 0 with high confidence.
+        let p = t.predict_proba(&Matrix::from_rows(&[vec![1.0]]));
+        assert!(p.get(0, 0) > 0.9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
+        let p = t.predict_proba(&x);
+        for r in 0..p.nrows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn entropy_criterion_works() {
+        let (x, y) = separable();
+        let p = TreeParams {
+            criterion: Criterion::Entropy,
+            ..TreeParams::default()
+        };
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let t_vals: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let tree = DecisionTree::fit_regressor(&x, &t_vals, None, TreeParams::default());
+        let pred = tree.predict_values(&x);
+        for (p, t) in pred.iter().zip(&t_vals) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_splitter_still_learns() {
+        let (x, y) = separable();
+        let p = TreeParams {
+            splitter: Splitter::Random,
+            seed: 3,
+            ..TreeParams::default()
+        };
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        let acc = t
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = separable();
+        let p = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            seed: 9,
+            ..TreeParams::default()
+        };
+        let a = DecisionTree::fit_classifier(&x, &y, 2, None, p.clone());
+        let b = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(9), 3);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Log2.resolve(8), 3);
+        assert_eq!(MaxFeatures::Fraction(0.5).resolve(10), 5);
+        assert_eq!(MaxFeatures::Fraction(0.0).resolve(10), 1);
+        assert_eq!(MaxFeatures::Count(99).resolve(10), 10);
+        assert_eq!(MaxFeatures::Count(0).resolve(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN features")]
+    fn nan_features_rejected() {
+        let x = Matrix::from_rows(&[vec![f64::NAN], vec![1.0]]);
+        let _ = DecisionTree::fit_classifier(&x, &[0, 1], 2, None, TreeParams::default());
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
+        let imp = t.feature_importances();
+        // Feature 0 separates the classes; feature 1 is constant.
+        assert!(imp[0] > 0.99, "{imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importances_zero_without_splits() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let t = DecisionTree::fit_classifier(&x, &[1, 1], 2, None, TreeParams::default());
+        assert_eq!(t.feature_importances(), vec![0.0]);
+    }
+
+    #[test]
+    fn min_impurity_decrease_prunes() {
+        // Nearly-pure data: a split would gain almost nothing.
+        let x = Matrix::from_rows(&(0..100).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let mut y = vec![0usize; 100];
+        y[99] = 1;
+        let p = TreeParams {
+            min_impurity_decrease: 0.5,
+            ..TreeParams::default()
+        };
+        let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
+        assert_eq!(t.n_nodes(), 1);
+    }
+}

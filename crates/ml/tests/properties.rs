@@ -1,0 +1,192 @@
+//! Property-based tests for the ML substrate: scaler invertibility, imputer
+//! totality, metric bounds, tree/forest invariants, selector bounds, and
+//! special-function identities.
+
+use em_ml::featsel::{select_percentile, variance_threshold, ScoreFunc};
+use em_ml::preprocess::{FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer};
+use em_ml::stats::{betainc, chi2_sf, f_sf, ln_gamma};
+use em_ml::{
+    f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier, TreeParams,
+};
+use proptest::prelude::*;
+
+/// A small random matrix with values in a bounded range. At least 4 rows so
+/// ANOVA (which needs more samples than classes) is always applicable.
+fn matrix_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, cols..=cols),
+        4..max_rows,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows))
+}
+
+/// Binary labels with at least one member of each class.
+fn labels_for(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..2, n..=n).prop_map(|mut y| {
+        if y.iter().all(|&c| c == 0) {
+            y[0] = 1;
+        } else if y.iter().all(|&c| c == 1) {
+            y[0] = 0;
+        }
+        y
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scalers_round_trip(x in matrix_strategy(20, 3)) {
+        for kind in [
+            ScalerKind::Standard,
+            ScalerKind::MinMax,
+            ScalerKind::Robust { q_min: 25.0, q_max: 75.0 },
+        ] {
+            let (s, out) = FittedScaler::fit_transform(kind, &x);
+            let back = s.inverse_transform(&out);
+            for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn imputer_always_removes_nan(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![3 => -10.0f64..10.0, 1 => Just(f64::NAN)], 3..=3,
+            ),
+            2..15,
+        )
+    ) {
+        let x = Matrix::from_rows(&rows);
+        for strat in [
+            ImputeStrategy::Mean,
+            ImputeStrategy::Median,
+            ImputeStrategy::MostFrequent,
+            ImputeStrategy::Constant(0.5),
+        ] {
+            let (_, out) = SimpleImputer::fit_transform(strat, &x);
+            prop_assert!(!out.has_nan());
+        }
+    }
+
+    #[test]
+    fn f1_is_bounded_and_perfect_on_identity(y in proptest::collection::vec(0usize..2, 1..40)) {
+        prop_assert!((0.0..=1.0).contains(&f1_score(&y, &y)));
+        if y.contains(&1) {
+            prop_assert_eq!(f1_score(&y, &y), 1.0);
+        }
+    }
+
+    #[test]
+    fn forest_probabilities_are_distributions(
+        x in matrix_strategy(24, 2),
+    ) {
+        let n = x.nrows();
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_estimators: 5,
+            seed: 1,
+            ..Default::default()
+        });
+        rf.fit(&x, &y, 2, None);
+        let p = rf.predict_proba(&x);
+        for r in 0..n {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+        }
+        // Vote fractions are in [1/2, 1] for binary classification.
+        for c in rf.vote_fraction(&x) {
+            prop_assert!((0.5 - 1e-12..=1.0 + 1e-12).contains(&c));
+        }
+    }
+
+    #[test]
+    fn tree_training_accuracy_is_perfect_without_limits(
+        x in matrix_strategy(24, 2),
+    ) {
+        // Deduplicate identical rows (which could carry conflicting labels).
+        let n = x.nrows();
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let mut unique = std::collections::BTreeMap::new();
+        for (i, row) in x.rows_iter().enumerate() {
+            let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+            unique.entry(key).or_insert(i);
+        }
+        let keep: Vec<usize> = unique.into_values().collect();
+        let xu = x.select_rows(&keep);
+        let yu: Vec<usize> = keep.iter().map(|&i| y[i]).collect();
+        if yu.iter().any(|&c| c == 0) && yu.iter().any(|&c| c == 1) {
+            let t = em_ml::DecisionTree::fit_classifier(&xu, &yu, 2, None, TreeParams::default());
+            prop_assert_eq!(t.predict(&xu), yu);
+        }
+    }
+
+    #[test]
+    fn percentile_selector_respects_bounds(
+        x in matrix_strategy(30, 5),
+        pct in 0.0f64..100.0,
+    ) {
+        let n = x.nrows();
+        let y = (0..n).map(|i| i % 2).collect::<Vec<_>>();
+        let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, pct);
+        let k = sel.selected().len();
+        prop_assert!(k >= 1 && k <= 5);
+        // Selected indices are sorted and unique.
+        let mut sorted = sel.selected().to_vec();
+        sorted.dedup();
+        prop_assert_eq!(sorted.as_slice(), sel.selected());
+    }
+
+    #[test]
+    fn variance_threshold_never_empty(x in matrix_strategy(20, 4)) {
+        let sel = variance_threshold(&x, 0.0);
+        prop_assert!(!sel.selected().is_empty());
+        let out = sel.transform(&x);
+        prop_assert_eq!(out.ncols(), sel.selected().len());
+    }
+
+    #[test]
+    fn gamma_recurrence(x in 0.5f64..20.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn betainc_monotone_in_x(a in 0.5f64..10.0, b in 0.5f64..10.0, x1 in 0.01f64..0.99, dx in 0.0f64..0.5) {
+        let x2 = (x1 + dx).min(1.0);
+        prop_assert!(betainc(a, b, x1) <= betainc(a, b, x2) + 1e-9);
+    }
+
+    #[test]
+    fn survival_functions_are_valid_probabilities(v in 0.0f64..100.0, d1 in 1.0f64..30.0, d2 in 1.0f64..30.0) {
+        let p = f_sf(v, d1, d2);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let q = chi2_sf(v, d1);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn stratified_split_partitions(n_pos in 2usize..20, n_neg in 2usize..40, seed in 0u64..100) {
+        let mut y = vec![0usize; n_neg];
+        y.extend(vec![1usize; n_pos]);
+        let (train, test) = em_ml::stratified_train_test_indices(&y, 0.25, seed);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..y.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+}
+
+#[test]
+fn labels_strategy_smoke() {
+    // Exercise the helper so it isn't dead code if strategies shift.
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let tree = labels_for(6).new_tree(&mut runner).unwrap();
+    let y = proptest::strategy::ValueTree::current(&tree);
+    assert!(y.contains(&0) && y.contains(&1));
+}

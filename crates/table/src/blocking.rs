@@ -1,0 +1,291 @@
+//! Baseline blocking strategies.
+//!
+//! The paper treats blocking as orthogonal to the matching phase (§II-A),
+//! but end-to-end examples need one, so this module provides the two common
+//! baseline blockers Magellan offers: attribute equivalence and token
+//! overlap. Both avoid the quadratic all-pairs enumeration by hashing.
+
+use crate::pairs::RecordPair;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// A blocker produces the candidate pairs the matcher will score.
+pub trait Blocker {
+    /// Generate candidate pairs between tables `a` and `b`.
+    fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair>;
+}
+
+/// Pairs records whose values on one attribute are exactly equal
+/// (e.g. "put the restaurants with the same `city` into the same block").
+/// Records with a null blocking key produce no candidates.
+#[derive(Debug, Clone)]
+pub struct AttrEquivalenceBlocker {
+    /// Name of the blocking attribute (must exist in both schemas).
+    pub attribute: String,
+}
+
+impl Blocker for AttrEquivalenceBlocker {
+    fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair> {
+        let col_a = a
+            .schema()
+            .index_of(&self.attribute)
+            .unwrap_or_else(|| panic!("attribute {} missing in left table", self.attribute));
+        let col_b = b
+            .schema()
+            .index_of(&self.attribute)
+            .unwrap_or_else(|| panic!("attribute {} missing in right table", self.attribute));
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for rec in b.records() {
+            if let Some(key) = rec.get(col_b).to_display_string() {
+                index.entry(key).or_default().push(rec.index());
+            }
+        }
+        let mut out = Vec::new();
+        for rec in a.records() {
+            if let Some(key) = rec.get(col_a).to_display_string() {
+                if let Some(rights) = index.get(&key) {
+                    out.extend(rights.iter().map(|&r| RecordPair::new(rec.index(), r)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pairs records sharing at least `min_overlap` lowercase word tokens on one
+/// attribute — the standard "overlap blocker".
+#[derive(Debug, Clone)]
+pub struct OverlapBlocker {
+    /// Name of the blocking attribute.
+    pub attribute: String,
+    /// Minimum number of shared word tokens required.
+    pub min_overlap: usize,
+}
+
+fn word_tokens(s: &str) -> Vec<String> {
+    s.split_whitespace()
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+impl Blocker for OverlapBlocker {
+    fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair> {
+        let col_a = a
+            .schema()
+            .index_of(&self.attribute)
+            .unwrap_or_else(|| panic!("attribute {} missing in left table", self.attribute));
+        let col_b = b
+            .schema()
+            .index_of(&self.attribute)
+            .unwrap_or_else(|| panic!("attribute {} missing in right table", self.attribute));
+        // Inverted index: token -> right-record ids containing it.
+        let mut inverted: HashMap<String, Vec<usize>> = HashMap::new();
+        for rec in b.records() {
+            if let Some(s) = rec.get(col_b).to_display_string() {
+                let mut toks = word_tokens(&s);
+                toks.sort_unstable();
+                toks.dedup();
+                for t in toks {
+                    inverted.entry(t).or_default().push(rec.index());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut overlap_count: HashMap<usize, usize> = HashMap::new();
+        for rec in a.records() {
+            let Some(s) = rec.get(col_a).to_display_string() else {
+                continue;
+            };
+            overlap_count.clear();
+            let mut toks = word_tokens(&s);
+            toks.sort_unstable();
+            toks.dedup();
+            for t in &toks {
+                if let Some(rights) = inverted.get(t) {
+                    for &r in rights {
+                        *overlap_count.entry(r).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut hits: Vec<usize> = overlap_count
+                .iter()
+                .filter(|(_, &c)| c >= self.min_overlap)
+                .map(|(&r, _)| r)
+                .collect();
+            hits.sort_unstable();
+            out.extend(hits.into_iter().map(|r| RecordPair::new(rec.index(), r)));
+        }
+        out
+    }
+}
+
+/// Candidate pairs for *deduplication* (a single table matched against
+/// itself, the paper's "clean a customer table by detecting duplicate
+/// customers" scenario): runs the blocker on `(t, t)` and keeps only one
+/// orientation of each pair (`left < right`), dropping self-pairs.
+pub fn self_join_candidates(blocker: &dyn Blocker, t: &Table) -> Vec<RecordPair> {
+    let mut out: Vec<RecordPair> = blocker
+        .candidates(t, t)
+        .into_iter()
+        .filter(|p| p.left < p.right)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Standard blocking-quality metrics (Christen; Papadakis et al. — the
+/// paper's reference \[29\] evaluates blockers with exactly these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingStats {
+    /// Fraction of the full cross product pruned away:
+    /// `1 - |candidates| / (|A| × |B|)`. Higher is cheaper.
+    pub reduction_ratio: f64,
+    /// Fraction of true matches retained among the candidates
+    /// (blocking recall). Higher is safer.
+    pub pair_completeness: f64,
+    /// Candidate count.
+    pub candidates: usize,
+}
+
+impl BlockingStats {
+    /// Evaluate a candidate set against gold matching pairs.
+    pub fn evaluate(
+        candidates: &[RecordPair],
+        true_matches: &[RecordPair],
+        n_left: usize,
+        n_right: usize,
+    ) -> Self {
+        let cross = (n_left * n_right).max(1);
+        let candidate_set: std::collections::HashSet<(usize, usize)> =
+            candidates.iter().map(|p| (p.left, p.right)).collect();
+        let retained = true_matches
+            .iter()
+            .filter(|p| candidate_set.contains(&(p.left, p.right)))
+            .count();
+        BlockingStats {
+            reduction_ratio: 1.0 - candidate_set.len() as f64 / cross as f64,
+            pair_completeness: if true_matches.is_empty() {
+                1.0
+            } else {
+                retained as f64 / true_matches.len() as f64
+            },
+            candidates: candidate_set.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new(["name", "city"]);
+        let mut a = Table::new(schema.clone());
+        a.push_row(vec!["arts delicatessen".into(), "studio city".into()])
+            .unwrap();
+        a.push_row(vec!["fenix".into(), "west hollywood".into()])
+            .unwrap();
+        a.push_row(vec!["nowhere".into(), Value::Null]).unwrap();
+        let mut b = Table::new(schema);
+        b.push_row(vec!["arts deli".into(), "studio city".into()])
+            .unwrap();
+        b.push_row(vec!["fenix at the argyle".into(), "w. hollywood".into()])
+            .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn attr_equivalence() {
+        let (a, b) = tables();
+        let blocker = AttrEquivalenceBlocker {
+            attribute: "city".into(),
+        };
+        let cands = blocker.candidates(&a, &b);
+        // Only "studio city" matches exactly; nulls never pair.
+        assert_eq!(cands, vec![RecordPair::new(0, 0)]);
+    }
+
+    #[test]
+    fn overlap_blocker_finds_fuzzy_city() {
+        let (a, b) = tables();
+        let blocker = OverlapBlocker {
+            attribute: "city".into(),
+            min_overlap: 1,
+        };
+        let cands = blocker.candidates(&a, &b);
+        // "west hollywood" and "w. hollywood" share the token "hollywood".
+        assert!(cands.contains(&RecordPair::new(1, 1)));
+        assert!(cands.contains(&RecordPair::new(0, 0)));
+    }
+
+    #[test]
+    fn overlap_threshold_filters() {
+        let (a, b) = tables();
+        let strict = OverlapBlocker {
+            attribute: "name".into(),
+            min_overlap: 2,
+        };
+        let cands = strict.candidates(&a, &b);
+        // "arts delicatessen" vs "arts deli": only "arts" is shared -> pruned.
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn overlap_reduces_cross_product() {
+        let (a, b) = tables();
+        let blocker = OverlapBlocker {
+            attribute: "name".into(),
+            min_overlap: 1,
+        };
+        let cands = blocker.candidates(&a, &b);
+        assert!(cands.len() < a.len() * b.len());
+    }
+
+    #[test]
+    fn self_join_drops_diagonal_and_mirrors() {
+        let (a, _) = tables();
+        let blocker = OverlapBlocker {
+            attribute: "name".into(),
+            min_overlap: 1,
+        };
+        let cands = self_join_candidates(&blocker, &a);
+        for p in &cands {
+            assert!(p.left < p.right, "{p:?}");
+        }
+        // No duplicates.
+        let set: std::collections::BTreeSet<_> = cands.iter().collect();
+        assert_eq!(set.len(), cands.len());
+    }
+
+    #[test]
+    fn blocking_stats_measure_reduction_and_recall() {
+        let (a, b) = tables();
+        let blocker = OverlapBlocker {
+            attribute: "city".into(),
+            min_overlap: 1,
+        };
+        let candidates = blocker.candidates(&a, &b);
+        let truth = vec![RecordPair::new(0, 0), RecordPair::new(1, 1)];
+        let stats = BlockingStats::evaluate(&candidates, &truth, a.len(), b.len());
+        assert!(stats.reduction_ratio > 0.0);
+        assert_eq!(stats.pair_completeness, 1.0);
+        assert_eq!(stats.candidates, candidates.len());
+        // A blocker that returns nothing has perfect reduction, zero recall.
+        let empty = BlockingStats::evaluate(&[], &truth, a.len(), b.len());
+        assert_eq!(empty.reduction_ratio, 1.0);
+        assert_eq!(empty.pair_completeness, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing in left table")]
+    fn missing_attribute_panics() {
+        let (a, b) = tables();
+        let blocker = AttrEquivalenceBlocker {
+            attribute: "zip".into(),
+        };
+        let _ = blocker.candidates(&a, &b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal RFC-4180-style CSV reader/writer, enough to load the benchmark
+//! tables this repository generates and to let users bring their own data.
+//!
+//! Supports quoted fields, escaped quotes (`""`), embedded commas and
+//! newlines inside quotes, and both `\n` and `\r\n` line endings.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::TableError;
+
+/// Parse CSV text into a [`Table`]. The first row is the header.
+/// Field values are parsed with [`Value::parse`] (typed: numbers, booleans,
+/// nulls, text).
+///
+/// # Errors
+/// Returns an error on ragged rows or an empty input.
+pub fn parse_csv(input: &str) -> Result<Table, TableError> {
+    let rows = split_records(input)?;
+    let mut iter = rows.into_iter();
+    let header = iter.next().ok_or(TableError::EmptyCsv)?;
+    let schema = Schema::new(header);
+    let mut table = Table::new(schema);
+    for row in iter {
+        let values = row.iter().map(|f| Value::parse(f)).collect();
+        table.push_row(values)?;
+    }
+    Ok(table)
+}
+
+/// Load a CSV file from disk. See [`parse_csv`].
+///
+/// # Errors
+/// I/O failures and parse failures.
+pub fn read_csv_file(path: &std::path::Path) -> Result<Table, TableError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TableError::Io(e.to_string()))?;
+    parse_csv(&text)
+}
+
+/// Serialize a table back to CSV text (header + rows). Fields containing
+/// commas, quotes, or newlines are quoted; nulls render as empty fields.
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .iter()
+        .map(|a| escape_field(&a.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for rec in table.records() {
+        let fields: Vec<String> = rec
+            .values()
+            .iter()
+            .map(|v| escape_field(&v.to_display_string().unwrap_or_default()))
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Split raw CSV into records of fields, honoring quoting.
+fn split_records(input: &str) -> Result<Vec<Vec<String>>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any {
+        return Err(TableError::EmptyCsv);
+    }
+    // Validate rectangularity against the header.
+    if let Some(width) = records.first().map(Vec::len) {
+        for (i, r) in records.iter().enumerate() {
+            if r.len() != width {
+                return Err(TableError::Csv(format!(
+                    "row {i} has {} fields, expected {width}",
+                    r.len()
+                )));
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let csv = "name,city,rating\nfenix,west hollywood,4.5\narts deli,studio city,\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().names(), vec!["name", "city", "rating"]);
+        assert_eq!(t.cell(0, 2), &Value::Number(4.5));
+        assert!(t.cell(1, 2).is_null());
+        let back = write_csv(&t);
+        let t2 = parse_csv(&back).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.cell(0, 0).as_text(), Some("hello, world"));
+        assert_eq!(t.cell(0, 1).as_text(), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let csv = "a,b\n\"line1\nline2\",x\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.cell(0, 0).as_text(), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_endings() {
+        let csv = "a,b\r\n1,2\r\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 1), &Value::Number(2.0));
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        assert!(parse_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("a,b\n\"oops,2\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn read_csv_file_round_trip() {
+        let dir = std::env::temp_dir().join("em_table_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "name,price
+widget,9.5
+").unwrap();
+        let t = crate::read_csv_file(&path).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 1), &Value::Number(9.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_csv_file_missing_path_errors() {
+        let err = crate::read_csv_file(std::path::Path::new("/nonexistent/x.csv")).unwrap_err();
+        assert!(matches!(err, crate::TableError::Io(_)));
+    }
+
+    #[test]
+    fn write_escapes() {
+        let mut t = Table::new(Schema::new(["x"]));
+        t.push_row(vec![Value::Text("a,\"b\"".into())]).unwrap();
+        let s = write_csv(&t);
+        assert_eq!(s, "x\n\"a,\"\"b\"\"\"\n");
+    }
+}

@@ -1,0 +1,101 @@
+//! Record pairs: the unit of work in the matching phase.
+
+/// A candidate pair referencing one record in table A and one in table B
+/// (by row index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct RecordPair {
+    /// Row index into the left (A) table.
+    pub left: usize,
+    /// Row index into the right (B) table.
+    pub right: usize,
+}
+
+impl RecordPair {
+    /// Construct a pair.
+    pub fn new(left: usize, right: usize) -> Self {
+        RecordPair { left, right }
+    }
+}
+
+/// A record pair plus its gold label (`true` = matching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LabeledPair {
+    /// The candidate pair.
+    pub pair: RecordPair,
+    /// `true` when both records refer to the same real-world entity.
+    pub label: bool,
+}
+
+impl LabeledPair {
+    /// Construct a labeled pair.
+    pub fn new(left: usize, right: usize, label: bool) -> Self {
+        LabeledPair {
+            pair: RecordPair::new(left, right),
+            label,
+        }
+    }
+}
+
+/// Summary statistics over a labeled pair collection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairStats {
+    /// Total number of pairs.
+    pub total: usize,
+    /// Number of matching (positive) pairs.
+    pub positives: usize,
+}
+
+impl PairStats {
+    /// Compute stats for a slice of labeled pairs.
+    pub fn of(pairs: &[LabeledPair]) -> Self {
+        PairStats {
+            total: pairs.len(),
+            positives: pairs.iter().filter(|p| p.label).count(),
+        }
+    }
+
+    /// Fraction of positives (0 for an empty collection).
+    pub fn positive_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.positives as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        let pairs = vec![
+            LabeledPair::new(0, 0, true),
+            LabeledPair::new(0, 1, false),
+            LabeledPair::new(1, 1, true),
+            LabeledPair::new(2, 0, false),
+        ];
+        let s = PairStats::of(&pairs);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.positives, 2);
+        assert_eq!(s.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = PairStats::of(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn pair_ordering_supports_sets() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(RecordPair::new(1, 2));
+        set.insert(RecordPair::new(1, 2));
+        set.insert(RecordPair::new(2, 1));
+        assert_eq!(set.len(), 2);
+    }
+}

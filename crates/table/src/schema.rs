@@ -1,0 +1,87 @@
+//! Table schemas: ordered, named attributes.
+
+/// An attribute (column) of a table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Attribute {
+    /// Column name, unique within a schema.
+    pub name: String,
+}
+
+/// An ordered list of attributes shared by every record in a [`crate::Table`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from column names. Panics on duplicate names because a
+    /// schema with ambiguous columns is a programming error, not a data error.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        let attrs: Vec<Attribute> = names
+            .into_iter()
+            .map(|n| Attribute { name: n.into() })
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &attrs {
+            assert!(seen.insert(a.name.clone()), "duplicate attribute {}", a.name);
+        }
+        Schema { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute at position `i`.
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// Position of the attribute named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Iterate over the attributes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// The column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(["name", "address", "city"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("address"), Some(1));
+        assert_eq!(s.index_of("zip"), None);
+        assert_eq!(s.attr(2).name, "city");
+        assert_eq!(s.names(), vec!["name", "address", "city"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(["a", "a"]);
+    }
+
+    #[test]
+    fn empty() {
+        let s = Schema::new(Vec::<String>::new());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! In-memory tables of records.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A table: a schema plus rows of [`Value`]s. Records are identified by their
+/// row index, which is stable for the lifetime of the table.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+/// A borrowed view of one record of a [`Table`].
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    schema: &'a Schema,
+    row: &'a [Value],
+    index: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row. Returns its index.
+    ///
+    /// # Errors
+    /// Fails when the row arity does not match the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<usize, crate::TableError> {
+        if row.len() != self.schema.len() {
+            return Err(crate::TableError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Borrow the record at `index`. Panics when out of range.
+    pub fn record(&self, index: usize) -> Record<'_> {
+        Record {
+            schema: &self.schema,
+            row: &self.rows[index],
+            index,
+        }
+    }
+
+    /// Raw cell access by row/column index.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Iterate over all records.
+    pub fn records(&self) -> impl Iterator<Item = Record<'_>> {
+        self.rows.iter().enumerate().map(move |(i, row)| Record {
+            schema: &self.schema,
+            row,
+            index: i,
+        })
+    }
+
+    /// All values of column `col` in row order.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[col])
+    }
+
+    /// Fraction of missing cells in column `col` (0 when the table is empty).
+    pub fn null_fraction(&self, col: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let nulls = self.column(col).filter(|v| v.is_null()).count();
+        nulls as f64 / self.rows.len() as f64
+    }
+}
+
+impl<'a> Record<'a> {
+    /// Row index of this record in its table.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Cell at attribute position `col`.
+    pub fn get(&self, col: usize) -> &'a Value {
+        &self.row[col]
+    }
+
+    /// Cell by attribute name, if the attribute exists.
+    pub fn get_by_name(&self, name: &str) -> Option<&'a Value> {
+        self.schema.index_of(name).map(|i| &self.row[i])
+    }
+
+    /// The record's values as a slice.
+    pub fn values(&self) -> &'a [Value] {
+        self.row
+    }
+
+    /// The schema of the parent table.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn restaurant_table() -> Table {
+        let mut t = Table::new(Schema::new(["name", "city", "rating"]));
+        t.push_row(vec![
+            "arnie mortons of chicago".into(),
+            "los angeles".into(),
+            Value::Number(4.5),
+        ])
+        .unwrap();
+        t.push_row(vec!["fenix".into(), "west hollywood".into(), Value::Null])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read() {
+        let t = restaurant_table();
+        assert_eq!(t.len(), 2);
+        let r = t.record(0);
+        assert_eq!(r.index(), 0);
+        assert_eq!(r.get(1).as_text(), Some("los angeles"));
+        assert_eq!(r.get_by_name("rating").unwrap().as_number(), Some(4.5));
+        assert_eq!(r.get_by_name("zip"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(Schema::new(["a", "b"]));
+        assert!(t.push_row(vec![Value::Null]).is_err());
+    }
+
+    #[test]
+    fn null_fraction() {
+        let t = restaurant_table();
+        assert_eq!(t.null_fraction(0), 0.0);
+        assert_eq!(t.null_fraction(2), 0.5);
+    }
+
+    #[test]
+    fn records_iterator() {
+        let t = restaurant_table();
+        let names: Vec<_> = t
+            .records()
+            .map(|r| r.get(0).as_text().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["arnie mortons of chicago", "fenix"]);
+    }
+}

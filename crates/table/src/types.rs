@@ -1,0 +1,210 @@
+//! Attribute type inference (paper §III-B, Table I's "Data Type" column).
+//!
+//! Magellan classifies each attribute into one of six types based on parse
+//! success and the average number of words per value:
+//! boolean, numeric, single-word string, 1-to-5-word string, 5-to-10-word
+//! string, and long string (> 10 words). AutoML-EM (Table II) only needs the
+//! coarse distinction string / number / bool.
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// The fine-grained Magellan attribute type (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AttrType {
+    /// All non-null values are booleans.
+    Boolean,
+    /// All non-null values are numbers.
+    Numeric,
+    /// Strings averaging exactly one word.
+    SingleWordString,
+    /// Strings averaging in (1, 5] words.
+    ShortString,
+    /// Strings averaging in (5, 10] words.
+    MediumString,
+    /// Strings averaging more than 10 words.
+    LongString,
+}
+
+/// The coarse attribute type used by AutoML-EM feature generation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CoarseType {
+    /// Any string attribute, regardless of length.
+    String,
+    /// Numeric attribute.
+    Number,
+    /// Boolean attribute.
+    Bool,
+}
+
+impl AttrType {
+    /// Collapse to the coarse String/Number/Bool distinction of Table II.
+    pub fn coarse(&self) -> CoarseType {
+        match self {
+            AttrType::Boolean => CoarseType::Bool,
+            AttrType::Numeric => CoarseType::Number,
+            _ => CoarseType::String,
+        }
+    }
+
+    /// True for the four string buckets.
+    pub fn is_string(&self) -> bool {
+        self.coarse() == CoarseType::String
+    }
+}
+
+/// Average number of whitespace-separated words among the given values,
+/// counting only non-null cells. `None` when every cell is null.
+fn average_word_count<'a>(values: impl Iterator<Item = &'a Value>) -> Option<f64> {
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for v in values {
+        if let Some(s) = v.to_display_string() {
+            total += s.split_whitespace().count();
+            count += 1;
+        }
+    }
+    (count > 0).then(|| total as f64 / count as f64)
+}
+
+/// Infer the Magellan type of one column from its values.
+///
+/// Rules, in order: all-null ⇒ treated as single-word string (a harmless
+/// default); all non-null parse as bool ⇒ `Boolean`; all non-null parse as
+/// number ⇒ `Numeric`; otherwise a string bucket chosen by average word count
+/// with the paper's cut-offs 1 / 5 / 10.
+pub fn infer_column_type<'a>(values: impl Iterator<Item = &'a Value> + Clone) -> AttrType {
+    let non_null: Vec<&Value> = values.clone().filter(|v| !v.is_null()).collect();
+    if non_null.is_empty() {
+        return AttrType::SingleWordString;
+    }
+    // Bool check first: "true"/"false" also parse as text but not as numbers.
+    let all_bool = non_null
+        .iter()
+        .all(|v| matches!(v, Value::Bool(_)) || matches!(v, Value::Text(t) if Value::parse(t) == Value::Bool(true) || Value::parse(t) == Value::Bool(false)));
+    if all_bool {
+        return AttrType::Boolean;
+    }
+    let all_num = non_null
+        .iter()
+        .all(|v| matches!(v, Value::Number(_)) || v.as_number().is_some());
+    if all_num {
+        return AttrType::Numeric;
+    }
+    let avg = average_word_count(values).unwrap_or(1.0);
+    if avg <= 1.0 {
+        AttrType::SingleWordString
+    } else if avg <= 5.0 {
+        AttrType::ShortString
+    } else if avg <= 10.0 {
+        AttrType::MediumString
+    } else {
+        AttrType::LongString
+    }
+}
+
+/// Infer the type of every attribute of a pair of tables with a shared
+/// schema (the A and B sides of an EM task), pooling both sides' values the
+/// way Magellan does.
+///
+/// # Panics
+/// Panics when the two schemas differ: type inference across mismatched
+/// schemas is a caller bug.
+pub fn infer_pair_types(a: &Table, b: &Table) -> Vec<AttrType> {
+    assert_eq!(
+        a.schema(),
+        b.schema(),
+        "tables must share a schema for pairwise type inference"
+    );
+    (0..a.schema().len())
+        .map(|col| {
+            let combined: Vec<&Value> = a.column(col).chain(b.column(col)).collect();
+            infer_column_type(combined.iter().copied())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn col(vals: &[Value]) -> AttrType {
+        infer_column_type(vals.iter())
+    }
+
+    #[test]
+    fn boolean_column() {
+        assert_eq!(
+            col(&[Value::Bool(true), Value::Null, Value::Bool(false)]),
+            AttrType::Boolean
+        );
+    }
+
+    #[test]
+    fn numeric_column() {
+        assert_eq!(
+            col(&[Value::Number(1.0), Value::Text("2.5".into())]),
+            AttrType::Numeric
+        );
+    }
+
+    #[test]
+    fn string_buckets() {
+        assert_eq!(col(&[Value::Text("fenix".into())]), AttrType::SingleWordString);
+        assert_eq!(
+            col(&[Value::Text("arts deli".into()), Value::Text("the palm".into())]),
+            AttrType::ShortString
+        );
+        let medium = "one two three four five six seven";
+        assert_eq!(col(&[Value::Text(medium.into())]), AttrType::MediumString);
+        let long = "w ".repeat(12);
+        assert_eq!(col(&[Value::Text(long)]), AttrType::LongString);
+    }
+
+    #[test]
+    fn mixed_numbers_and_text_is_string() {
+        assert_eq!(
+            col(&[Value::Number(5.0), Value::Text("five".into())]),
+            AttrType::SingleWordString
+        );
+    }
+
+    #[test]
+    fn all_null_defaults_to_single_word() {
+        assert_eq!(col(&[Value::Null, Value::Null]), AttrType::SingleWordString);
+    }
+
+    #[test]
+    fn coarse_mapping() {
+        assert_eq!(AttrType::Boolean.coarse(), CoarseType::Bool);
+        assert_eq!(AttrType::Numeric.coarse(), CoarseType::Number);
+        assert_eq!(AttrType::LongString.coarse(), CoarseType::String);
+        assert!(AttrType::ShortString.is_string());
+        assert!(!AttrType::Numeric.is_string());
+    }
+
+    #[test]
+    fn pair_inference_pools_both_sides() {
+        let schema = Schema::new(["x"]);
+        let mut a = Table::new(schema.clone());
+        let mut b = Table::new(schema);
+        // A alone looks numeric; B's text forces the pooled type to string.
+        a.push_row(vec![Value::Number(1.0)]).unwrap();
+        b.push_row(vec![Value::Text("one".into())]).unwrap();
+        assert_eq!(infer_pair_types(&a, &b), vec![AttrType::SingleWordString]);
+    }
+
+    #[test]
+    fn boundary_word_counts() {
+        // avg exactly 5 words -> ShortString (cutoff is (1, 5])
+        let five = "a b c d e";
+        assert_eq!(col(&[Value::Text(five.into())]), AttrType::ShortString);
+        // avg exactly 10 -> MediumString
+        let ten = "a b c d e f g h i j";
+        assert_eq!(col(&[Value::Text(ten.into())]), AttrType::MediumString);
+        // 11 words -> LongString
+        let eleven = "a b c d e f g h i j k";
+        assert_eq!(col(&[Value::Text(eleven.into())]), AttrType::LongString);
+    }
+}

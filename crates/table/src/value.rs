@@ -1,0 +1,178 @@
+//! Cell values: the dynamic type a table cell can hold.
+
+use std::fmt;
+
+/// A single table cell. EM benchmark data is dirty by nature, so every cell
+/// may be [`Value::Null`] (missing).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// Free text.
+    Text(String),
+    /// Numeric value (integers are stored as f64).
+    Number(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// True when this cell is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow the text content, if this is a text cell.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content; text cells that parse as numbers also convert.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            Value::Text(s) => s.trim().parse::<f64>().ok(),
+            Value::Bool(b) => Some(f64::from(*b)),
+            Value::Null => None,
+        }
+    }
+
+    /// Boolean content; recognizes common textual spellings.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Text(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "true" | "yes" | "y" | "1" => Some(true),
+                "false" | "no" | "n" | "0" => Some(false),
+                _ => None,
+            },
+            Value::Number(x) if *x == 0.0 => Some(false),
+            Value::Number(x) if *x == 1.0 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Render the value as the string a similarity function should see.
+    /// Numbers print without a spurious trailing `.0` for integers.
+    pub fn to_display_string(&self) -> Option<String> {
+        match self {
+            Value::Null => None,
+            Value::Text(s) => Some(s.clone()),
+            Value::Number(x) => Some(if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x}")
+            }),
+            Value::Bool(b) => Some(b.to_string()),
+        }
+    }
+
+    /// Parse a raw CSV field into the most specific value type.
+    /// Empty / "null" / "na" fields become [`Value::Null`].
+    pub fn parse(raw: &str) -> Value {
+        let t = raw.trim();
+        if t.is_empty() {
+            return Value::Null;
+        }
+        match t.to_ascii_lowercase().as_str() {
+            "null" | "na" | "n/a" | "nan" | "none" => return Value::Null,
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(x) = t.parse::<f64>() {
+            if x.is_finite() {
+                return Value::Number(x);
+            }
+        }
+        Value::Text(raw.to_owned())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_display_string() {
+            Some(s) => f.write_str(&s),
+            None => f.write_str(""),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dispatch() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("  "), Value::Null);
+        assert_eq!(Value::parse("NA"), Value::Null);
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("12.5"), Value::Number(12.5));
+        assert_eq!(Value::parse("12 main st"), Value::Text("12 main st".into()));
+    }
+
+    #[test]
+    fn number_coercions() {
+        assert_eq!(Value::Text("42".into()).as_number(), Some(42.0));
+        assert_eq!(Value::Bool(true).as_number(), Some(1.0));
+        assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn bool_coercions() {
+        assert_eq!(Value::Text("Yes".into()).as_bool(), Some(true));
+        assert_eq!(Value::Text("0".into()).as_bool(), Some(false));
+        assert_eq!(Value::Text("maybe".into()).as_bool(), None);
+        assert_eq!(Value::Number(1.0).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Value::Number(5.0).to_display_string().unwrap(), "5");
+        assert_eq!(Value::Number(5.25).to_display_string().unwrap(), "5.25");
+        assert_eq!(Value::Null.to_display_string(), None);
+        assert_eq!(format!("{}", Value::Text("x".into())), "x");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from("a"), Value::Text("a".into()));
+        assert_eq!(Value::from(2.0), Value::Number(2.0));
+        assert_eq!(Value::from(None::<f64>), Value::Null);
+        assert_eq!(Value::from(Some(2.0)), Value::Number(2.0));
+    }
+}

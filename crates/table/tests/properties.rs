@@ -1,0 +1,107 @@
+//! Property tests for the table substrate: CSV round-trips, value parsing
+//! totality, type-inference stability, and blocking soundness.
+
+use em_table::{
+    infer_column_type, parse_csv, write_csv, AttrEquivalenceBlocker, Blocker, OverlapBlocker,
+    Schema, Table, Value,
+};
+use proptest::prelude::*;
+
+/// CSV-safe-ish field content, including characters that need quoting.
+fn field() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ,\"']{0,12}").unwrap()
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (2usize..5)
+        .prop_flat_map(|cols| {
+            proptest::collection::vec(
+                proptest::collection::vec(field(), cols..=cols),
+                1..8,
+            )
+            .prop_map(move |rows| (cols, rows))
+        })
+        .prop_map(|(cols, rows)| {
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let mut t = Table::new(Schema::new(names));
+            for r in rows {
+                t.push_row(r.into_iter().map(|f| Value::parse(&f)).collect())
+                    .unwrap();
+            }
+            t
+        })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trips(t in table_strategy()) {
+        let text = write_csv(&t);
+        let back = parse_csv(&text).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        prop_assert_eq!(back.schema().names(), t.schema().names());
+        // Values survive up to display-equivalence (typed parsing may turn
+        // "07" into Number(7), so compare rendered forms of the reparse).
+        let again = parse_csv(&write_csv(&back)).unwrap();
+        prop_assert_eq!(back, again);
+    }
+
+    #[test]
+    fn value_parse_is_total_and_display_reparses(raw in "[ -~]{0,20}") {
+        let v = Value::parse(&raw);
+        // Displaying and reparsing is idempotent after one round.
+        if let Some(display) = v.to_display_string() {
+            let v2 = Value::parse(&display);
+            let v3 = Value::parse(&v2.to_display_string().unwrap_or_default());
+            prop_assert_eq!(v2, v3);
+        }
+    }
+
+    #[test]
+    fn type_inference_is_permutation_invariant(vals in proptest::collection::vec(field(), 1..10)) {
+        let values: Vec<Value> = vals.iter().map(|f| Value::parse(f)).collect();
+        let t1 = infer_column_type(values.iter());
+        let mut reversed = values.clone();
+        reversed.reverse();
+        let t2 = infer_column_type(reversed.iter());
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn attr_blocker_candidates_have_equal_keys(t in table_strategy()) {
+        let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
+        for pair in blocker.candidates(&t, &t) {
+            let ka = t.record(pair.left).get(0).to_display_string();
+            let kb = t.record(pair.right).get(0).to_display_string();
+            prop_assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn attr_blocker_includes_the_diagonal_for_non_null_keys(t in table_strategy()) {
+        let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
+        let cands: std::collections::HashSet<(usize, usize)> = blocker
+            .candidates(&t, &t)
+            .into_iter()
+            .map(|p| (p.left, p.right))
+            .collect();
+        for rec in t.records() {
+            if !rec.get(0).is_null() {
+                prop_assert!(cands.contains(&(rec.index(), rec.index())));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_blocker_is_sound(t in table_strategy(), min_overlap in 1usize..3) {
+        let blocker = OverlapBlocker { attribute: "c0".into(), min_overlap };
+        for pair in blocker.candidates(&t, &t) {
+            let ka = t.record(pair.left).get(0).to_display_string().unwrap_or_default();
+            let kb = t.record(pair.right).get(0).to_display_string().unwrap_or_default();
+            let sa: std::collections::HashSet<String> =
+                ka.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
+            let sb: std::collections::HashSet<String> =
+                kb.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
+            prop_assert!(sa.intersection(&sb).count() >= min_overlap);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Sequence-alignment scores (Table I/II: Needleman-Wunsch, Smith-Waterman).
+//!
+//! Both use unit scoring (match = 1, mismatch = 0, gap penalty = 1), matching
+//! the `py_stringmatching` defaults that Magellan feeds into its feature
+//! vectors. The raw scores are what the paper's feature generators emit; the
+//! `*_normalized` variants divide by the shorter/longer string length so the
+//! values are comparable across attributes (useful for downstream scaling).
+
+/// Needleman-Wunsch global alignment score with match = 1, mismatch = 0,
+/// gap cost = 1. The score can be negative for very dissimilar strings.
+///
+/// ```
+/// assert_eq!(em_text::needleman_wunsch("dva", "deeva"), 1.0);
+/// ```
+pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let mut prev: Vec<f64> = (0..=bc.len()).map(|j| -(j as f64)).collect();
+    let mut cur = vec![0.0f64; bc.len() + 1];
+    for (i, ca) in ac.iter().enumerate() {
+        cur[0] = -((i + 1) as f64);
+        for (j, cb) in bc.iter().enumerate() {
+            let diag = prev[j] + f64::from(ca == cb);
+            let up = prev[j + 1] - 1.0;
+            let left = cur[j] - 1.0;
+            cur[j + 1] = diag.max(up).max(left);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bc.len()]
+}
+
+/// Smith-Waterman local alignment score with match = 1, mismatch = 0,
+/// gap cost = 1. Always non-negative; equals the length of the longest
+/// "run" of locally alignable characters under unit scoring.
+///
+/// ```
+/// assert_eq!(em_text::smith_waterman("cat", "hat"), 2.0);
+/// ```
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let mut prev = vec![0.0f64; bc.len() + 1];
+    let mut cur = vec![0.0f64; bc.len() + 1];
+    let mut best = 0.0f64;
+    for ca in &ac {
+        for (j, cb) in bc.iter().enumerate() {
+            let diag = prev[j] + f64::from(ca == cb);
+            let up = prev[j + 1] - 1.0;
+            let left = cur[j] - 1.0;
+            cur[j + 1] = diag.max(up).max(left).max(0.0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Needleman-Wunsch score divided by the length of the longer string,
+/// clamped into `[-1, 1]`.
+pub fn needleman_wunsch_normalized(a: &str, b: &str) -> f64 {
+    let m = a.chars().count().max(b.chars().count());
+    if m == 0 {
+        return 1.0;
+    }
+    (needleman_wunsch(a, b) / m as f64).clamp(-1.0, 1.0)
+}
+
+/// Smith-Waterman score divided by the length of the shorter string,
+/// clamped into `[0, 1]`. Two empty strings score 1.
+pub fn smith_waterman_normalized(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    let m = la.min(lb);
+    if m == 0 {
+        return 0.0;
+    }
+    (smith_waterman(a, b) / m as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nw_identical() {
+        assert_eq!(needleman_wunsch("abc", "abc"), 3.0);
+    }
+
+    #[test]
+    fn nw_empty() {
+        assert_eq!(needleman_wunsch("", ""), 0.0);
+        assert_eq!(needleman_wunsch("abc", ""), -3.0);
+        assert_eq!(needleman_wunsch("", "ab"), -2.0);
+    }
+
+    #[test]
+    fn nw_known() {
+        // "dva" vs "deeva": align d.va / deeva -> 3 matches - 2 gaps = 1
+        assert_eq!(needleman_wunsch("dva", "deeva"), 1.0);
+        // completely different, same length: best is 0 (all mismatches)
+        assert_eq!(needleman_wunsch("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn sw_identical_and_disjoint() {
+        assert_eq!(smith_waterman("abcd", "abcd"), 4.0);
+        assert_eq!(smith_waterman("abc", "xyz"), 0.0);
+        assert_eq!(smith_waterman("", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn sw_substring() {
+        // local alignment finds the common substring
+        assert_eq!(smith_waterman("xxhelloyy", "zzhellozz"), 5.0);
+        assert_eq!(smith_waterman("cat", "hat"), 2.0);
+    }
+
+    #[test]
+    fn sw_nonnegative_and_bounded() {
+        for (a, b) in [("abcdef", "bcd"), ("aaa", "aa"), ("q", "")] {
+            let s = smith_waterman(a, b);
+            assert!(s >= 0.0);
+            assert!(s <= a.chars().count().min(b.chars().count()) as f64);
+        }
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(smith_waterman_normalized("abc", "abc"), 1.0);
+        assert_eq!(smith_waterman_normalized("", ""), 1.0);
+        assert_eq!(needleman_wunsch_normalized("abc", "abc"), 1.0);
+        assert!(needleman_wunsch_normalized("abc", "") <= 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Hybrid token/character similarity: Monge-Elkan (Table I/II row 8/11/17).
+
+use crate::jaro::jaro_winkler;
+use crate::tokenize::Tokenizer;
+
+/// Monge-Elkan similarity with Jaro-Winkler as the secondary (inner)
+/// similarity, the `py_stringmatching` default Magellan uses.
+///
+/// Both strings are whitespace-tokenized. For every token of `a` the best
+/// Jaro-Winkler match among `b`'s tokens is found; the result is the mean of
+/// those best scores. The measure is asymmetric by definition (it averages
+/// over `a`'s tokens).
+///
+/// ```
+/// let s = em_text::monge_elkan("arts deli", "arts delicatessen");
+/// assert!(s > 0.9);
+/// ```
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    monge_elkan_with(a, b, jaro_winkler)
+}
+
+/// Monge-Elkan with a caller-supplied secondary similarity.
+pub fn monge_elkan_with(a: &str, b: &str, secondary: fn(&str, &str) -> f64) -> f64 {
+    let ta = Tokenizer::Whitespace.tokenize(a);
+    let tb = Tokenizer::Whitespace.tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in &ta {
+        let best = tb
+            .iter()
+            .map(|y| secondary(x, y))
+            .fold(f64::NEG_INFINITY, f64::max);
+        total += best;
+    }
+    total / ta.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert!((monge_elkan("good times", "good times") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+        assert_eq!(monge_elkan("", "a"), 0.0);
+    }
+
+    #[test]
+    fn subset_tokens_score_high() {
+        // Every token of the first string appears in the second.
+        let s = monge_elkan("new york", "new york city");
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry() {
+        let ab = monge_elkan("new york", "new york city");
+        let ba = monge_elkan("new york city", "new york");
+        assert!(ab >= ba);
+        assert!(ba < 1.0);
+    }
+
+    #[test]
+    fn bounded() {
+        for (a, b) in [("abc def", "xyz"), ("q", "qqq www"), ("a b c", "c b a")] {
+            let s = monge_elkan(a, b);
+            assert!((0.0..=1.0 + 1e-12).contains(&s), "{s}");
+        }
+    }
+}

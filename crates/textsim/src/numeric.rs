@@ -1,0 +1,121 @@
+//! Similarity functions over numeric and boolean values
+//! (Table I rows 22-26, Table II rows 17-21).
+
+use crate::edit::{levenshtein_distance, levenshtein_similarity};
+
+/// Absolute-norm similarity between two numbers:
+/// `1 - |a - b| / max(|a|, |b|)`, clamped to `[0, 1]`.
+///
+/// Two zeros (or two equal values) score 1; values of opposite sign with
+/// large magnitude difference approach 0. NaN inputs propagate NaN so the
+/// downstream imputer can treat them as missing.
+pub fn absolute_norm(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+}
+
+/// Exact numeric equality as 0/1 (NaN-propagating).
+pub fn numeric_exact_match(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Levenshtein distance between the decimal string representations of two
+/// numbers (Magellan applies the string edit distance to numeric attributes
+/// too — Table I row 22).
+pub fn numeric_levenshtein_distance(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    levenshtein_distance(&format_number(a), &format_number(b)) as f64
+}
+
+/// Normalized Levenshtein similarity between decimal representations.
+pub fn numeric_levenshtein_similarity(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    levenshtein_similarity(&format_number(a), &format_number(b))
+}
+
+/// Boolean exact match as 0/1 (Table I row 26 / Table II row 21).
+pub fn bool_exact_match(a: bool, b: bool) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Render a number the way the record originally would have been printed:
+/// integers without a decimal point, everything else with the shortest
+/// round-trip representation.
+fn format_number(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_norm_known() {
+        assert_eq!(absolute_norm(10.0, 10.0), 1.0);
+        assert_eq!(absolute_norm(0.0, 0.0), 1.0);
+        assert!((absolute_norm(8.0, 10.0) - 0.8).abs() < 1e-12);
+        assert_eq!(absolute_norm(-5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn absolute_norm_clamped() {
+        // |a-b| can exceed max(|a|,|b|) for opposite signs; clamp to 0.
+        assert_eq!(absolute_norm(-10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn absolute_norm_nan() {
+        assert!(absolute_norm(f64::NAN, 1.0).is_nan());
+        assert!(absolute_norm(1.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn numeric_exact() {
+        assert_eq!(numeric_exact_match(3.5, 3.5), 1.0);
+        assert_eq!(numeric_exact_match(3.5, 3.6), 0.0);
+        assert!(numeric_exact_match(f64::NAN, 3.5).is_nan());
+    }
+
+    #[test]
+    fn numeric_lev() {
+        // "1972" vs "1973": one substitution.
+        assert_eq!(numeric_levenshtein_distance(1972.0, 1973.0), 1.0);
+        assert!((numeric_levenshtein_similarity(1972.0, 1973.0) - 0.75).abs() < 1e-12);
+        // integers format without trailing ".0"
+        assert_eq!(numeric_levenshtein_distance(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn bool_match() {
+        assert_eq!(bool_exact_match(true, true), 1.0);
+        assert_eq!(bool_exact_match(true, false), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Token-set similarity functions (Table II rows 9-16): Jaccard, Dice,
+//! cosine, and overlap coefficient, each parameterized by a [`Tokenizer`].
+
+use crate::tokenize::Tokenizer;
+use std::collections::BTreeSet;
+
+fn intersection_size(a: &BTreeSet<String>, b: &BTreeSet<String>) -> usize {
+    if a.len() <= b.len() {
+        a.iter().filter(|t| b.contains(*t)).count()
+    } else {
+        b.iter().filter(|t| a.contains(*t)).count()
+    }
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` over token sets.
+///
+/// ```
+/// use em_text::Tokenizer;
+/// let s = em_text::jaccard("new york", "new york city", Tokenizer::Whitespace);
+/// assert!((s - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jaccard(a: &str, b: &str, tok: Tokenizer) -> f64 {
+    let sa = tok.token_set(a);
+    let sb = tok.token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(&sa, &sb);
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice similarity `2|A ∩ B| / (|A| + |B|)` over token sets.
+pub fn dice(a: &str, b: &str, tok: Tokenizer) -> f64 {
+    let sa = tok.token_set(a);
+    let sb = tok.token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(&sa, &sb) as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Set cosine similarity `|A ∩ B| / sqrt(|A| * |B|)` over token sets
+/// (the Ochiai coefficient, which is what `py_stringmatching.Cosine`
+/// computes on token sets).
+pub fn cosine(a: &str, b: &str, tok: Tokenizer) -> f64 {
+    let sa = tok.token_set(a);
+    let sb = tok.token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    intersection_size(&sa, &sb) as f64 / ((sa.len() as f64) * (sb.len() as f64)).sqrt()
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over token sets.
+pub fn overlap_coefficient(a: &str, b: &str, tok: Tokenizer) -> f64 {
+    let sa = tok.token_set(a);
+    let sb = tok.token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    intersection_size(&sa, &sb) as f64 / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WS: Tokenizer = Tokenizer::Whitespace;
+
+    #[test]
+    fn paper_jaccard_example() {
+        // Section III-B: jaccard("new york", "new york city") = 2/3.
+        assert!((jaccard("new york", "new york city", WS) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_inputs_score_one() {
+        for f in [jaccard, dice, cosine, overlap_coefficient] {
+            assert_eq!(f("a b c", "a b c", WS), 1.0);
+            assert_eq!(f("", "", WS), 1.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_inputs_score_zero() {
+        for f in [jaccard, dice, cosine, overlap_coefficient] {
+            assert_eq!(f("a b", "c d", WS), 0.0);
+            assert_eq!(f("a", "", WS), 0.0);
+        }
+    }
+
+    #[test]
+    fn dice_known() {
+        // A={a,b,c}, B={b,c,d}: dice = 2*2/6 = 2/3
+        assert!((dice("a b c", "b c d", WS) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_known() {
+        // A={a,b}, B={b}: 1 / sqrt(2)
+        assert!((cosine("a b", "b", WS) - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        assert_eq!(overlap_coefficient("a b", "a b c d", WS), 1.0);
+    }
+
+    #[test]
+    fn ordering_overlap_ge_dice_ge_jaccard() {
+        // For any pair, overlap >= dice >= jaccard (standard inequalities).
+        for (a, b) in [("a b c", "b c d e"), ("x y", "y z"), ("p q r s", "q")] {
+            let j = jaccard(a, b, WS);
+            let d = dice(a, b, WS);
+            let o = overlap_coefficient(a, b, WS);
+            assert!(o >= d - 1e-12);
+            assert!(d >= j - 1e-12);
+        }
+    }
+
+    #[test]
+    fn qgram_variant() {
+        let t = Tokenizer::QGram(3);
+        // shared grams 7, union 12 -> 7/12
+        assert!((jaccard("nichola", "nicholas", t) - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(jaccard("abc", "abc", t), 1.0);
+    }
+}

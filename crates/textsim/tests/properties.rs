@@ -1,0 +1,135 @@
+//! Property-based tests for the similarity substrate: metric bounds,
+//! symmetry, identity, and triangle-inequality style invariants.
+
+use em_text::*;
+use proptest::prelude::*;
+
+/// ASCII-ish strings including whitespace, to exercise tokenization.
+fn word_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ]{0,24}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_identity(s in word_string()) {
+        prop_assert_eq!(levenshtein_distance(&s, &s), 0);
+        prop_assert_eq!(levenshtein_similarity(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry(a in word_string(), b in word_string()) {
+        prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in word_string(), b in word_string(), c in word_string()) {
+        let ab = levenshtein_distance(&a, &b);
+        let bc = levenshtein_distance(&b, &c);
+        let ac = levenshtein_distance(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_length(a in word_string(), b in word_string()) {
+        let d = levenshtein_distance(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        // and at least the length difference
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn levenshtein_similarity_in_unit_interval(a in word_string(), b in word_string()) {
+        let s = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaro_bounds_symmetry_identity(a in word_string(), b in word_string()) {
+        let j = jaro(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaro(&b, &a)).abs() < 1e-12);
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word_string(), b in word_string()) {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!(jw >= j - 1e-12);
+        prop_assert!(jw <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn set_sims_bounds_and_identity(a in word_string(), b in word_string()) {
+        for tok in [Tokenizer::Whitespace, Tokenizer::QGram(3)] {
+            for f in [jaccard, dice, cosine, overlap_coefficient] {
+                let s = f(&a, &b, tok);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "value {s}");
+                prop_assert!((f(&a, &a, tok) - 1.0).abs() < 1e-12);
+                // symmetry
+                prop_assert!((s - f(&b, &a, tok)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn set_sim_ordering(a in word_string(), b in word_string()) {
+        let tok = Tokenizer::Whitespace;
+        let j = jaccard(&a, &b, tok);
+        let d = dice(&a, &b, tok);
+        let c = cosine(&a, &b, tok);
+        let o = overlap_coefficient(&a, &b, tok);
+        // Standard chain: jaccard <= dice <= cosine(ochiai) <= overlap.
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= c + 1e-12);
+        prop_assert!(c <= o + 1e-12);
+    }
+
+    #[test]
+    fn smith_waterman_bounded(a in word_string(), b in word_string()) {
+        let s = smith_waterman(&a, &b);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= a.chars().count().min(b.chars().count()) as f64);
+        // Identity achieves the max.
+        prop_assert_eq!(smith_waterman(&a, &a), a.chars().count() as f64);
+    }
+
+    #[test]
+    fn needleman_wunsch_identity_is_length(a in word_string()) {
+        prop_assert_eq!(needleman_wunsch(&a, &a), a.chars().count() as f64);
+    }
+
+    #[test]
+    fn needleman_wunsch_upper_bound(a in word_string(), b in word_string()) {
+        // NW score can never exceed the number of possible matches.
+        let s = needleman_wunsch(&a, &b);
+        prop_assert!(s <= a.chars().count().min(b.chars().count()) as f64);
+    }
+
+    #[test]
+    fn monge_elkan_bounds(a in word_string(), b in word_string()) {
+        let s = monge_elkan(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "value {s}");
+        prop_assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qgram_token_count(s in "[a-z]{1,16}", q in 1usize..5) {
+        prop_assert_eq!(qgrams(&s, q).len(), s.chars().count() + q - 1);
+    }
+
+    #[test]
+    fn absolute_norm_bounds(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let s = absolute_norm(a, b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(absolute_norm(a, a), 1.0);
+        prop_assert!((s - absolute_norm(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_is_binary(a in word_string(), b in word_string()) {
+        let e = exact_match(&a, &b);
+        prop_assert!(e == 0.0 || e == 1.0);
+        prop_assert_eq!(e == 1.0, a == b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Active labeling with self-training (AutoML-EM-Active, paper Algorithm 1):
+//! start from a small random labeled sample, iteratively ask a simulated
+//! human about the pairs the model is least sure of, trust the model's own
+//! labels on the pairs it is most sure of — then hand the mixed label pool
+//! to AutoML-EM.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example active_labeling
+//! ```
+
+use automl_em::{
+    ActiveConfig, AutoMlEm, AutoMlEmOptions, AutoMlEmActive, FeatureScheme, GroundTruthOracle,
+    PreparedDataset,
+};
+use em_automl::Budget;
+use em_data::Benchmark;
+use em_ml::{f1_score, stratified_train_test_indices};
+
+fn main() {
+    let dataset = Benchmark::AmazonGoogle.generate_scaled(11, 0.2);
+    let prepared = PreparedDataset::prepare(&dataset, FeatureScheme::AutoMlEm, 11);
+    // The labeling pool is the train+valid portion; the test split stays
+    // untouched for the final score.
+    let mut pool_idx: Vec<usize> = prepared.split.train.clone();
+    pool_idx.extend_from_slice(&prepared.split.valid);
+    let x_pool = prepared.features.select_rows(&pool_idx);
+    let pool_truth: Vec<usize> = pool_idx.iter().map(|&i| prepared.labels[i]).collect();
+
+    for (label, st_batch) in [("plain active learning (st_batch = 0)", 0), ("AutoML-EM-Active (st_batch = 100)", 100)] {
+        println!("== {label} ==");
+        let config = ActiveConfig {
+            init_size: 100,
+            ac_batch: 8,
+            st_batch,
+            iterations: 10,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut oracle = GroundTruthOracle::from_classes(&pool_truth);
+        let run = AutoMlEmActive::new(config).run(&x_pool, &mut oracle);
+        println!(
+            "labels collected: {} human + {} machine (oracle queries: {})",
+            run.labeled.human_count(),
+            run.labeled.machine_count(),
+            run.labeled.human_count(),
+        );
+        // How accurate were the free machine labels?
+        let (mut ok, mut machine) = (0, 0);
+        for ((&i, &y), &h) in run
+            .labeled
+            .indices
+            .iter()
+            .zip(&run.labeled.labels)
+            .zip(&run.labeled.human)
+        {
+            if !h {
+                machine += 1;
+                ok += usize::from(y == pool_truth[i]);
+            }
+        }
+        if machine > 0 {
+            println!(
+                "machine-label accuracy: {:.1}% ({ok}/{machine})",
+                100.0 * ok as f64 / machine as f64
+            );
+        }
+        // Train AutoML-EM on the collected labels (split 4:1 train/valid)
+        // and score on the untouched test set.
+        let x_labeled = x_pool.select_rows(&run.labeled.indices);
+        let (tr, va) = stratified_train_test_indices(&run.labeled.labels, 0.2, 11);
+        let xt = x_labeled.select_rows(&tr);
+        let yt: Vec<usize> = tr.iter().map(|&i| run.labeled.labels[i]).collect();
+        let xv = x_labeled.select_rows(&va);
+        let yv: Vec<usize> = va.iter().map(|&i| run.labeled.labels[i]).collect();
+        let result = AutoMlEm::new(AutoMlEmOptions {
+            budget: Budget::Evaluations(8),
+            seed: 11,
+            ..Default::default()
+        })
+        .fit(&xt, &yt, &xv, &yv);
+        let (x_test, y_test) = prepared.test();
+        let test_f1 = f1_score(&y_test, &result.fitted.predict(&x_test));
+        println!("final AutoML-EM test F1: {test_f1:.3}\n");
+    }
+}

@@ -1,0 +1,66 @@
+//! Explaining an EM model (paper §VII future work): which similarity
+//! features drive the matcher's decisions, how well-calibrated the scores
+//! are across thresholds, and what an F1-optimal operating point looks like.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example explainability
+//! ```
+
+use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};
+use em_automl::Budget;
+use em_data::Benchmark;
+use em_ml::{average_precision, precision_recall_curve};
+
+fn main() {
+    let dataset = Benchmark::WalmartAmazon.generate_scaled(5, 0.2);
+    let prepared = PreparedDataset::prepare(&dataset, FeatureScheme::AutoMlEm, 5);
+    let (_, test_f1, result) = prepared.run_automl(AutoMlEmOptions {
+        budget: Budget::Evaluations(12),
+        seed: 5,
+        ..Default::default()
+    });
+    println!("fitted AutoML-EM on {} (test F1 = {test_f1:.3})\n", prepared.name);
+
+    // 1. Native impurity importances, mapped to named similarity features.
+    let names = prepared.generator.feature_names();
+    match result.fitted.impurity_importances(&names) {
+        Some(report) => {
+            println!("top similarity features by impurity importance:");
+            for (name, score) in report.top(8) {
+                println!("  {score:>7.4}  {name}");
+            }
+        }
+        None => println!("(incumbent uses a transform without native importances)"),
+    }
+
+    // 2. Model-agnostic permutation importances on the validation split.
+    let (xv, yv) = prepared.valid();
+    let perm = result.fitted.permutation_importances(&xv, &yv, &names, 2, 5);
+    println!("\ntop features by permutation importance (F1 drop when shuffled):");
+    for (name, score) in perm.top(5) {
+        println!("  {score:>7.4}  {name}");
+    }
+
+    // 3. Score quality across thresholds: PR curve + average precision.
+    let (xs, ys) = prepared.test();
+    let scores = result.fitted.predict_match_proba(&xs);
+    let ap = average_precision(&ys, &scores);
+    println!("\naverage precision on test: {ap:.3}");
+    let curve = precision_recall_curve(&ys, &scores);
+    println!("PR curve (sampled):");
+    for point in curve.iter().step_by((curve.len() / 6).max(1)) {
+        println!(
+            "  threshold {:>5.2} -> precision {:.3}, recall {:.3}",
+            point.threshold, point.precision, point.recall
+        );
+    }
+
+    // 4. F1-optimal operating point chosen on validation, applied to test.
+    let (threshold, valid_f1) = result.fitted.tune_threshold(&xv, &yv);
+    let tuned_pred = result.fitted.predict_with_threshold(&xs, threshold);
+    let tuned_f1 = em_ml::f1_score(&ys, &tuned_pred);
+    println!(
+        "\nthreshold tuning: t = {threshold:.3} (valid F1 {valid_f1:.3}) -> test F1 {tuned_f1:.3} (argmax default: {test_f1:.3})"
+    );
+}

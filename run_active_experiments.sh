@@ -1,0 +1,10 @@
+#!/bin/sh
+# Figures 13-15 at scale 0.3 (single-core-friendly; pools of ~2 400 pairs
+# still dwarf init = 500). Part of ./run_experiments.sh at higher scale.
+set -x
+R="results"
+cargo run --release -p em-bench --bin exp_fig13 -q -- --scale 0.3 --budget 12 > $R/fig13_labeling_budget.txt 2>&1
+cargo run --release -p em-bench --bin exp_fig14 -q -- --scale 0.3 --budget 12 > $R/fig14_init_size.txt 2>&1
+cargo run --release -p em-bench --bin exp_fig15 -q -- --scale 0.3 --budget 12 > $R/fig15_st_batch.txt 2>&1
+cargo run --release -p em-bench --bin exp_ablation -q -- --scale 0.3 --budget 12 > $R/ablation_design_choices.txt 2>&1
+echo ACTIVE_EXPERIMENTS_DONE

@@ -1,0 +1,10 @@
+//! Workspace umbrella crate hosting the runnable examples and integration
+//! tests for the AutoML-EM reproduction. Re-exports the member crates so
+//! examples can use a single dependency.
+
+pub use automl_em as core;
+pub use em_automl as automl;
+pub use em_data as data;
+pub use em_ml as ml;
+pub use em_table as table;
+pub use em_text as text;

@@ -1,0 +1,161 @@
+//! Integration tests for AutoML-EM-Active (Algorithm 1) on benchmark data:
+//! labeling economics, the self-training benefit, and robustness.
+
+use automl_em::{
+    ActiveConfig, AutoMlEmActive, FeatureScheme, GroundTruthOracle, NoisyOracle, Oracle,
+    PreparedDataset,
+};
+use em_data::Benchmark;
+use em_ml::{f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier};
+use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
+
+struct Pool {
+    x: Matrix,
+    truth: Vec<usize>,
+    x_test: Matrix,
+    y_test: Vec<usize>,
+}
+
+fn pool_for(benchmark: Benchmark, scale: f64, seed: u64) -> Pool {
+    let ds = benchmark.generate_scaled(seed, scale);
+    let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, seed);
+    let mut idx = prep.split.train.clone();
+    idx.extend_from_slice(&prep.split.valid);
+    let (x_test, y_test) = {
+        let t = &prep.split.test;
+        (
+            prep.features.select_rows(t),
+            t.iter().map(|&i| prep.labels[i]).collect(),
+        )
+    };
+    Pool {
+        x: prep.features.select_rows(&idx),
+        truth: idx.iter().map(|&i| prep.labels[i]).collect(),
+        x_test,
+        y_test,
+    }
+}
+
+fn config(init: usize, ac: usize, st: usize, iters: usize, seed: u64) -> ActiveConfig {
+    ActiveConfig {
+        init_size: init,
+        ac_batch: ac,
+        st_batch: st,
+        iterations: iters,
+        seed,
+        forest: ForestParams {
+            n_estimators: 30,
+            ..ForestParams::default()
+        },
+        ..ActiveConfig::default()
+    }
+}
+
+/// Train a forest on the collected labels and score the held-out test split.
+fn downstream_f1(pool: &Pool, labeled: &automl_em::LabeledSet, seed: u64) -> f64 {
+    let (imputer, x_all) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &pool.x);
+    let xt = x_all.select_rows(&labeled.indices);
+    let mut rf = RandomForestClassifier::new(ForestParams {
+        n_estimators: 50,
+        seed,
+        ..ForestParams::default()
+    });
+    rf.fit(&xt, &labeled.labels, 2, None);
+    let x_test = imputer.transform(&pool.x_test);
+    f1_score(&pool.y_test, &rf.predict(&x_test))
+}
+
+#[test]
+fn human_cost_is_exactly_init_plus_iterations_times_batch() {
+    let pool = pool_for(Benchmark::AmazonGoogle, 0.1, 0);
+    let mut oracle = GroundTruthOracle::from_classes(&pool.truth);
+    let run = AutoMlEmActive::new(config(60, 5, 50, 6, 0)).run(&pool.x, &mut oracle);
+    assert_eq!(oracle.queries(), 60 + 6 * 5);
+    assert_eq!(run.labeled.human_count(), oracle.queries());
+}
+
+#[test]
+fn self_training_labels_are_mostly_correct_with_decent_init() {
+    let pool = pool_for(Benchmark::AmazonGoogle, 0.15, 1);
+    let mut oracle = GroundTruthOracle::from_classes(&pool.truth);
+    let run = AutoMlEmActive::new(config(150, 5, 60, 8, 1)).run(&pool.x, &mut oracle);
+    let (mut ok, mut total) = (0usize, 0usize);
+    for ((&i, &y), &h) in run
+        .labeled
+        .indices
+        .iter()
+        .zip(&run.labeled.labels)
+        .zip(&run.labeled.human)
+    {
+        if !h {
+            total += 1;
+            ok += usize::from(y == pool.truth[i]);
+        }
+    }
+    assert!(total > 50, "expected machine labels, got {total}");
+    let acc = ok as f64 / total as f64;
+    assert!(acc > 0.8, "machine-label accuracy {acc}");
+}
+
+#[test]
+fn self_training_beats_plain_active_learning_downstream() {
+    // The Figure 13 direction at test scale: with equal human budgets,
+    // the self-training run should win on most seeds.
+    let mut wins = 0;
+    let trials = 3;
+    for seed in 0..trials {
+        let pool = pool_for(Benchmark::AmazonGoogle, 0.2, 10 + seed);
+        let mut oracle_ac = GroundTruthOracle::from_classes(&pool.truth);
+        let mut oracle_st = GroundTruthOracle::from_classes(&pool.truth);
+        let ac_run =
+            AutoMlEmActive::new(config(150, 8, 0, 10, seed)).run(&pool.x, &mut oracle_ac);
+        let st_run =
+            AutoMlEmActive::new(config(150, 8, 80, 10, seed)).run(&pool.x, &mut oracle_st);
+        assert_eq!(oracle_ac.queries(), oracle_st.queries(), "equal human cost");
+        let f1_ac = downstream_f1(&pool, &ac_run.labeled, seed);
+        let f1_st = downstream_f1(&pool, &st_run.labeled, seed);
+        if f1_st >= f1_ac - 1e-9 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "self-training won only {wins}/{trials} seeds");
+}
+
+#[test]
+fn noisy_oracle_degrades_but_does_not_crash() {
+    let pool = pool_for(Benchmark::AbtBuy, 0.1, 2);
+    let mut clean = GroundTruthOracle::from_classes(&pool.truth);
+    let truth_bools: Vec<bool> = pool.truth.iter().map(|&c| c == 1).collect();
+    let mut noisy = NoisyOracle::new(truth_bools, 0.25, 2);
+    let run_clean = AutoMlEmActive::new(config(80, 5, 30, 6, 2)).run(&pool.x, &mut clean);
+    let run_noisy = AutoMlEmActive::new(config(80, 5, 30, 6, 2)).run(&pool.x, &mut noisy);
+    let f1_clean = downstream_f1(&pool, &run_clean.labeled, 2);
+    let f1_noisy = downstream_f1(&pool, &run_noisy.labeled, 2);
+    assert!((0.0..=1.0).contains(&f1_clean));
+    assert!((0.0..=1.0).contains(&f1_noisy));
+    // The noisy run must actually have disagreed with the truth somewhere
+    // among its human labels (flip rate 25%).
+    let flipped = run_noisy
+        .labeled
+        .indices
+        .iter()
+        .zip(&run_noisy.labeled.labels)
+        .zip(&run_noisy.labeled.human)
+        .filter(|((&i, &y), &h)| h && y != pool.truth[i])
+        .count();
+    assert!(flipped > 0, "noisy oracle never flipped a label");
+}
+
+#[test]
+fn pool_exhaustion_terminates_cleanly() {
+    let pool = pool_for(Benchmark::BeerAdvoRateBeer, 1.0, 3);
+    let n = pool.x.nrows();
+    // Batches large enough to drain the pool before the iteration cap.
+    let mut oracle = GroundTruthOracle::from_classes(&pool.truth);
+    let run = AutoMlEmActive::new(config(n / 3, n / 4, n / 2, 50, 3)).run(&pool.x, &mut oracle);
+    assert!(run.labeled.len() <= n);
+    let mut idx = run.labeled.indices.clone();
+    idx.sort_unstable();
+    idx.dedup();
+    assert_eq!(idx.len(), run.labeled.len(), "no index labeled twice");
+}

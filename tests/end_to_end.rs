@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: data generation → feature generation →
+//! pipeline search → evaluation, plus the active-learning loop — the full
+//! systems the paper's experiments exercise, at test-friendly scales.
+
+use automl_em::{
+    AutoMlEmOptions, EmPipelineConfig, FeatureGenerator, FeatureScheme, ModelSpace,
+    PreparedDataset, SearchChoice, SpaceOptions,
+};
+use em_automl::Budget;
+use em_data::Benchmark;
+
+fn quick(budget: usize, seed: u64) -> AutoMlEmOptions {
+    AutoMlEmOptions {
+        budget: Budget::Evaluations(budget),
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn automl_em_beats_chance_on_every_benchmark() {
+    for b in Benchmark::all() {
+        let ds = b.generate_scaled(1, 0.12);
+        let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 1);
+        let (_, test_f1, _) = prep.run_automl(quick(4, 1));
+        // Chance F1 at ~10-20% positive rate is far below 0.3.
+        assert!(test_f1 > 0.3, "{}: test F1 {test_f1}", ds.name);
+    }
+}
+
+#[test]
+fn automl_em_never_loses_to_default_rf_on_validation() {
+    // The warm-start guarantee: the returned pipeline's validation score is
+    // at least the default random forest's.
+    for b in [Benchmark::FodorsZagats, Benchmark::AbtBuy] {
+        let ds = b.generate_scaled(2, 0.2);
+        let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 2);
+        let (xt, yt) = prep.train();
+        let (xv, yv) = prep.valid();
+        let default_f1 = EmPipelineConfig::default_random_forest(2)
+            .fit(&xt, &yt)
+            .f1(&xv, &yv);
+        let (valid_f1, _, _) = prep.run_automl(quick(4, 2));
+        assert!(
+            valid_f1 >= default_f1 - 1e-9,
+            "{}: {valid_f1} < default {default_f1}",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn exhaustive_features_dominate_magellan_features_here() {
+    // Figure 9's direction on the long-text dataset: with the same search,
+    // Table-II features should not lose to Table-I features.
+    let mut sum_m = 0.0;
+    let mut sum_a = 0.0;
+    for seed in 3..6u64 {
+        let ds = Benchmark::AbtBuy.generate_scaled(seed, 0.15);
+        let prep_m = PreparedDataset::prepare(&ds, FeatureScheme::Magellan, seed);
+        let prep_a = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, seed);
+        assert!(prep_a.generator.n_features() > prep_m.generator.n_features());
+        sum_m += prep_m.run_automl(quick(6, seed)).1;
+        sum_a += prep_a.run_automl(quick(6, seed)).1;
+    }
+    // Averaged over seeds (tiny test sets are noisy), the exhaustive
+    // features must not lose.
+    assert!(
+        sum_a >= sum_m - 0.1,
+        "AutoML-EM features much worse on average: {sum_a} vs {sum_m}"
+    );
+}
+
+#[test]
+fn every_search_algorithm_drives_the_pipeline_search() {
+    let ds = Benchmark::FodorsZagats.generate_scaled(4, 0.25);
+    let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 4);
+    for search in [SearchChoice::Random, SearchChoice::Smac, SearchChoice::Tpe] {
+        let options = AutoMlEmOptions {
+            search,
+            ..quick(6, 4)
+        };
+        let (_, test_f1, result) = prep.run_automl(options);
+        assert_eq!(result.history.len(), 6);
+        assert!(test_f1 > 0.5, "{search:?}: {test_f1}");
+    }
+}
+
+#[test]
+fn all_model_space_runs_end_to_end() {
+    let ds = Benchmark::ItunesAmazon.generate_scaled(5, 0.4);
+    let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 5);
+    let options = AutoMlEmOptions {
+        space: SpaceOptions {
+            model_space: ModelSpace::AllModels,
+            ..SpaceOptions::default()
+        },
+        ..quick(10, 5)
+    };
+    let (_, test_f1, result) = prep.run_automl(options);
+    assert!(test_f1 > 0.4, "test F1 {test_f1}");
+    // At least two distinct classifier families must have been tried in 10
+    // evaluations of the 9-model space.
+    let tried: std::collections::BTreeSet<_> = result
+        .history
+        .trials()
+        .iter()
+        .filter_map(|t| t.config.get_str("classifier:__choice__"))
+        .map(str::to_owned)
+        .collect();
+    assert!(tried.len() >= 2, "only tried {tried:?}");
+}
+
+#[test]
+fn ablation_never_improves_the_incumbent_on_training_fit() {
+    let ds = Benchmark::AmazonGoogle.generate_scaled(6, 0.1);
+    let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 6);
+    let (xt, yt) = prep.train();
+    let (_, _, result) = prep.run_automl(quick(8, 6));
+    let full = result.best_pipeline.fit(&xt, &yt).f1(&xt, &yt);
+    let ablated = result
+        .best_pipeline
+        .without_data_preprocessing()
+        .without_feature_preprocessing()
+        .fit(&xt, &yt)
+        .f1(&xt, &yt);
+    // On training data the fuller pipeline should fit at least as well
+    // (both usually hit ~1.0; the ablation must not *gain*).
+    assert!(ablated <= full + 0.05, "ablated {ablated} vs full {full}");
+}
+
+#[test]
+fn feature_generation_matches_paper_arithmetic_on_real_schemas() {
+    // Fodors-Zagats: 6 attributes -> Magellan counts depend on inferred
+    // types; AutoML-EM always gives 16 per string attr + 4 per numeric.
+    let ds = Benchmark::FodorsZagats.generate_scaled(7, 0.3);
+    let types = em_table::infer_pair_types(&ds.table_a, &ds.table_b);
+    let gen = FeatureGenerator::plan(FeatureScheme::AutoMlEm, ds.table_a.schema(), &types);
+    let expected: usize = types
+        .iter()
+        .map(|t| match t.coarse() {
+            em_table::CoarseType::String => 16,
+            em_table::CoarseType::Number => 4,
+            em_table::CoarseType::Bool => 1,
+        })
+        .sum();
+    assert_eq!(gen.n_features(), expected);
+}
+
+#[test]
+fn deterministic_full_runs() {
+    let ds = Benchmark::WalmartAmazon.generate_scaled(8, 0.08);
+    let prep = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 8);
+    let (v1, t1, _) = prep.run_automl(quick(5, 8));
+    let (v2, t2, _) = prep.run_automl(quick(5, 8));
+    assert_eq!(v1, v2);
+    assert_eq!(t1, t2);
+}
