@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A single parameter value.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
     /// Categorical choice.
     Cat(String),
@@ -45,7 +45,7 @@ impl ParamValue {
 
 /// An immutable assignment of values to active parameters, keyed by name.
 /// Stored sorted so `Display`, equality, and hashing are deterministic.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Configuration {
     values: BTreeMap<String, ParamValue>,
 }

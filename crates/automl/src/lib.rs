@@ -23,6 +23,9 @@ pub mod search;
 mod space;
 
 pub use config::{Configuration, ParamValue};
-pub use runner::{run_search, run_search_with_initial, Budget, SearchAlgorithm, SearchHistory, Trial};
+pub use runner::{
+    run_search, run_search_parallel, run_search_with_initial, Budget, SearchAlgorithm,
+    SearchHistory, Trial,
+};
 pub use search::{RandomSearch, SmacParams, SmacSearch, TpeParams, TpeSearch};
 pub use space::{Condition, ConfigSpace, Domain, Param};

@@ -3,8 +3,7 @@
 
 use crate::config::Configuration;
 use crate::space::ConfigSpace;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use em_rt::StdRng;
 use std::time::{Duration, Instant};
 
 /// Search budget. The experiments default to evaluation counts for
@@ -96,6 +95,21 @@ pub trait SearchAlgorithm {
         rng: &mut StdRng,
     ) -> Configuration;
 
+    /// Propose up to `k` configurations to evaluate concurrently against the
+    /// same history. The default calls [`SearchAlgorithm::suggest`] `k`
+    /// times; model-based searchers override this to amortize one surrogate
+    /// fit across the whole batch (SMAC returns the top-`k` candidates by
+    /// expected improvement instead of refitting per suggestion).
+    fn suggest_batch(
+        &mut self,
+        space: &ConfigSpace,
+        history: &SearchHistory,
+        rng: &mut StdRng,
+        k: usize,
+    ) -> Vec<Configuration> {
+        (0..k.max(1)).map(|_| self.suggest(space, history, rng)).collect()
+    }
+
     /// Human-readable name for logs and experiment output.
     fn name(&self) -> &'static str;
 }
@@ -155,6 +169,76 @@ pub fn run_search_with_initial(
         );
         let score = objective(&config);
         history.push(config, score);
+    }
+    history
+}
+
+/// Batched-parallel search: each step asks `algo` for a batch of up to
+/// `batch` configurations and evaluates them concurrently on the shared
+/// `em-rt` worker pool, recording results in suggestion order. Deterministic
+/// for a fixed seed and evaluation budget regardless of thread count (the
+/// trajectory differs from `batch = 1`, which sees feedback after every
+/// single evaluation — `batch = 1` reproduces [`run_search`] exactly).
+pub fn run_search_parallel(
+    space: &ConfigSpace,
+    algo: &mut dyn SearchAlgorithm,
+    objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+    budget: Budget,
+    seed: u64,
+    initial: &[Configuration],
+    batch: usize,
+) -> SearchHistory {
+    let batch = batch.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = SearchHistory::default();
+    let start = Instant::now();
+    let exhausted = |history: &SearchHistory, start: &Instant| match budget {
+        Budget::Evaluations(n) => history.len() >= n,
+        Budget::WallClock(d) => start.elapsed() >= d,
+    };
+    let remaining = |history: &SearchHistory| match budget {
+        Budget::Evaluations(n) => n.saturating_sub(history.len()),
+        Budget::WallClock(_) => batch,
+    };
+    let evaluate_batch = |configs: &[Configuration]| -> Vec<f64> {
+        let mut scores = vec![f64::NEG_INFINITY; configs.len()];
+        let writer = em_rt::SliceWriter::new(&mut scores);
+        em_rt::parallel_for_chunked(configs.len(), 0, 1, |i| {
+            // Safety: each candidate index is handed out exactly once.
+            unsafe { writer.write(i, objective(&configs[i])) };
+        });
+        scores
+    };
+    let warm: Vec<Configuration> = initial.iter().take(remaining(&history)).cloned().collect();
+    for config in &warm {
+        assert!(
+            space.validate(config).is_ok(),
+            "warm-start configuration is invalid for this space"
+        );
+    }
+    for (config, score) in warm.iter().zip(evaluate_batch(&warm)) {
+        history.push(config.clone(), score);
+    }
+    loop {
+        if exhausted(&history, &start) {
+            break;
+        }
+        let k = remaining(&history).min(batch).max(1);
+        let configs = algo.suggest_batch(space, &history, &mut rng, k);
+        assert!(!configs.is_empty(), "suggest_batch returned no candidates");
+        for config in &configs {
+            debug_assert!(
+                space.validate(config).is_ok(),
+                "search algorithm produced an invalid configuration"
+            );
+        }
+        let scores = evaluate_batch(&configs);
+        for (config, score) in configs.into_iter().zip(scores) {
+            if exhausted(&history, &start) {
+                break;
+            }
+            history.push(config, score);
+        }
     }
     history
 }

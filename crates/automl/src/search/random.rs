@@ -4,7 +4,7 @@
 use crate::config::Configuration;
 use crate::runner::{SearchAlgorithm, SearchHistory};
 use crate::space::ConfigSpace;
-use rand::rngs::StdRng;
+use em_rt::StdRng;
 
 /// Uniform random sampling from the configuration space.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,7 +29,6 @@ impl SearchAlgorithm for RandomSearch {
 mod tests {
     use super::*;
     use crate::space::Domain;
-    use rand::SeedableRng;
 
     #[test]
     fn suggestions_are_valid_and_varied() {

@@ -11,7 +11,7 @@ use crate::space::ConfigSpace;
 use em_ml::forest::RandomForestRegressor;
 use em_ml::stats::gammainc_lower;
 use em_ml::{ForestParams, Matrix, MaxFeatures};
-use rand::rngs::StdRng;
+use em_rt::StdRng;
 
 /// SMAC hyperparameters.
 #[derive(Debug, Clone)]
@@ -58,20 +58,16 @@ impl SmacSearch {
     }
 }
 
-impl SearchAlgorithm for SmacSearch {
-    fn suggest(
-        &mut self,
+impl SmacSearch {
+    /// Generate the candidate pool, fit the surrogate on the full history,
+    /// and return candidates ranked by expected improvement (best first).
+    fn ranked_candidates(
+        &self,
         space: &ConfigSpace,
         history: &SearchHistory,
         rng: &mut StdRng,
-    ) -> Configuration {
+    ) -> Vec<Configuration> {
         let n = history.len();
-        if n < self.params.n_init {
-            return space.sample(rng);
-        }
-        if self.params.interleave > 0 && n.is_multiple_of(self.params.interleave) {
-            return space.sample(rng);
-        }
         // Fit the surrogate on all observations.
         let encoded: Vec<Vec<f64>> = history
             .trials()
@@ -100,21 +96,73 @@ impl SearchAlgorithm for SmacSearch {
                 candidates.push(space.neighbor(&seed_trial.config, rng));
             }
         }
-        // Score by expected improvement over the incumbent.
+        // Rank by expected improvement over the incumbent.
         let best = history.best_score();
         let enc: Vec<Vec<f64>> = candidates.iter().map(|c| space.encode(c)).collect();
         let cx = Matrix::from_rows(&enc);
         let preds = surrogate.predict_with_variance(&cx);
-        let mut best_idx = 0usize;
-        let mut best_ei = f64::NEG_INFINITY;
-        for (i, &(mu, var)) in preds.iter().enumerate() {
-            let ei = expected_improvement(mu, var.sqrt(), best);
-            if ei > best_ei {
-                best_ei = ei;
-                best_idx = i;
-            }
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        let eis: Vec<f64> = preds
+            .iter()
+            .map(|&(mu, var)| expected_improvement(mu, var.sqrt(), best))
+            .collect();
+        // Stable sort keeps ties in generation order (deterministic).
+        order.sort_by(|&a, &b| eis[b].partial_cmp(&eis[a]).unwrap());
+        let mut by_rank: Vec<Option<Configuration>> = candidates.into_iter().map(Some).collect();
+        order
+            .into_iter()
+            .map(|i| by_rank[i].take().expect("each candidate ranked once"))
+            .collect()
+    }
+}
+
+impl SearchAlgorithm for SmacSearch {
+    fn suggest(
+        &mut self,
+        space: &ConfigSpace,
+        history: &SearchHistory,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let n = history.len();
+        if n < self.params.n_init {
+            return space.sample(rng);
         }
-        candidates.swap_remove(best_idx)
+        if self.params.interleave > 0 && n.is_multiple_of(self.params.interleave) {
+            return space.sample(rng);
+        }
+        self.ranked_candidates(space, history, rng)
+            .into_iter()
+            .next()
+            .expect("candidate pool is never empty")
+    }
+
+    fn suggest_batch(
+        &mut self,
+        space: &ConfigSpace,
+        history: &SearchHistory,
+        rng: &mut StdRng,
+        k: usize,
+    ) -> Vec<Configuration> {
+        let k = k.max(1);
+        let n = history.len();
+        if n < self.params.n_init {
+            // Still in the random-init phase: fill the whole batch randomly.
+            return (0..k.min(self.params.n_init - n).max(1))
+                .map(|_| space.sample(rng))
+                .collect();
+        }
+        // One surrogate fit serves the whole batch: top-k by expected
+        // improvement, with one interleaved random config for exploration
+        // (the batched counterpart of SMAC's every-`interleave`-th random
+        // suggestion).
+        let mut out: Vec<Configuration> = Vec::with_capacity(k);
+        if self.params.interleave > 0 {
+            out.push(space.sample(rng));
+        }
+        let ranked = self.ranked_candidates(space, history, rng);
+        out.extend(ranked.into_iter().take(k.saturating_sub(out.len())));
+        out.truncate(k);
+        out
     }
 
     fn name(&self) -> &'static str {

@@ -11,8 +11,7 @@
 use crate::config::Configuration;
 use crate::runner::{SearchAlgorithm, SearchHistory};
 use crate::space::{ConfigSpace, Domain};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// TPE hyperparameters.
 #[derive(Debug, Clone)]

@@ -5,12 +5,11 @@
 //! parameters only exist when `classifier:__choice__ = random_forest`).
 
 use crate::config::{Configuration, ParamValue};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 use std::collections::HashMap;
 
 /// The value domain of one parameter.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Domain {
     /// One of a fixed set of choices.
     Categorical(Vec<String>),
@@ -38,7 +37,7 @@ pub enum Domain {
 
 /// Activation condition: the parameter is active iff its categorical parent
 /// currently holds one of `values`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Condition {
     /// Name of the (categorical) parent parameter.
     pub parent: String,
@@ -47,7 +46,7 @@ pub struct Condition {
 }
 
 /// A named parameter with a domain and an optional activation condition.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Unique name, conventionally `component:param` (auto-sklearn style).
     pub name: String,
@@ -58,7 +57,7 @@ pub struct Param {
 }
 
 /// An ordered collection of parameters forming the search space.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ConfigSpace {
     params: Vec<Param>,
     index: HashMap<String, usize>,
@@ -327,7 +326,6 @@ fn encode_value(v: &ParamValue, domain: &Domain) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn toy_space() -> ConfigSpace {
         let mut s = ConfigSpace::new();

@@ -1,13 +1,32 @@
 //! Property tests for the AutoML engine: every sampled or suggested
 //! configuration is valid, encodings have fixed width, and search history
 //! invariants hold.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
 use em_automl::{
     run_search, Budget, ConfigSpace, Configuration, Domain, RandomSearch, SmacSearch, TpeSearch,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use em_rt::StdRng;
+
+const CASES: u64 = 32;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0xa010_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
 /// A moderately rich conditional space.
 fn build_space() -> ConfigSpace {
@@ -75,48 +94,53 @@ fn toy_objective(c: &Configuration) -> f64 {
     base + bonus
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sampled_configs_always_validate(seed in 0u64..5000) {
+#[test]
+fn sampled_configs_always_validate() {
+    check(|rng| {
         let space = build_space();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let sample_seed = rng.random_range(0..5000u64);
+        let mut rng = StdRng::seed_from_u64(sample_seed);
         let c = space.sample(&mut rng);
-        prop_assert!(space.validate(&c).is_ok());
+        assert!(space.validate(&c).is_ok());
         // Exactly one model branch is active.
         let branches = ["rf:trees", "gbm:lr", "knn:k"];
         let active = branches.iter().filter(|b| c.contains(b)).count();
-        prop_assert_eq!(active, 1);
-    }
+        assert_eq!(active, 1);
+    });
+}
 
-    #[test]
-    fn neighbors_always_validate(seed in 0u64..2000) {
+#[test]
+fn neighbors_always_validate() {
+    check(|rng| {
         let space = build_space();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let base = space.sample(&mut rng);
+        let base = space.sample(rng);
         for _ in 0..5 {
-            let nb = space.neighbor(&base, &mut rng);
-            prop_assert!(space.validate(&nb).is_ok(), "{nb}");
+            let nb = space.neighbor(&base, rng);
+            assert!(space.validate(&nb).is_ok(), "{nb}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn encodings_have_fixed_width_and_bounded_values(seed in 0u64..2000) {
+#[test]
+fn encodings_have_fixed_width_and_bounded_values() {
+    check(|rng| {
         let space = build_space();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let c = space.sample(&mut rng);
+        let c = space.sample(rng);
         let enc = space.encode(&c);
-        prop_assert_eq!(enc.len(), space.len());
+        assert_eq!(enc.len(), space.len());
         for (i, &v) in enc.iter().enumerate() {
             // -1 (inactive), a small categorical index, or a [0,1] numeric.
-            prop_assert!(v == -1.0 || (0.0..=3.0).contains(&v), "slot {i}: {v}");
+            assert!(v == -1.0 || (0.0..=3.0).contains(&v), "slot {i}: {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn search_history_is_well_formed(seed in 0u64..50, n in 5usize..25) {
+#[test]
+fn search_history_is_well_formed() {
+    check(|rng| {
         let space = build_space();
+        let seed = rng.random_range(0..50u64);
+        let n = rng.random_range(5..25usize);
         let h = run_search(
             &space,
             &mut RandomSearch,
@@ -124,33 +148,53 @@ proptest! {
             Budget::Evaluations(n),
             seed,
         );
-        prop_assert_eq!(h.len(), n);
+        assert_eq!(h.len(), n);
         let trace = h.best_score_trace();
         for w in trace.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
-        prop_assert_eq!(h.best_score(), *trace.last().unwrap());
+        assert_eq!(h.best_score(), *trace.last().unwrap());
         for (i, t) in h.trials().iter().enumerate() {
-            prop_assert_eq!(t.index, i);
-            prop_assert!(space.validate(&t.config).is_ok());
+            assert_eq!(t.index, i);
+            assert!(space.validate(&t.config).is_ok());
         }
-    }
+    });
+}
 
-    #[test]
-    fn smac_and_tpe_produce_valid_configs(seed in 0u64..10) {
+#[test]
+fn smac_and_tpe_produce_valid_configs() {
+    // Only 10 distinct search seeds existed in the old strategy; keep that
+    // footprint (SMBO runs are comparatively expensive).
+    for seed in 0..10u64 {
         let space = build_space();
         for algo in [0, 1] {
             let h = if algo == 0 {
-                run_search(&space, &mut SmacSearch::default(), &mut toy_objective, Budget::Evaluations(16), seed)
+                run_search(
+                    &space,
+                    &mut SmacSearch::default(),
+                    &mut toy_objective,
+                    Budget::Evaluations(16),
+                    seed,
+                )
             } else {
-                run_search(&space, &mut TpeSearch::default(), &mut toy_objective, Budget::Evaluations(16), seed)
+                run_search(
+                    &space,
+                    &mut TpeSearch::default(),
+                    &mut toy_objective,
+                    Budget::Evaluations(16),
+                    seed,
+                )
             };
             for t in h.trials() {
-                prop_assert!(space.validate(&t.config).is_ok());
+                assert!(space.validate(&t.config).is_ok(), "seed {seed}");
             }
             // The "rf" branch dominates this objective; model-based search
             // should find it by the end.
-            prop_assert_eq!(h.incumbent().unwrap().config.get_str("model"), Some("rf"));
+            assert_eq!(
+                h.incumbent().unwrap().config.get_str("model"),
+                Some("rf"),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -1,15 +1,25 @@
 //! Benchmarks for feature generation throughput (the cost of paper §III-B):
 //! Magellan's rule-based scheme vs AutoML-EM's exhaustive scheme, per pair
 //! and in parallel batches, on an easy (short-string) and a hard (long-text)
-//! benchmark.
+//! benchmark. The batch benchmarks compare the shared `em-rt` pool (direct
+//! disjoint-slice writes) against the old per-call `thread::scope` strategy
+//! (fresh OS threads + mutex-guarded row vectors + final assembly copy).
 
 use automl_em::{FeatureGenerator, FeatureScheme};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use em_bench::baseline::generate_scope_baseline;
+use em_bench::timing::Harness;
 use em_data::Benchmark;
 use em_table::RecordPair;
 use std::hint::black_box;
 
-fn featuregen_benches(c: &mut Criterion) {
+fn main() {
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    eprintln!("running with {threads} threads");
+
+    let mut h = Harness::new("featuregen");
     for (label, benchmark) in [
         ("fodors_zagats", Benchmark::FodorsZagats),
         ("abt_buy", Benchmark::AbtBuy),
@@ -20,27 +30,26 @@ fn featuregen_benches(c: &mut Criterion) {
             ("magellan", FeatureScheme::Magellan),
             ("automl_em", FeatureScheme::AutoMlEm),
         ] {
-            let generator =
-                FeatureGenerator::plan_for_tables(scheme, &ds.table_a, &ds.table_b);
-            let mut group = c.benchmark_group(format!("featuregen/{label}/{scheme_label}"));
-            group.throughput(Throughput::Elements(1));
-            group.bench_function("single_pair", |b| {
-                b.iter(|| {
-                    generator.generate_row(
-                        black_box(&ds.table_a),
-                        black_box(&ds.table_b),
-                        pairs[0],
+            let generator = FeatureGenerator::plan_for_tables(scheme, &ds.table_a, &ds.table_b);
+            h.bench(&format!("featuregen/{label}/{scheme_label}/single_pair"), || {
+                generator.generate_row(black_box(&ds.table_a), black_box(&ds.table_b), pairs[0])
+            });
+            h.bench(&format!("featuregen/{label}/{scheme_label}/batch_pool"), || {
+                generator.generate(&ds.table_a, &ds.table_b, black_box(&pairs))
+            });
+            h.bench(
+                &format!("featuregen/{label}/{scheme_label}/batch_scope_baseline"),
+                || {
+                    generate_scope_baseline(
+                        &generator,
+                        &ds.table_a,
+                        &ds.table_b,
+                        black_box(&pairs),
+                        threads,
                     )
-                })
-            });
-            group.throughput(Throughput::Elements(pairs.len() as u64));
-            group.bench_function("batch_parallel", |b| {
-                b.iter(|| generator.generate(&ds.table_a, &ds.table_b, black_box(&pairs)))
-            });
-            group.finish();
+                },
+            );
         }
     }
+    h.finish();
 }
-
-criterion_group!(benches, featuregen_benches);
-criterion_main!(benches);

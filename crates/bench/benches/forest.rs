@@ -1,13 +1,15 @@
 //! Benchmarks for the ML substrate's hot paths: tree and forest training,
-//! prediction, and the vote-fraction confidence used by Algorithm 1.
+//! prediction, and the vote-fraction confidence used by Algorithm 1. The
+//! forest-fit benchmarks compare the shared `em-rt` pool against the old
+//! per-call `thread::scope` strategy (fresh OS threads on every fit).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use em_bench::baseline::fit_trees_scope_baseline;
+use em_bench::timing::Harness;
 use em_ml::{
     Classifier, DecisionTree, ForestParams, Matrix, MaxFeatures, RandomForestClassifier,
     TreeParams,
 };
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use em_rt::StdRng;
 use std::hint::black_box;
 
 /// Two noisy interleaved clusters, `n` samples × `d` features.
@@ -28,63 +30,50 @@ fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
     (Matrix::from_rows(&rows), y)
 }
 
-fn tree_benches(c: &mut Criterion) {
+fn main() {
+    // Explicit thread count so the pool-vs-spawn comparison is stable across
+    // machines; EM_THREADS (read by em-rt) still wins if set.
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    eprintln!("running with {threads} threads");
+
+    let mut h = Harness::new("forest");
+
     let (x, y) = dataset(1000, 30, 0);
-    let mut group = c.benchmark_group("tree");
-    group.bench_function("fit_1000x30", |b| {
-        b.iter(|| {
-            DecisionTree::fit_classifier(
-                black_box(&x),
-                black_box(&y),
-                2,
-                None,
-                TreeParams::default(),
-            )
-        })
+    h.bench("tree/fit_1000x30", || {
+        DecisionTree::fit_classifier(black_box(&x), black_box(&y), 2, None, TreeParams::default())
     });
     let tree = DecisionTree::fit_classifier(&x, &y, 2, None, TreeParams::default());
-    group.throughput(Throughput::Elements(x.nrows() as u64));
-    group.bench_function("predict_1000", |b| b.iter(|| tree.predict(black_box(&x))));
-    group.finish();
-}
+    h.bench("tree/predict_1000", || tree.predict(black_box(&x)));
 
-fn forest_benches(c: &mut Criterion) {
     let (x, y) = dataset(2000, 40, 1);
     let params = ForestParams {
         n_estimators: 50,
         max_features: MaxFeatures::Sqrt,
         ..ForestParams::default()
     };
-    let mut group = c.benchmark_group("forest");
-    group.sample_size(10);
-    group.bench_function("fit_50trees_2000x40_parallel", |b| {
-        b.iter(|| {
-            let mut rf = RandomForestClassifier::new(params.clone());
-            rf.fit(black_box(&x), black_box(&y), 2, None);
-            rf
-        })
+    h.bench("forest/fit_50trees_2000x40_pool", || {
+        let mut rf = RandomForestClassifier::new(params.clone());
+        rf.fit(black_box(&x), black_box(&y), 2, None);
+        rf
     });
-    group.bench_function("fit_50trees_2000x40_serial", |b| {
-        b.iter(|| {
-            let mut rf = RandomForestClassifier::new(ForestParams {
-                n_jobs: 1,
-                ..params.clone()
-            });
-            rf.fit(black_box(&x), black_box(&y), 2, None);
-            rf
-        })
+    h.bench("forest/fit_50trees_2000x40_scope_baseline", || {
+        fit_trees_scope_baseline(black_box(&x), black_box(&y), 2, &params, threads)
+    });
+    h.bench("forest/fit_50trees_2000x40_serial", || {
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_jobs: 1,
+            ..params.clone()
+        });
+        rf.fit(black_box(&x), black_box(&y), 2, None);
+        rf
     });
     let mut rf = RandomForestClassifier::new(params);
     rf.fit(&x, &y, 2, None);
-    group.throughput(Throughput::Elements(x.nrows() as u64));
-    group.bench_function("predict_proba_2000", |b| {
-        b.iter(|| rf.predict_proba(black_box(&x)))
-    });
-    group.bench_function("vote_fraction_2000", |b| {
-        b.iter(|| rf.vote_fraction(black_box(&x)))
-    });
-    group.finish();
-}
+    h.bench("forest/predict_proba_2000", || rf.predict_proba(black_box(&x)));
+    h.bench("forest/vote_fraction_2000", || rf.vote_fraction(black_box(&x)));
 
-criterion_group!(benches, tree_benches, forest_benches);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,12 +1,14 @@
 //! Benchmarks for the AutoML engine itself (search overhead, excluding
-//! objective cost): configuration sampling, surrogate-guided suggestion, and
-//! a full small search on a cheap analytic objective.
+//! objective cost): configuration sampling, surrogate-guided suggestion, a
+//! full small search on a cheap analytic objective, and the batched-parallel
+//! runner against the sequential one.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use em_automl::{run_search, Budget, Configuration, RandomSearch, SmacSearch, TpeSearch};
 use automl_em::{build_space, ModelSpace, SpaceOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use em_automl::{
+    run_search, run_search_parallel, Budget, Configuration, RandomSearch, SmacSearch, TpeSearch,
+};
+use em_bench::timing::Harness;
+use em_rt::StdRng;
 use std::hint::black_box;
 
 /// Cheap analytic objective over the real AutoML-EM space: prefers
@@ -25,78 +27,79 @@ fn objective(c: &Configuration) -> f64 {
     score
 }
 
-fn sampling_benches(c: &mut Criterion) {
+fn main() {
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    eprintln!("running with {} threads", em_rt::threads());
+
+    let mut h = Harness::new("search");
+
     let rf_space = build_space(SpaceOptions::default());
     let all_space = build_space(SpaceOptions {
         model_space: ModelSpace::AllModels,
         ..SpaceOptions::default()
     });
-    let mut group = c.benchmark_group("space");
-    group.bench_function("sample_rf_space", |b| {
+    {
         let mut rng = StdRng::seed_from_u64(0);
-        b.iter(|| black_box(rf_space.sample(&mut rng)))
-    });
-    group.bench_function("sample_all_space", |b| {
+        h.bench("space/sample_rf_space", || black_box(rf_space.sample(&mut rng)));
+    }
+    {
         let mut rng = StdRng::seed_from_u64(0);
-        b.iter(|| black_box(all_space.sample(&mut rng)))
-    });
+        h.bench("space/sample_all_space", || black_box(all_space.sample(&mut rng)));
+    }
     let mut rng = StdRng::seed_from_u64(1);
     let config = all_space.sample(&mut rng);
-    group.bench_function("encode_all_space", |b| {
-        b.iter(|| black_box(all_space.encode(&config)))
-    });
-    group.bench_function("neighbor_all_space", |b| {
+    h.bench("space/encode_all_space", || black_box(all_space.encode(&config)));
+    {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| black_box(all_space.neighbor(&config, &mut rng)))
-    });
-    group.finish();
-}
+        h.bench("space/neighbor_all_space", || {
+            black_box(all_space.neighbor(&config, &mut rng))
+        });
+    }
 
-fn search_benches(c: &mut Criterion) {
-    let space = build_space(SpaceOptions {
-        model_space: ModelSpace::AllModels,
-        ..SpaceOptions::default()
+    h.bench("search/64_evals_cheap_objective/random", || {
+        run_search(
+            &all_space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::Evaluations(64),
+            0,
+        )
+        .best_score()
     });
-    let mut group = c.benchmark_group("search/64_evals_cheap_objective");
-    group.sample_size(10);
-    group.bench_function("random", |b| {
-        b.iter(|| {
-            run_search(
-                &space,
-                &mut RandomSearch,
-                &mut objective,
-                Budget::Evaluations(64),
-                0,
-            )
-            .best_score()
-        })
+    h.bench("search/64_evals_cheap_objective/smac", || {
+        run_search(
+            &all_space,
+            &mut SmacSearch::default(),
+            &mut objective,
+            Budget::Evaluations(64),
+            0,
+        )
+        .best_score()
     });
-    group.bench_function("smac", |b| {
-        b.iter(|| {
-            run_search(
-                &space,
-                &mut SmacSearch::default(),
-                &mut objective,
-                Budget::Evaluations(64),
-                0,
-            )
-            .best_score()
-        })
+    h.bench("search/64_evals_cheap_objective/smac_batch8", || {
+        run_search_parallel(
+            &all_space,
+            &mut SmacSearch::default(),
+            &objective,
+            Budget::Evaluations(64),
+            0,
+            &[],
+            8,
+        )
+        .best_score()
     });
-    group.bench_function("tpe", |b| {
-        b.iter(|| {
-            run_search(
-                &space,
-                &mut TpeSearch::default(),
-                &mut objective,
-                Budget::Evaluations(64),
-                0,
-            )
-            .best_score()
-        })
+    h.bench("search/64_evals_cheap_objective/tpe", || {
+        run_search(
+            &all_space,
+            &mut TpeSearch::default(),
+            &mut objective,
+            Budget::Evaluations(64),
+            0,
+        )
+        .best_score()
     });
-    group.finish();
-}
 
-criterion_group!(benches, sampling_benches, search_benches);
-criterion_main!(benches);
+    h.finish();
+}

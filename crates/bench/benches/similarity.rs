@@ -2,7 +2,7 @@
 //! on short, medium, and long strings — the inner loop of feature
 //! generation (Tables I/II).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use em_bench::timing::Harness;
 use em_text::{
     cosine, jaccard, jaro_winkler, levenshtein_distance, monge_elkan, needleman_wunsch,
     smith_waterman, Tokenizer,
@@ -16,55 +16,43 @@ const MEDIUM_B: &str = "eficient adaptive indexing for distributed database syst
 const LONG_A: &str = "the sony wireless headphones are a premium product designed for everyday use with a comfortable grip and responsive controls featuring industry leading battery life and fast charging over usb-c";
 const LONG_B: &str = "sony wireless headphone premium design for every day use with comfortable grip and responsive control featuring industry leading battery life fast charging usb c two year warranty";
 
-fn bench_pair(c: &mut Criterion, label: &str, a: &'static str, b: &'static str) {
-    let mut group = c.benchmark_group(format!("similarity/{label}"));
-    group.bench_function("levenshtein", |bench| {
-        bench.iter(|| levenshtein_distance(black_box(a), black_box(b)))
+fn bench_pair(h: &mut Harness, label: &str, a: &'static str, b: &'static str) {
+    h.bench(&format!("similarity/{label}/levenshtein"), || {
+        levenshtein_distance(black_box(a), black_box(b))
     });
-    group.bench_function("jaro_winkler", |bench| {
-        bench.iter(|| jaro_winkler(black_box(a), black_box(b)))
+    h.bench(&format!("similarity/{label}/jaro_winkler"), || {
+        jaro_winkler(black_box(a), black_box(b))
     });
-    group.bench_function("needleman_wunsch", |bench| {
-        bench.iter(|| needleman_wunsch(black_box(a), black_box(b)))
+    h.bench(&format!("similarity/{label}/needleman_wunsch"), || {
+        needleman_wunsch(black_box(a), black_box(b))
     });
-    group.bench_function("smith_waterman", |bench| {
-        bench.iter(|| smith_waterman(black_box(a), black_box(b)))
+    h.bench(&format!("similarity/{label}/smith_waterman"), || {
+        smith_waterman(black_box(a), black_box(b))
     });
-    group.bench_function("monge_elkan", |bench| {
-        bench.iter(|| monge_elkan(black_box(a), black_box(b)))
+    h.bench(&format!("similarity/{label}/monge_elkan"), || {
+        monge_elkan(black_box(a), black_box(b))
     });
-    group.bench_function("jaccard_space", |bench| {
-        bench.iter(|| jaccard(black_box(a), black_box(b), Tokenizer::Whitespace))
+    h.bench(&format!("similarity/{label}/jaccard_space"), || {
+        jaccard(black_box(a), black_box(b), Tokenizer::Whitespace)
     });
-    group.bench_function("jaccard_3gram", |bench| {
-        bench.iter(|| jaccard(black_box(a), black_box(b), Tokenizer::QGram(3)))
+    h.bench(&format!("similarity/{label}/jaccard_3gram"), || {
+        jaccard(black_box(a), black_box(b), Tokenizer::QGram(3))
     });
-    group.bench_function("cosine_3gram", |bench| {
-        bench.iter(|| cosine(black_box(a), black_box(b), Tokenizer::QGram(3)))
+    h.bench(&format!("similarity/{label}/cosine_3gram"), || {
+        cosine(black_box(a), black_box(b), Tokenizer::QGram(3))
     });
-    group.finish();
 }
 
-fn similarity_benches(c: &mut Criterion) {
-    bench_pair(c, "short", SHORT_A, SHORT_B);
-    bench_pair(c, "medium", MEDIUM_A, MEDIUM_B);
-    bench_pair(c, "long", LONG_A, LONG_B);
-}
-
-fn tokenizer_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tokenize");
-    group.bench_function("qgram3_long", |bench| {
-        bench.iter_batched(
-            || LONG_A,
-            |s| Tokenizer::QGram(3).token_set(black_box(s)),
-            BatchSize::SmallInput,
-        )
+fn main() {
+    let mut h = Harness::new("similarity");
+    bench_pair(&mut h, "short", SHORT_A, SHORT_B);
+    bench_pair(&mut h, "medium", MEDIUM_A, MEDIUM_B);
+    bench_pair(&mut h, "long", LONG_A, LONG_B);
+    h.bench("tokenize/qgram3_long", || {
+        Tokenizer::QGram(3).token_set(black_box(LONG_A))
     });
-    group.bench_function("whitespace_long", |bench| {
-        bench.iter(|| Tokenizer::Whitespace.tokenize(black_box(LONG_A)))
+    h.bench("tokenize/whitespace_long", || {
+        Tokenizer::Whitespace.tokenize(black_box(LONG_A))
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, similarity_benches, tokenizer_benches);
-criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Pre-`em-rt` parallel implementations, kept verbatim (modulo std-for-crate
+//! substitutions) as benchmark baselines: every call spawns fresh OS threads
+//! with `thread::scope` and funnels results through a mutex, which is
+//! exactly the per-fit overhead the shared worker pool amortizes away.
+
+use automl_em::FeatureGenerator;
+use em_ml::{DecisionTree, ForestParams, Matrix, Splitter, TreeParams};
+use em_rt::StdRng;
+use em_table::{RecordPair, Table};
+
+/// Forest training the old way: spawn `jobs` OS threads per call, pull tree
+/// indices off a shared counter, and collect results through a mutex.
+pub fn fit_trees_scope_baseline(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    params: &ForestParams,
+    jobs: usize,
+) -> Vec<DecisionTree> {
+    let n = x.nrows();
+    let n_trees = params.n_estimators.max(1);
+    let jobs = jobs.max(1).min(n_trees);
+    let results = std::sync::Mutex::new(vec![None; n_trees]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= n_trees {
+                    break;
+                }
+                let tree_params = TreeParams {
+                    criterion: params.criterion,
+                    max_depth: params.max_depth,
+                    min_samples_split: params.min_samples_split,
+                    min_samples_leaf: params.min_samples_leaf,
+                    max_features: params.max_features,
+                    splitter: Splitter::Best,
+                    min_impurity_decrease: params.min_impurity_decrease,
+                    seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                };
+                let tree = if params.bootstrap {
+                    let mut rng = StdRng::seed_from_u64(tree_params.seed ^ 0xB001_57A9);
+                    let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                    let xb = x.select_rows(&idx);
+                    let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                    DecisionTree::fit_classifier(&xb, &yb, n_classes, None, tree_params)
+                } else {
+                    DecisionTree::fit_classifier(x, y, n_classes, None, tree_params)
+                };
+                results.lock().unwrap()[t] = Some(tree);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|t| t.expect("all trees trained"))
+        .collect()
+}
+
+/// Batch feature generation the old way: one `thread::scope` per call,
+/// per-worker row vectors behind a mutex, and a final row-by-row copy into
+/// the output matrix.
+pub fn generate_scope_baseline(
+    generator: &FeatureGenerator,
+    a: &Table,
+    b: &Table,
+    pairs: &[RecordPair],
+    jobs: usize,
+) -> Matrix {
+    let n = pairs.len();
+    let d = generator.n_features();
+    let mut out = Matrix::zeros(n, d);
+    let jobs = jobs.max(1);
+    if jobs <= 1 || n < 64 {
+        for (r, &pair) in pairs.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(&generator.generate_row(a, b, pair));
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(jobs);
+    let results = std::sync::Mutex::new(vec![Vec::new(); jobs]);
+    std::thread::scope(|scope| {
+        for (w, pair_chunk) in pairs.chunks(chunk).enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let rows: Vec<Vec<f64>> = pair_chunk
+                    .iter()
+                    .map(|&p| generator.generate_row(a, b, p))
+                    .collect();
+                results.lock().unwrap()[w] = rows;
+            });
+        }
+    });
+    let mut r = 0usize;
+    for chunk_rows in results.into_inner().unwrap() {
+        for row in chunk_rows {
+            out.row_mut(r).copy_from_slice(&row);
+            r += 1;
+        }
+    }
+    assert_eq!(r, n, "all rows assembled");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automl_em::FeatureScheme;
+    use em_ml::Classifier;
+
+    #[test]
+    fn scope_baseline_matches_pooled_forest() {
+        // Same per-tree seeds ⇒ the baseline and the pool must train
+        // identical forests.
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i % 2) as f64 + rng.random_range(-0.4..0.4), rng.unit_f64()])
+            .collect();
+        let y: Vec<usize> = (0..80).map(|i| i % 2).collect();
+        let x = Matrix::from_rows(&rows);
+        let params = ForestParams {
+            n_estimators: 12,
+            seed: 3,
+            ..ForestParams::default()
+        };
+        let baseline = fit_trees_scope_baseline(&x, &y, 2, &params, 4);
+        let mut rf = em_ml::RandomForestClassifier::new(params);
+        rf.fit(&x, &y, 2, None);
+        assert_eq!(baseline.len(), rf.trees().len());
+        for (a, b) in baseline.iter().zip(rf.trees()) {
+            assert_eq!(a.predict(&x), b.predict(&x));
+        }
+    }
+
+    #[test]
+    fn scope_baseline_matches_pooled_featuregen() {
+        let ds = em_data::Benchmark::FodorsZagats.generate_scaled(0, 0.2);
+        let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+        let pooled = g.generate(&ds.table_a, &ds.table_b, &pairs);
+        let baseline = generate_scope_baseline(&g, &ds.table_a, &ds.table_b, &pairs, 4);
+        assert_eq!(pooled.nrows(), baseline.nrows());
+        for (a, b) in pooled.as_slice().iter().zip(baseline.as_slice()) {
+            assert!((a == b) || (a.is_nan() && b.is_nan()));
+        }
+    }
+}

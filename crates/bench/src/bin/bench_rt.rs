@@ -1,0 +1,138 @@
+//! The `em-rt` acceptance benchmark: 100-tree forest training and 10k-pair
+//! feature generation on the shared worker pool vs the old per-call
+//! `thread::scope` strategy, plus the raw dispatch overhead of each. Writes
+//! `BENCH_rt.json` (override the path with the first CLI argument).
+//!
+//! Thread count comes from `EM_THREADS` when set, else defaults to 4 so the
+//! pool-vs-spawn comparison is stable across machines; the host's actual
+//! `available_parallelism` is recorded alongside the numbers.
+
+use em_bench::baseline::{fit_trees_scope_baseline, generate_scope_baseline};
+use em_bench::timing::{fmt_ns, Harness};
+use em_ml::{Classifier, ForestParams, Matrix, MaxFeatures, RandomForestClassifier};
+use em_rt::{Json, StdRng};
+use em_table::RecordPair;
+
+fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 2;
+        rows.push(
+            (0..d)
+                .map(|_| c as f64 * 0.6 + rng.random_range(-0.5..0.5))
+                .collect(),
+        );
+        y.push(c);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_rt.json".to_string());
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("threads = {threads}, host cores = {cores}");
+
+    let mut h = Harness::new("bench_rt");
+
+    // -- 100-tree forest fit ------------------------------------------------
+    let (x, y) = dataset(800, 16, 0);
+    let params = ForestParams {
+        n_estimators: 100,
+        max_features: MaxFeatures::Sqrt,
+        ..ForestParams::default()
+    };
+    h.bench("forest_fit_100trees_800x16/pool", || {
+        let mut rf = RandomForestClassifier::new(params.clone());
+        rf.fit(&x, &y, 2, None);
+        rf
+    });
+    h.bench("forest_fit_100trees_800x16/scope_baseline", || {
+        fit_trees_scope_baseline(&x, &y, 2, &params, threads)
+    });
+
+    // -- 10k-pair feature generation ----------------------------------------
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(0, 0.2);
+    let base_pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    let pairs: Vec<RecordPair> = (0..10_000).map(|i| base_pairs[i % base_pairs.len()]).collect();
+    let generator = automl_em::FeatureGenerator::plan_for_tables(
+        automl_em::FeatureScheme::AutoMlEm,
+        &ds.table_a,
+        &ds.table_b,
+    );
+    h.bench("featuregen_10k_pairs/pool", || {
+        generator.generate(&ds.table_a, &ds.table_b, &pairs)
+    });
+    h.bench("featuregen_10k_pairs/scope_baseline", || {
+        generate_scope_baseline(&generator, &ds.table_a, &ds.table_b, &pairs, threads)
+    });
+
+    // -- raw dispatch overhead (empty bodies) -------------------------------
+    h.bench("dispatch_overhead/pool", || {
+        em_rt::parallel_for(threads, threads, |_| {});
+    });
+    h.bench("dispatch_overhead/scope_baseline", || {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {});
+            }
+        });
+    });
+
+    // -- report --------------------------------------------------------------
+    let median = |name: &str| -> f64 {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+            .median_ns()
+    };
+    let mut comparisons = Vec::new();
+    for (name, workload) in [
+        (
+            "forest_fit_100trees_800x16",
+            "RandomForestClassifier, 100 trees, 800 x 16 matrix, bootstrap",
+        ),
+        (
+            "featuregen_10k_pairs",
+            "AutoML-EM scheme over Fodors-Zagats records, 10000 pairs",
+        ),
+        ("dispatch_overhead", "empty parallel body, one task per thread"),
+    ] {
+        let pool = median(&format!("{name}/pool"));
+        let scope = median(&format!("{name}/scope_baseline"));
+        let speedup = scope / pool;
+        eprintln!("{name}: pool {} vs scope {} -> {speedup:.2}x", fmt_ns(pool), fmt_ns(scope));
+        comparisons.push(Json::obj([
+            ("name", Json::from(name)),
+            ("workload", Json::from(workload)),
+            ("pool_median_ns", Json::from(pool)),
+            ("scope_baseline_median_ns", Json::from(scope)),
+            ("speedup_vs_scope_baseline", Json::from(speedup)),
+        ]));
+    }
+    let report = Json::obj([
+        ("suite", Json::from("bench_rt")),
+        ("threads", Json::from(threads)),
+        ("host_available_parallelism", Json::from(cores)),
+        (
+            "note",
+            Json::from(
+                "pool = persistent em-rt worker pool; scope_baseline = the \
+                 pre-em-rt per-call thread::scope implementation. The >= 1.3x \
+                 acceptance target assumes a machine with >= 4 cores; \
+                 host_available_parallelism records what this run actually had.",
+            ),
+        ),
+        ("comparisons", Json::Arr(comparisons)),
+        ("raw", h.to_json()),
+    ]);
+    std::fs::write(&out_path, report.render_pretty(2) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -1,6 +1,9 @@
 //! Shared infrastructure for the experiment binaries (one per paper table /
-//! figure) and the Criterion micro-benchmarks: tiny CLI parsing, table
-//! printing, and the paper's published reference numbers.
+//! figure) and the micro-benchmarks: tiny CLI parsing, table printing, the
+//! in-repo timing harness, and the paper's published reference numbers.
+
+pub mod baseline;
+pub mod timing;
 
 use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};
 use em_data::Benchmark;

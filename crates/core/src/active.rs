@@ -12,14 +12,13 @@
 use crate::oracle::Oracle;
 use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
 use em_ml::{Classifier, ForestParams, Matrix, RandomForestClassifier};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rt::StdRng;
+use em_rt::SliceRandom;
 
 /// How per-pair confidence is computed from the committee of trees —
 /// the paper uses tree-agreement (Figure 7); the alternatives implement its
 /// §VII future-work suggestions (maximum margin, query by committee).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryStrategy {
     /// Fraction of trees agreeing with the majority vote (paper default).
     VoteFraction,
@@ -327,7 +326,6 @@ fn mean_of(local: &[usize], values: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::oracle::GroundTruthOracle;
-    use rand::RngExt;
 
     /// Overlapping two-cluster pool with gold labels.
     fn pool(n: usize, seed: u64) -> (Matrix, Vec<usize>) {

@@ -6,8 +6,8 @@ use crate::featuregen::{FeatureGenerator, FeatureScheme};
 use crate::pipeline::{decode_configuration, EmPipelineConfig, FittedEmPipeline};
 use crate::space::{build_space, SpaceOptions};
 use em_automl::{
-    run_search_with_initial, Budget, Configuration, RandomSearch, SearchAlgorithm, SearchHistory,
-    SmacSearch, TpeSearch,
+    run_search_parallel, run_search_with_initial, Budget, Configuration, RandomSearch,
+    SearchAlgorithm, SearchHistory, SmacSearch, TpeSearch,
 };
 use em_data::EmDataset;
 use em_ml::{f1_score, paper_split, Matrix, ThreeWaySplit};
@@ -47,6 +47,11 @@ pub struct AutoMlEmOptions {
     pub budget: Budget,
     /// Master seed (splits, search, model training).
     pub seed: u64,
+    /// Candidate configurations evaluated concurrently per search step on
+    /// the shared `em-rt` pool. `1` reproduces the strictly sequential
+    /// suggest → evaluate loop; larger batches trade per-step feedback for
+    /// wall-clock speed (still deterministic for a fixed seed).
+    pub candidate_batch: usize,
 }
 
 impl Default for AutoMlEmOptions {
@@ -57,6 +62,7 @@ impl Default for AutoMlEmOptions {
             search: SearchChoice::Smac,
             budget: Budget::Evaluations(48),
             seed: 0,
+            candidate_batch: 1,
         }
     }
 }
@@ -104,7 +110,7 @@ impl AutoMlEm {
         let space = build_space(self.options.space);
         let seed = self.options.seed;
         let mut algo = self.options.search.build();
-        let mut objective = |config: &Configuration| -> f64 {
+        let objective = |config: &Configuration| -> f64 {
             let pipeline = decode_configuration(config, seed);
             let fitted = pipeline.fit(x_train, y_train);
             fitted.f1(x_valid, y_valid)
@@ -113,14 +119,26 @@ impl AutoMlEm {
         // first (auto-sklearn's meta-learning portfolio, reduced to the
         // sklearn defaults), so the surrogate model sees it immediately.
         let warm_start = [crate::space::default_configuration(self.options.space)];
-        let history = run_search_with_initial(
-            &space,
-            algo.as_mut(),
-            &mut objective,
-            self.options.budget,
-            seed,
-            &warm_start,
-        );
+        let history = if self.options.candidate_batch > 1 {
+            run_search_parallel(
+                &space,
+                algo.as_mut(),
+                &objective,
+                self.options.budget,
+                seed,
+                &warm_start,
+                self.options.candidate_batch,
+            )
+        } else {
+            run_search_with_initial(
+                &space,
+                algo.as_mut(),
+                &mut { objective },
+                self.options.budget,
+                seed,
+                &warm_start,
+            )
+        };
         let incumbent = history
             .incumbent()
             .expect("search budget must allow at least one evaluation");

@@ -14,9 +14,8 @@
 
 use crate::pipeline::{FittedEmPipeline, FittedTransform};
 use em_ml::{f1_score, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rt::StdRng;
+use em_rt::SliceRandom;
 use std::fmt;
 
 /// Named, sorted feature-importance scores.

@@ -19,7 +19,7 @@ use em_text::{BooleanSimilarity, NumericSimilarity, StringSimilarity, Tokenizer}
 use em_ml::Matrix;
 
 /// Which feature-generation rules to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureScheme {
     /// Magellan's type-dependent rules (paper Table I).
     Magellan,
@@ -28,7 +28,7 @@ pub enum FeatureScheme {
 }
 
 /// How one feature is computed: which attribute, which measure.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FeatureKind {
     /// A string-to-string similarity.
     String(StringSimilarity),
@@ -39,7 +39,7 @@ pub enum FeatureKind {
 }
 
 /// One planned feature.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSpec {
     /// Attribute position in the shared schema.
     pub attr_index: usize,
@@ -133,7 +133,7 @@ pub fn numeric_similarities() -> Vec<NumericSimilarity> {
 }
 
 /// A planned feature generator for a specific schema + inferred types.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureGenerator {
     scheme: FeatureScheme,
     specs: Vec<FeatureSpec>,
@@ -223,42 +223,45 @@ impl FeatureGenerator {
             .collect()
     }
 
-    /// Compute the feature matrix for a batch of pairs, in parallel.
+    /// Compute the feature matrix for a batch of pairs, in parallel on the
+    /// shared `em-rt` worker pool ([`Self::generate_with_jobs`] with the
+    /// pool's default thread count).
     pub fn generate(&self, a: &Table, b: &Table, pairs: &[RecordPair]) -> Matrix {
+        self.generate_with_jobs(a, b, pairs, 0)
+    }
+
+    /// [`Self::generate`] with an explicit worker cap (0 = the pool's
+    /// [`em_rt::threads`] count). Each worker steals chunks of pair indices
+    /// off a shared counter and writes its rows directly into the disjoint
+    /// row slices of the output matrix — no lock, no intermediate per-chunk
+    /// buffers. Row `r` depends only on `pairs[r]`, so the result is
+    /// bit-identical for every `jobs` value.
+    pub fn generate_with_jobs(
+        &self,
+        a: &Table,
+        b: &Table,
+        pairs: &[RecordPair],
+        jobs: usize,
+    ) -> Matrix {
         let n = pairs.len();
         let d = self.specs.len();
         let mut out = Matrix::zeros(n, d);
-        let jobs = std::thread::available_parallelism().map_or(1, |p| p.get());
-        if jobs <= 1 || n < 64 {
-            for (r, &pair) in pairs.iter().enumerate() {
-                out.row_mut(r).copy_from_slice(&self.generate_row(a, b, pair));
-            }
+        if n == 0 || d == 0 {
             return out;
         }
-        // Compute rows in parallel chunks, then assemble.
-        let chunk = n.div_ceil(jobs);
-        let results = parking_lot::Mutex::new(vec![Vec::new(); jobs]);
-        crossbeam::thread::scope(|scope| {
-            for (w, pair_chunk) in pairs.chunks(chunk).enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let rows: Vec<Vec<f64>> = pair_chunk
-                        .iter()
-                        .map(|&p| self.generate_row(a, b, p))
-                        .collect();
-                    results.lock()[w] = rows;
-                });
+        let jobs = if n < 64 { 1 } else { jobs };
+        let writer = em_rt::SliceWriter::new(out.as_mut_slice());
+        em_rt::parallel_for(n, jobs, |r| {
+            // Safety: each row index is handed out exactly once, and row
+            // slices `[r * d, (r + 1) * d)` are pairwise disjoint.
+            let row = unsafe { writer.slice_mut(r * d, d) };
+            let ra = a.record(pairs[r].left);
+            let rb = b.record(pairs[r].right);
+            for (value, spec) in row.iter_mut().zip(&self.specs) {
+                *value =
+                    compute_feature(&spec.kind, ra.get(spec.attr_index), rb.get(spec.attr_index));
             }
-        })
-        .expect("feature-generation worker panicked");
-        let mut r = 0usize;
-        for chunk_rows in results.into_inner() {
-            for row in chunk_rows {
-                out.row_mut(r).copy_from_slice(&row);
-                r += 1;
-            }
-        }
-        assert_eq!(r, n, "all rows assembled");
+        });
         out
     }
 }

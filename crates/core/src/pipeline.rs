@@ -15,7 +15,7 @@ use em_ml::{
 };
 
 /// Feature-preprocessing component choice (paper Fig. 4 middle column).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PreprocessorChoice {
     /// `no_preprocessing`.
     None,
@@ -53,7 +53,7 @@ pub enum PreprocessorChoice {
 }
 
 /// Classifier choice plus hyperparameters (paper Fig. 4 right column).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClassifierChoice {
     /// Random forest (the AutoML-EM default model space, §III-C).
     RandomForest {
@@ -139,7 +139,7 @@ pub enum ClassifierChoice {
 }
 
 /// A complete, declarative pipeline configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmPipelineConfig {
     /// Class balancing (data preprocessing).
     pub balancing: BalancingStrategy,

@@ -7,7 +7,7 @@
 use em_automl::{ConfigSpace, Domain};
 
 /// Which classifiers participate in model selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelSpace {
     /// Only random forest (paper §III-C: "we only include the random forest
     /// in the model repository").
@@ -482,8 +482,7 @@ pub fn default_configuration(options: SpaceOptions) -> em_automl::Configuration 
 mod tests {
     use super::*;
     use crate::pipeline::decode_configuration;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use em_rt::StdRng;
 
     #[test]
     fn rf_only_space_always_selects_random_forest() {

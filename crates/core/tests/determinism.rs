@@ -1,0 +1,60 @@
+//! Thread-count determinism: with a fixed seed, the feature matrix and the
+//! forest predictions must be bit-identical whether the shared `em-rt` pool
+//! runs the work on 1 thread or many. This is the guarantee that lets every
+//! experiment in the repo report one number regardless of the host.
+//!
+//! This test gets its own process (integration-test binary), so it can size
+//! the global pool without interfering with other tests.
+
+use automl_em::{FeatureGenerator, FeatureScheme};
+use em_ml::{Classifier, ForestParams, RandomForestClassifier};
+use em_table::RecordPair;
+
+#[test]
+fn feature_matrix_and_forest_are_thread_count_invariant() {
+    // Force a multi-worker pool even on single-core CI hosts (EM_THREADS
+    // still wins if the environment sets it).
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(7, 0.2);
+    let generator =
+        FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+    let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    assert!(pairs.len() >= 64, "need enough pairs to trigger the parallel path");
+
+    // Feature matrix: serial vs pooled, bit for bit (NaN = missing cell).
+    let serial = generator.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, 1);
+    let pooled = generator.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, em_rt::threads());
+    assert_eq!(serial.nrows(), pooled.nrows());
+    assert_eq!(serial.ncols(), pooled.ncols());
+    for (a, b) in serial.as_slice().iter().zip(pooled.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Forest: 1 job vs many jobs, identical predictions and probabilities.
+    // Trees reject NaN, so impute the missing cells first (mean, like the
+    // pipeline's default preprocessor).
+    let (_, serial) =
+        em_ml::preprocess::SimpleImputer::fit_transform(em_ml::preprocess::ImputeStrategy::Mean, &serial);
+    let labels: Vec<usize> = ds.pairs.iter().map(|p| usize::from(p.label)).collect();
+    let fit = |n_jobs: usize| {
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_estimators: 31,
+            seed: 41,
+            n_jobs,
+            ..ForestParams::default()
+        });
+        rf.fit(&serial, &labels, 2, None);
+        rf
+    };
+    let rf1 = fit(1);
+    let rfn = fit(em_rt::threads());
+    assert_eq!(rf1.predict(&serial), rfn.predict(&serial));
+    let (p1, pn) = (rf1.predict_proba(&serial), rfn.predict_proba(&serial));
+    for (a, b) in p1.as_slice().iter().zip(pn.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(rf1.vote_fraction(&serial), rfn.vote_fraction(&serial));
+}

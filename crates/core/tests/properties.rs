@@ -1,72 +1,97 @@
 //! Property tests for the AutoML-EM core: feature-generation invariants,
 //! pipeline totality over the whole search space, and decode robustness.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
 use automl_em::{
     build_space, decode_configuration, FeatureGenerator, FeatureScheme, ModelSpace, SpaceOptions,
 };
+use em_rt::StdRng;
 use em_table::{AttrType, RecordPair, Schema, Table, Value};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-/// Random cell values including nulls (boxed so row strategies are Clone).
-fn value_strategy() -> BoxedStrategy<Value> {
-    prop_oneof![
-        2 => proptest::string::string_regex("[a-z]{1,8}( [a-z]{1,8}){0,3}")
-            .unwrap()
-            .prop_map(Value::Text),
-        1 => (-1000.0f64..1000.0).prop_map(Value::Number),
-        1 => any::<bool>().prop_map(Value::Bool),
-        1 => Just(Value::Null),
-    ]
-    .boxed()
+const CASES: u64 = 48;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0xc03e_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-/// A pair of single-schema tables with 1-6 rows each.
-fn table_pair(cols: usize) -> impl Strategy<Value = (Table, Table)> {
-    let rows = || {
-        proptest::collection::vec(
-            proptest::collection::vec(value_strategy(), cols..=cols),
-            1..6,
-        )
-    };
-    (rows(), rows()).prop_map(move |(ra, rb)| {
-        let names: Vec<String> = (0..cols).map(|i| format!("attr{i}")).collect();
-        let mut a = Table::new(Schema::new(names.clone()));
-        let mut b = Table::new(Schema::new(names));
-        for r in ra {
-            a.push_row(r).unwrap();
-        }
-        for r in rb {
-            b.push_row(r).unwrap();
-        }
-        (a, b)
-    })
+/// 1-4 lowercase words of 1-8 letters (the old text strategy).
+fn random_text(rng: &mut StdRng) -> String {
+    let words = rng.random_range(1..=4usize);
+    (0..words)
+        .map(|_| {
+            let len = rng.random_range(1..=8usize);
+            (0..len)
+                .map(|_| (b'a' + rng.random_range(0..26usize) as u8) as char)
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random cell values including nulls, weighted 2:1:1:1 text/number/bool/null.
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..5usize) {
+        0 | 1 => Value::Text(random_text(rng)),
+        2 => Value::Number(rng.random_range(-1000.0f64..1000.0)),
+        3 => Value::Bool(rng.random_bool(0.5)),
+        _ => Value::Null,
+    }
+}
 
-    #[test]
-    fn feature_generation_is_total_and_shape_correct((a, b) in table_pair(3)) {
+/// A pair of single-schema tables with 1-5 rows each.
+fn table_pair(rng: &mut StdRng, cols: usize) -> (Table, Table) {
+    let names: Vec<String> = (0..cols).map(|i| format!("attr{i}")).collect();
+    let mut a = Table::new(Schema::new(names.clone()));
+    let mut b = Table::new(Schema::new(names));
+    for t in [&mut a, &mut b] {
+        let rows = rng.random_range(1..6usize);
+        for _ in 0..rows {
+            t.push_row((0..cols).map(|_| random_value(rng)).collect())
+                .unwrap();
+        }
+    }
+    (a, b)
+}
+
+#[test]
+fn feature_generation_is_total_and_shape_correct() {
+    check(|rng| {
+        let (a, b) = table_pair(rng, 3);
         for scheme in [FeatureScheme::Magellan, FeatureScheme::AutoMlEm] {
             let generator = FeatureGenerator::plan_for_tables(scheme, &a, &b);
             let pairs: Vec<RecordPair> = (0..a.len())
                 .flat_map(|i| (0..b.len()).map(move |j| RecordPair::new(i, j)))
                 .collect();
             let x = generator.generate(&a, &b, &pairs);
-            prop_assert_eq!(x.nrows(), pairs.len());
-            prop_assert_eq!(x.ncols(), generator.n_features());
+            assert_eq!(x.nrows(), pairs.len());
+            assert_eq!(x.ncols(), generator.n_features());
             // Every cell is finite or NaN — never infinite (raw NW scores
             // are bounded by string lengths).
             for v in x.as_slice() {
-                prop_assert!(v.is_nan() || v.is_finite());
+                assert!(v.is_nan() || v.is_finite());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn identical_records_maximize_similarity_features((a, _) in table_pair(2)) {
+#[test]
+fn identical_records_maximize_similarity_features() {
+    check(|rng| {
+        let (a, _) = table_pair(rng, 2);
         // Pairing a table with itself: every *similarity* feature on a
         // non-null attribute is at its identity value.
         let generator = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &a, &a);
@@ -78,7 +103,7 @@ proptest! {
                     continue;
                 }
                 if name.ends_with("lev_dist") {
-                    prop_assert_eq!(*v, 0.0, "{} on self-pair", name);
+                    assert_eq!(*v, 0.0, "{} on self-pair", name);
                 } else if name.ends_with("exact_match")
                     || name.ends_with("jaro")
                     || name.ends_with("jaro_winkler")
@@ -89,17 +114,19 @@ proptest! {
                     || name.contains("overlap")
                     || name.ends_with("abs_norm")
                 {
-                    prop_assert!((*v - 1.0).abs() < 1e-9, "{} = {} on self-pair", name, v);
+                    assert!((*v - 1.0).abs() < 1e-9, "{} = {} on self-pair", name, v);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn autoem_feature_count_formula(types in proptest::collection::vec(0usize..6, 1..6)) {
-        let attr_types: Vec<AttrType> = types
-            .iter()
-            .map(|&t| match t {
+#[test]
+fn autoem_feature_count_formula() {
+    check(|rng| {
+        let n_attrs = rng.random_range(1..6usize);
+        let attr_types: Vec<AttrType> = (0..n_attrs)
+            .map(|_| match rng.random_range(0..6usize) {
                 0 => AttrType::Boolean,
                 1 => AttrType::Numeric,
                 2 => AttrType::SingleWordString,
@@ -119,16 +146,19 @@ proptest! {
                 _ => 16,
             })
             .sum();
-        prop_assert_eq!(generator.n_features(), expected);
+        assert_eq!(generator.n_features(), expected);
         // Magellan never generates more than AutoML-EM.
         let magellan = FeatureGenerator::plan(FeatureScheme::Magellan, &schema, &attr_types);
-        prop_assert!(magellan.n_features() <= generator.n_features());
-    }
+        assert!(magellan.n_features() <= generator.n_features());
+    });
+}
 
-    #[test]
-    fn every_space_sample_decodes_and_fits(sample_seed in 0u64..300) {
+#[test]
+fn every_space_sample_decodes_and_fits() {
+    check(|rng| {
         // Any configuration the richest space can produce must decode into
         // a pipeline that trains on a tiny dataset without panicking.
+        let sample_seed = rng.random_range(0..300u64);
         let space = build_space(SpaceOptions {
             model_space: ModelSpace::AllModels,
             ..SpaceOptions::default()
@@ -148,8 +178,8 @@ proptest! {
         let x = em_ml::Matrix::from_rows(&rows);
         let fitted = pipeline.fit(&x, &y);
         let pred = fitted.predict(&x);
-        prop_assert_eq!(pred.len(), 24);
+        assert_eq!(pred.len(), 24);
         let f1 = fitted.f1(&x, &y);
-        prop_assert!((0.0..=1.0).contains(&f1));
-    }
+        assert!((0.0..=1.0).contains(&f1));
+    });
 }

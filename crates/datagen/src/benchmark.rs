@@ -15,8 +15,7 @@ use crate::domains::{
 use crate::entity::{family_of, EntityDomain, FAMILY_SIZE};
 use crate::noise::NoiseModel;
 use em_table::{LabeledPair, PairStats, Table};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use em_rt::StdRng;
 use std::collections::BTreeSet;
 
 /// Difficulty category from Table III.
@@ -312,7 +311,7 @@ impl Benchmark {
             }
         }
         {
-            use rand::seq::SliceRandom;
+            use em_rt::SliceRandom;
             hard_pool.shuffle(&mut rng);
         }
         let mut negatives_made = 0usize;

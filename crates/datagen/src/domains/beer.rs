@@ -4,8 +4,7 @@
 use crate::entity::EntityDomain;
 use crate::vocab;
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// Beers: members of a family come from the same brewery.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,7 +43,6 @@ impl EntityDomain for BeerDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn schema_shape() {

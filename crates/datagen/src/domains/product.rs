@@ -16,7 +16,7 @@
 use crate::entity::EntityDomain;
 use crate::vocab;
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
+use em_rt::StdRng;
 
 /// Family base price plus a small per-member step, so sibling prices are
 /// confusably close.
@@ -155,7 +155,6 @@ impl EntityDomain for DescriptionProductDomain {
 mod tests {
     use super::*;
     use em_text::{jaccard, Tokenizer};
-    use rand::SeedableRng;
 
     #[test]
     fn schema_shapes_match_table_iii() {

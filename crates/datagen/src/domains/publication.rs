@@ -6,8 +6,7 @@
 use crate::entity::EntityDomain;
 use crate::vocab;
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// Publications: members of a family share a venue and an author cluster
 /// (same research group publishing related papers).
@@ -50,7 +49,7 @@ impl EntityDomain for PublicationDomain {
         }
         let authors = authors.join(", ");
         let venue = if self.scholar_style { venue_short } else { venue_long };
-        let year = 1998 + (family * 5 + member / 2 + rng.random_range(0..2)) % 25;
+        let year = 1998 + (family * 5 + member / 2 + rng.random_range(0..2usize)) % 25;
         vec![
             Value::Text(title),
             Value::Text(authors),
@@ -63,7 +62,6 @@ impl EntityDomain for PublicationDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn schema_shape() {

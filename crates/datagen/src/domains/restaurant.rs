@@ -4,8 +4,7 @@
 use crate::entity::EntityDomain;
 use crate::vocab;
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// Restaurants: members of a family share a city and street, modeling
 /// same-neighborhood confusables.
@@ -55,7 +54,6 @@ impl EntityDomain for RestaurantDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn schema_matches_fodors_zagats_shape() {

@@ -4,8 +4,7 @@
 use crate::entity::EntityDomain;
 use crate::vocab;
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// Songs: members of a family are tracks by the same artist on the same
 /// album — the classic hard-negative structure of music catalogs.
@@ -55,7 +54,7 @@ impl EntityDomain for SongDomain {
         let year = 1995 + (family * 3 + member % 2) % 28;
         let label = vocab::pick(vocab::BREWERIES, family + 7); // label names reuse a pool
         let copyright = format!("(c) {year} {label} records");
-        let secs = 150 + (family * 31 + member * 53) % 240 + rng.random_range(0..5);
+        let secs = 150 + (family * 31 + member * 53) % 240 + rng.random_range(0..5usize);
         let time = format!("{}:{:02}", secs / 60, secs % 60);
         vec![
             Value::Text(song),
@@ -73,7 +72,6 @@ impl EntityDomain for SongDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn schema_shape() {

@@ -7,7 +7,7 @@
 //! look similar but are different entities.
 
 use em_table::{Schema, Value};
-use rand::rngs::StdRng;
+use em_rt::StdRng;
 
 /// A benchmark domain: schema plus base-record synthesis.
 pub trait EntityDomain: Send + Sync {

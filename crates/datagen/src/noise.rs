@@ -4,8 +4,7 @@
 //! is what separates the paper's "easy" and "hard" dataset categories.
 
 use em_table::Value;
-use rand::rngs::StdRng;
-use rand::RngExt;
+use em_rt::StdRng;
 
 /// Long-form → short-form rewrites applied at the token level, modeling the
 /// real A/B divergence of the benchmarks ("boulevard" vs "blvd.",
@@ -244,7 +243,6 @@ fn typo(word: &str, rng: &mut StdRng) -> String {
 mod tests {
     use super::*;
     use em_text::levenshtein_distance;
-    use rand::SeedableRng;
 
     #[test]
     fn none_is_identity() {

@@ -1,61 +1,109 @@
 //! Property tests for the benchmark generators: determinism, label
 //! consistency, profile adherence, and noise-model invariants.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
 use em_data::{Benchmark, NoiseModel, FAMILY_SIZE};
+use em_rt::StdRng;
 use em_table::Value;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn any_benchmark() -> impl Strategy<Value = Benchmark> {
-    prop_oneof![
-        Just(Benchmark::BeerAdvoRateBeer),
-        Just(Benchmark::FodorsZagats),
-        Just(Benchmark::ItunesAmazon),
-        Just(Benchmark::DblpAcm),
-        Just(Benchmark::DblpScholar),
-        Just(Benchmark::AmazonGoogle),
-        Just(Benchmark::WalmartAmazon),
-        Just(Benchmark::AbtBuy),
-    ]
-}
+const CASES: u64 = 24;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generation_is_deterministic(b in any_benchmark(), seed in 0u64..50) {
-        let d1 = b.generate_scaled(seed, 0.05);
-        let d2 = b.generate_scaled(seed, 0.05);
-        prop_assert_eq!(d1.table_a, d2.table_a);
-        prop_assert_eq!(d1.table_b, d2.table_b);
-        prop_assert_eq!(d1.pairs, d2.pairs);
-    }
-
-    #[test]
-    fn labels_match_the_diagonal_construction(b in any_benchmark(), seed in 0u64..20) {
-        let ds = b.generate_scaled(seed, 0.08);
-        for p in &ds.pairs {
-            prop_assert_eq!(p.label, p.pair.left == p.pair.right);
-            prop_assert!(p.pair.left < ds.table_a.len());
-            prop_assert!(p.pair.right < ds.table_b.len());
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0xda7a_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
         }
     }
+}
 
-    #[test]
-    fn positive_rate_tracks_the_profile(b in any_benchmark(), seed in 0u64..10) {
+const ALL_BENCHMARKS: [Benchmark; 8] = [
+    Benchmark::BeerAdvoRateBeer,
+    Benchmark::FodorsZagats,
+    Benchmark::ItunesAmazon,
+    Benchmark::DblpAcm,
+    Benchmark::DblpScholar,
+    Benchmark::AmazonGoogle,
+    Benchmark::WalmartAmazon,
+    Benchmark::AbtBuy,
+];
+
+fn any_benchmark(rng: &mut StdRng) -> Benchmark {
+    ALL_BENCHMARKS[rng.random_range(0..ALL_BENCHMARKS.len())]
+}
+
+/// 1-5 lowercase words of 1-8 letters (the old text strategy).
+fn random_text(rng: &mut StdRng, max_words: usize) -> String {
+    let words = rng.random_range(1..=max_words);
+    (0..words)
+        .map(|_| {
+            let len = rng.random_range(1..=8usize);
+            (0..len)
+                .map(|_| (b'a' + rng.random_range(0..26usize) as u8) as char)
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn generation_is_deterministic() {
+    check(|rng| {
+        let b = any_benchmark(rng);
+        let seed = rng.random_range(0..50u64);
+        let d1 = b.generate_scaled(seed, 0.05);
+        let d2 = b.generate_scaled(seed, 0.05);
+        assert_eq!(d1.table_a, d2.table_a);
+        assert_eq!(d1.table_b, d2.table_b);
+        assert_eq!(d1.pairs, d2.pairs);
+    });
+}
+
+#[test]
+fn labels_match_the_diagonal_construction() {
+    check(|rng| {
+        let b = any_benchmark(rng);
+        let seed = rng.random_range(0..20u64);
+        let ds = b.generate_scaled(seed, 0.08);
+        for p in &ds.pairs {
+            assert_eq!(p.label, p.pair.left == p.pair.right);
+            assert!(p.pair.left < ds.table_a.len());
+            assert!(p.pair.right < ds.table_b.len());
+        }
+    });
+}
+
+#[test]
+fn positive_rate_tracks_the_profile() {
+    check(|rng| {
+        let b = any_benchmark(rng);
+        let seed = rng.random_range(0..10u64);
         let ds = b.generate_scaled(seed, 0.25);
         let profile = b.profile();
         let expected = profile.positives as f64 / profile.total_pairs as f64;
         let got = ds.stats().positive_rate();
-        prop_assert!(
+        assert!(
             (got - expected).abs() < 0.05,
-            "{}: rate {got} vs profile {expected}", ds.name
+            "{}: rate {got} vs profile {expected}",
+            ds.name
         );
-    }
+    });
+}
 
-    #[test]
-    fn hard_negatives_stay_within_families(b in any_benchmark(), seed in 0u64..10) {
+#[test]
+fn hard_negatives_stay_within_families() {
+    check(|rng| {
+        let b = any_benchmark(rng);
+        let seed = rng.random_range(0..10u64);
         let ds = b.generate_scaled(seed, 0.1);
         // Every negative is either within one family (hard) or across
         // families (easy); families are contiguous blocks of FAMILY_SIZE.
@@ -68,38 +116,36 @@ proptest! {
                 across += 1;
             }
         }
-        prop_assert!(within > 0, "{} has no hard negatives", ds.name);
-        prop_assert!(across > 0, "{} has no easy negatives", ds.name);
-    }
+        assert!(within > 0, "{} has no hard negatives", ds.name);
+        assert!(across > 0, "{} has no easy negatives", ds.name);
+    });
+}
 
-    #[test]
-    fn noise_models_keep_values_sane(
-        text in "[a-z]{1,8}( [a-z]{1,8}){0,4}",
-        number in -1e4f64..1e4,
-        seed in 0u64..100,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn noise_models_keep_values_sane() {
+    check(|rng| {
+        let text = random_text(rng, 5);
+        let number = rng.random_range(-1e4f64..1e4);
         for model in [NoiseModel::light(), NoiseModel::medium(), NoiseModel::heavy()] {
-            match model.apply_string(&text, &mut rng) {
+            match model.apply_string(&text, rng) {
                 Value::Null => {}
-                Value::Text(t) => prop_assert!(!t.is_empty()),
-                other => prop_assert!(false, "unexpected {other:?}"),
+                Value::Text(t) => assert!(!t.is_empty()),
+                other => panic!("unexpected {other:?}"),
             }
-            match model.apply_number(number, &mut rng) {
+            match model.apply_number(number, rng) {
                 Value::Null => {}
-                Value::Number(x) => prop_assert!(x.is_finite()),
-                other => prop_assert!(false, "unexpected {other:?}"),
+                Value::Number(x) => assert!(x.is_finite()),
+                other => panic!("unexpected {other:?}"),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn none_noise_is_identity_everywhere(
-        text in "[a-z]{1,8}( [a-z]{1,8}){0,3}",
-        seed in 0u64..50,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn none_noise_is_identity_everywhere() {
+    check(|rng| {
+        let text = random_text(rng, 4);
         let nm = NoiseModel::none();
-        prop_assert_eq!(nm.apply_string(&text, &mut rng), Value::Text(text.clone()));
-    }
+        assert_eq!(nm.apply_string(&text, rng), Value::Text(text.clone()));
+    });
 }

@@ -5,7 +5,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// Gaussian-NB hyperparameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianNbParams {
     /// Portion of the largest feature variance added to every variance for
     /// numerical stability (sklearn's `var_smoothing`).
@@ -132,10 +132,9 @@ impl Classifier for GaussianNb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
 
     fn gaussian_blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = em_rt::StdRng::seed_from_u64(seed);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for i in 0..n {

@@ -7,7 +7,7 @@ use crate::tree::{Criterion, DecisionTree, MaxFeatures, Splitter, TreeParams};
 use crate::Classifier;
 
 /// AdaBoost hyperparameters (sklearn `AdaBoostClassifier` with tree stumps).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoostParams {
     /// Number of boosting rounds.
     pub n_estimators: usize,
@@ -147,7 +147,7 @@ fn normalize(w: &mut [f64]) {
 }
 
 /// Gradient-boosting hyperparameters (binary logistic loss).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoostingParams {
     /// Number of boosting rounds.
     pub n_estimators: usize,
@@ -230,8 +230,7 @@ impl Classifier for GradientBoostingClassifier {
         let p0 = (pos / wsum).clamp(1e-6, 1.0 - 1e-6);
         self.init_score = (p0 / (1.0 - p0)).ln();
         let mut f = vec![self.init_score; n];
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.seed);
+        let mut rng = em_rt::StdRng::seed_from_u64(self.params.seed);
         for t in 0..self.params.n_estimators {
             // Negative gradient of logistic loss: residual = y - p.
             let residual: Vec<f64> = f
@@ -303,11 +302,10 @@ impl Classifier for GradientBoostingClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
 
     fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
         // XOR pattern: not linearly separable, easy for boosted trees.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = em_rt::StdRng::seed_from_u64(seed);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for _ in 0..n {

@@ -6,7 +6,7 @@
 use crate::matrix::Matrix;
 
 /// A fitted feature-agglomeration transform.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureAgglomeration {
     /// Cluster id per input feature.
     labels: Vec<usize>,

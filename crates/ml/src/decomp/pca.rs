@@ -5,7 +5,7 @@
 use crate::matrix::Matrix;
 
 /// A fitted PCA transform.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     /// Per-feature training means (data is centered before projection).
     means: Vec<f64>,

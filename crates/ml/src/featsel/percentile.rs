@@ -7,7 +7,7 @@ use crate::featsel::chi2::chi2;
 use crate::matrix::Matrix;
 
 /// Univariate scoring function for feature selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScoreFunc {
     /// One-way ANOVA F (sklearn `f_classif`).
     FClassif,
@@ -32,7 +32,7 @@ impl ScoreFunc {
 }
 
 /// A fitted feature-subset selector: remembers which column indices survive.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedSelector {
     selected: Vec<usize>,
     n_input_features: usize,

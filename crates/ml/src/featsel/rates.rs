@@ -7,7 +7,7 @@ use crate::featsel::percentile::{FittedSelector, ScoreFunc};
 use crate::matrix::Matrix;
 
 /// Error-rate control mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RateMode {
     /// False positive rate: keep features with `p < alpha`.
     Fpr,

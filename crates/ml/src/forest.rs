@@ -8,12 +8,11 @@
 use crate::matrix::Matrix;
 use crate::tree::{Criterion, DecisionTree, MaxFeatures, Splitter, TreeParams};
 use crate::Classifier;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use em_rt::StdRng;
 
 /// Hyperparameters shared by the forest models. Field names and defaults
 /// mirror scikit-learn's `RandomForestClassifier` (paper Fig. 5/11).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestParams {
     /// Number of trees.
     pub n_estimators: usize,
@@ -54,15 +53,9 @@ impl Default for ForestParams {
     }
 }
 
-fn resolve_jobs(n_jobs: usize) -> usize {
-    if n_jobs > 0 {
-        n_jobs
-    } else {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    }
-}
-
-/// Train `n` trees in parallel with per-tree seeds and optional bootstrap.
+/// Train `n` trees on the shared `em-rt` worker pool with per-tree seeds and
+/// optional bootstrap. Tree `t` is fully determined by `params.seed` and `t`,
+/// so predictions are bit-identical for any `n_jobs`.
 fn fit_trees(
     x: &Matrix,
     y: &[usize],
@@ -73,44 +66,34 @@ fn fit_trees(
 ) -> Vec<DecisionTree> {
     let n = x.nrows();
     let n_trees = params.n_estimators.max(1);
-    let jobs = resolve_jobs(params.n_jobs).min(n_trees);
-    let results = parking_lot::Mutex::new(vec![None; n_trees]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= n_trees {
-                    break;
-                }
-                let tree_params = TreeParams {
-                    criterion: params.criterion,
-                    max_depth: params.max_depth,
-                    min_samples_split: params.min_samples_split,
-                    min_samples_leaf: params.min_samples_leaf,
-                    max_features: params.max_features,
-                    splitter,
-                    min_impurity_decrease: params.min_impurity_decrease,
-                    seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                };
-                let tree = if params.bootstrap {
-                    let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
-                    let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-                    let xb = x.select_rows(&idx);
-                    let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
-                    let wb: Option<Vec<f64>> =
-                        sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
-                    DecisionTree::fit_classifier(&xb, &yb, n_classes, wb.as_deref(), tree_params)
-                } else {
-                    DecisionTree::fit_classifier(x, y, n_classes, sample_weight, tree_params)
-                };
-                results.lock()[t] = Some(tree);
-            });
-        }
-    })
-    .expect("forest worker panicked");
+    let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
+    let writer = em_rt::SliceWriter::new(&mut results);
+    em_rt::parallel_for_chunked(n_trees, params.n_jobs, 1, |t| {
+        let tree_params = TreeParams {
+            criterion: params.criterion,
+            max_depth: params.max_depth,
+            min_samples_split: params.min_samples_split,
+            min_samples_leaf: params.min_samples_leaf,
+            max_features: params.max_features,
+            splitter,
+            min_impurity_decrease: params.min_impurity_decrease,
+            seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let tree = if params.bootstrap {
+            let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let xb = x.select_rows(&idx);
+            let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+            let wb: Option<Vec<f64>> =
+                sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
+            DecisionTree::fit_classifier(&xb, &yb, n_classes, wb.as_deref(), tree_params)
+        } else {
+            DecisionTree::fit_classifier(x, y, n_classes, sample_weight, tree_params)
+        };
+        // Safety: `parallel_for` hands out each index exactly once.
+        unsafe { writer.write(t, Some(tree)) };
+    });
     results
-        .into_inner()
         .into_iter()
         .map(|t| t.expect("all trees trained"))
         .collect()
@@ -366,50 +349,40 @@ impl RandomForestRegressor {
         }
     }
 
-    /// Fit on continuous targets.
+    /// Fit on continuous targets (trees train on the shared `em-rt` pool).
     pub fn fit(&mut self, x: &Matrix, targets: &[f64]) {
         let n = x.nrows();
         let n_trees = self.params.n_estimators.max(1);
-        let jobs = resolve_jobs(self.params.n_jobs).min(n_trees);
-        let results = parking_lot::Mutex::new(vec![None; n_trees]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
+        let writer = em_rt::SliceWriter::new(&mut results);
         let params = &self.params;
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|_| loop {
-                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if t >= n_trees {
-                        break;
-                    }
-                    let tree_params = TreeParams {
-                        criterion: Criterion::Mse,
-                        max_depth: params.max_depth,
-                        min_samples_split: params.min_samples_split,
-                        min_samples_leaf: params.min_samples_leaf,
-                        max_features: params.max_features,
-                        splitter: Splitter::Best,
-                        min_impurity_decrease: params.min_impurity_decrease,
-                        seed: params
-                            .seed
-                            .wrapping_add(t as u64)
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    };
-                    let tree = if params.bootstrap {
-                        let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
-                        let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-                        let xb = x.select_rows(&idx);
-                        let tb: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
-                        DecisionTree::fit_regressor(&xb, &tb, None, tree_params)
-                    } else {
-                        DecisionTree::fit_regressor(x, targets, None, tree_params)
-                    };
-                    results.lock()[t] = Some(tree);
-                });
-            }
-        })
-        .expect("forest worker panicked");
+        em_rt::parallel_for_chunked(n_trees, params.n_jobs, 1, |t| {
+            let tree_params = TreeParams {
+                criterion: Criterion::Mse,
+                max_depth: params.max_depth,
+                min_samples_split: params.min_samples_split,
+                min_samples_leaf: params.min_samples_leaf,
+                max_features: params.max_features,
+                splitter: Splitter::Best,
+                min_impurity_decrease: params.min_impurity_decrease,
+                seed: params
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            let tree = if params.bootstrap {
+                let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
+                let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                let xb = x.select_rows(&idx);
+                let tb: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
+                DecisionTree::fit_regressor(&xb, &tb, None, tree_params)
+            } else {
+                DecisionTree::fit_regressor(x, targets, None, tree_params)
+            };
+            // Safety: `parallel_for` hands out each index exactly once.
+            unsafe { writer.write(t, Some(tree)) };
+        });
         self.trees = results
-            .into_inner()
             .into_iter()
             .map(|t| t.expect("all trees trained"))
             .collect();
@@ -448,7 +421,6 @@ impl RandomForestRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
 
     /// Noisy two-cluster data in 4 dimensions.
     fn clusters(n: usize, seed: u64) -> (Matrix, Vec<usize>) {

@@ -5,7 +5,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// Neighbor weighting scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnnWeights {
     /// Each neighbor votes equally.
     Uniform,
@@ -14,7 +14,7 @@ pub enum KnnWeights {
 }
 
 /// k-NN hyperparameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnParams {
     /// Number of neighbors consulted.
     pub k: usize,

@@ -4,12 +4,11 @@
 
 use crate::matrix::Matrix;
 use crate::Classifier;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rt::StdRng;
+use em_rt::SliceRandom;
 
 /// Logistic-regression hyperparameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegressionParams {
     /// L2 regularization strength (sklearn's `1/C`).
     pub alpha: f64,
@@ -121,7 +120,7 @@ impl Classifier for LogisticRegression {
 }
 
 /// Linear-SVM hyperparameters (Pegasos).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvmParams {
     /// Regularization strength λ.
     pub lambda: f64,
@@ -239,7 +238,6 @@ impl Classifier for LinearSvm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
 
     fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);

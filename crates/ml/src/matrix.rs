@@ -3,7 +3,7 @@
 //! an imputer runs.
 
 /// Dense row-major matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     data: Vec<f64>,
     rows: usize,
@@ -158,6 +158,13 @@ impl Matrix {
     /// The underlying row-major buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The underlying row-major buffer, mutably (row `r` occupies
+    /// `[r * ncols, (r + 1) * ncols)`) — used for lock-free disjoint row
+    /// writes from parallel sections.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 }
 

@@ -5,7 +5,7 @@
 //! proportional to class frequency — is a standard pipeline component.
 
 /// Balancing strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BalancingStrategy {
     /// No balancing: uniform sample weights.
     None,

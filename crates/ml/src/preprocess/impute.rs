@@ -6,7 +6,7 @@
 use crate::matrix::Matrix;
 
 /// Imputation strategy, mirroring sklearn's `SimpleImputer`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ImputeStrategy {
     /// Column mean of observed values.
     Mean,
@@ -19,7 +19,7 @@ pub enum ImputeStrategy {
 }
 
 /// Fitted imputer holding one fill value per column.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimpleImputer {
     /// Strategy used at fit time.
     pub strategy: ImputeStrategy,

@@ -9,7 +9,7 @@ use crate::stats::{mean, quantile};
 
 /// A fitted scaler: per-column `(center, scale)` applied as
 /// `(x - center) / scale`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedScaler {
     kind: ScalerKind,
     centers: Vec<f64>,
@@ -17,7 +17,7 @@ pub struct FittedScaler {
 }
 
 /// Which scaler produced a [`FittedScaler`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScalerKind {
     /// Zero mean, unit variance.
     Standard,

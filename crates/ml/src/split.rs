@@ -3,9 +3,8 @@
 //! The paper splits each benchmark 4:1 into train/test and then the training
 //! portion 4:1 again into train/validation (§V-A), i.e. 64/16/20 overall.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rt::StdRng;
+use em_rt::SliceRandom;
 
 /// Shuffle `0..n` deterministically with the given seed.
 pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {

@@ -7,12 +7,11 @@
 //! and the extra-trees "random threshold" splitter.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use em_rt::StdRng;
+use em_rt::SliceRandom;
 
 /// Split-quality criterion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Criterion {
     /// Gini impurity (classification).
     Gini,
@@ -23,7 +22,7 @@ pub enum Criterion {
 }
 
 /// How many features to consider at each split.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MaxFeatures {
     /// All features (classic CART).
     All,
@@ -56,7 +55,7 @@ impl MaxFeatures {
 }
 
 /// Threshold-selection strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Splitter {
     /// Exhaustive best split per candidate feature (CART / random forest).
     Best,
@@ -65,7 +64,7 @@ pub enum Splitter {
 }
 
 /// Hyperparameters of a single tree.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeParams {
     /// Split-quality criterion.
     pub criterion: Criterion,
@@ -100,7 +99,7 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         /// Classification: weighted class distribution (normalized).
@@ -117,7 +116,7 @@ enum Node {
 
 /// A fitted CART decision tree (classification or regression depending on
 /// which `fit_*` constructor was used).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     params: TreeParams,
     nodes: Vec<Node>,

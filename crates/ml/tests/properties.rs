@@ -1,6 +1,10 @@
 //! Property-based tests for the ML substrate: scaler invertibility, imputer
 //! totality, metric bounds, tree/forest invariants, selector bounds, and
 //! special-function identities.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
 use em_ml::featsel::{select_percentile, variance_threshold, ScoreFunc};
 use em_ml::preprocess::{FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer};
@@ -8,35 +12,50 @@ use em_ml::stats::{betainc, chi2_sf, f_sf, ln_gamma};
 use em_ml::{
     f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier, TreeParams,
 };
-use proptest::prelude::*;
+use em_rt::StdRng;
+
+const CASES: u64 = 64;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0x3147_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
 /// A small random matrix with values in a bounded range. At least 4 rows so
 /// ANOVA (which needs more samples than classes) is always applicable.
-fn matrix_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, cols..=cols),
-        4..max_rows,
-    )
-    .prop_map(|rows| Matrix::from_rows(&rows))
+fn random_matrix(rng: &mut StdRng, max_rows: usize, cols: usize) -> Matrix {
+    let rows = rng.random_range(4..max_rows);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.random_range(-100.0f64..100.0)).collect())
+        .collect();
+    Matrix::from_rows(&data)
 }
 
 /// Binary labels with at least one member of each class.
-fn labels_for(n: usize) -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0usize..2, n..=n).prop_map(|mut y| {
-        if y.iter().all(|&c| c == 0) {
-            y[0] = 1;
-        } else if y.iter().all(|&c| c == 1) {
-            y[0] = 0;
-        }
-        y
-    })
+fn random_labels(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut y: Vec<usize> = (0..n).map(|_| rng.random_range(0..2usize)).collect();
+    if y.iter().all(|&c| c == 0) {
+        y[0] = 1;
+    } else if y.iter().all(|&c| c == 1) {
+        y[0] = 0;
+    }
+    y
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scalers_round_trip(x in matrix_strategy(20, 3)) {
+#[test]
+fn scalers_round_trip() {
+    check(|rng| {
+        let x = random_matrix(rng, 20, 3);
         for kind in [
             ScalerKind::Standard,
             ScalerKind::MinMax,
@@ -45,20 +64,30 @@ proptest! {
             let (s, out) = FittedScaler::fit_transform(kind, &x);
             let back = s.inverse_transform(&out);
             for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
-                prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn imputer_always_removes_nan(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![3 => -10.0f64..10.0, 1 => Just(f64::NAN)], 3..=3,
-            ),
-            2..15,
-        )
-    ) {
+#[test]
+fn imputer_always_removes_nan() {
+    check(|rng| {
+        let n_rows = rng.random_range(2..15usize);
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        // 1-in-4 cells missing, as in the old prop_oneof weights.
+                        if rng.random_bool(0.25) {
+                            f64::NAN
+                        } else {
+                            rng.random_range(-10.0f64..10.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         let x = Matrix::from_rows(&rows);
         for strat in [
             ImputeStrategy::Mean,
@@ -67,22 +96,27 @@ proptest! {
             ImputeStrategy::Constant(0.5),
         ] {
             let (_, out) = SimpleImputer::fit_transform(strat, &x);
-            prop_assert!(!out.has_nan());
+            assert!(!out.has_nan());
         }
-    }
+    });
+}
 
-    #[test]
-    fn f1_is_bounded_and_perfect_on_identity(y in proptest::collection::vec(0usize..2, 1..40)) {
-        prop_assert!((0.0..=1.0).contains(&f1_score(&y, &y)));
+#[test]
+fn f1_is_bounded_and_perfect_on_identity() {
+    check(|rng| {
+        let n = rng.random_range(1..40usize);
+        let y: Vec<usize> = (0..n).map(|_| rng.random_range(0..2usize)).collect();
+        assert!((0.0..=1.0).contains(&f1_score(&y, &y)));
         if y.contains(&1) {
-            prop_assert_eq!(f1_score(&y, &y), 1.0);
+            assert_eq!(f1_score(&y, &y), 1.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn forest_probabilities_are_distributions(
-        x in matrix_strategy(24, 2),
-    ) {
+#[test]
+fn forest_probabilities_are_distributions() {
+    check(|rng| {
+        let x = random_matrix(rng, 24, 2);
         let n = x.nrows();
         let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let mut rf = RandomForestClassifier::new(ForestParams {
@@ -94,19 +128,20 @@ proptest! {
         let p = rf.predict_proba(&x);
         for r in 0..n {
             let s: f64 = p.row(r).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9);
-            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
         }
         // Vote fractions are in [1/2, 1] for binary classification.
         for c in rf.vote_fraction(&x) {
-            prop_assert!((0.5 - 1e-12..=1.0 + 1e-12).contains(&c));
+            assert!((0.5 - 1e-12..=1.0 + 1e-12).contains(&c));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tree_training_accuracy_is_perfect_without_limits(
-        x in matrix_strategy(24, 2),
-    ) {
+#[test]
+fn tree_training_accuracy_is_perfect_without_limits() {
+    check(|rng| {
+        let x = random_matrix(rng, 24, 2);
         // Deduplicate identical rows (which could carry conflicting labels).
         let n = x.nrows();
         let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
@@ -120,73 +155,95 @@ proptest! {
         let yu: Vec<usize> = keep.iter().map(|&i| y[i]).collect();
         if yu.iter().any(|&c| c == 0) && yu.iter().any(|&c| c == 1) {
             let t = em_ml::DecisionTree::fit_classifier(&xu, &yu, 2, None, TreeParams::default());
-            prop_assert_eq!(t.predict(&xu), yu);
+            assert_eq!(t.predict(&xu), yu);
         }
-    }
+    });
+}
 
-    #[test]
-    fn percentile_selector_respects_bounds(
-        x in matrix_strategy(30, 5),
-        pct in 0.0f64..100.0,
-    ) {
+#[test]
+fn percentile_selector_respects_bounds() {
+    check(|rng| {
+        let x = random_matrix(rng, 30, 5);
+        let pct = rng.random_range(0.0f64..100.0);
         let n = x.nrows();
         let y = (0..n).map(|i| i % 2).collect::<Vec<_>>();
         let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, pct);
         let k = sel.selected().len();
-        prop_assert!(k >= 1 && k <= 5);
+        assert!(k >= 1 && k <= 5);
         // Selected indices are sorted and unique.
         let mut sorted = sel.selected().to_vec();
         sorted.dedup();
-        prop_assert_eq!(sorted.as_slice(), sel.selected());
-    }
+        assert_eq!(sorted.as_slice(), sel.selected());
+    });
+}
 
-    #[test]
-    fn variance_threshold_never_empty(x in matrix_strategy(20, 4)) {
+#[test]
+fn variance_threshold_never_empty() {
+    check(|rng| {
+        let x = random_matrix(rng, 20, 4);
         let sel = variance_threshold(&x, 0.0);
-        prop_assert!(!sel.selected().is_empty());
+        assert!(!sel.selected().is_empty());
         let out = sel.transform(&x);
-        prop_assert_eq!(out.ncols(), sel.selected().len());
-    }
+        assert_eq!(out.ncols(), sel.selected().len());
+    });
+}
 
-    #[test]
-    fn gamma_recurrence(x in 0.5f64..20.0) {
+#[test]
+fn gamma_recurrence() {
+    check(|rng| {
+        let x = rng.random_range(0.5f64..20.0);
         // ln Γ(x+1) = ln Γ(x) + ln x
         let lhs = ln_gamma(x + 1.0);
         let rhs = ln_gamma(x) + x.ln();
-        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
-    }
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    });
+}
 
-    #[test]
-    fn betainc_monotone_in_x(a in 0.5f64..10.0, b in 0.5f64..10.0, x1 in 0.01f64..0.99, dx in 0.0f64..0.5) {
+#[test]
+fn betainc_monotone_in_x() {
+    check(|rng| {
+        let a = rng.random_range(0.5f64..10.0);
+        let b = rng.random_range(0.5f64..10.0);
+        let x1 = rng.random_range(0.01f64..0.99);
+        let dx = rng.random_range(0.0f64..0.5);
         let x2 = (x1 + dx).min(1.0);
-        prop_assert!(betainc(a, b, x1) <= betainc(a, b, x2) + 1e-9);
-    }
+        assert!(betainc(a, b, x1) <= betainc(a, b, x2) + 1e-9);
+    });
+}
 
-    #[test]
-    fn survival_functions_are_valid_probabilities(v in 0.0f64..100.0, d1 in 1.0f64..30.0, d2 in 1.0f64..30.0) {
+#[test]
+fn survival_functions_are_valid_probabilities() {
+    check(|rng| {
+        let v = rng.random_range(0.0f64..100.0);
+        let d1 = rng.random_range(1.0f64..30.0);
+        let d2 = rng.random_range(1.0f64..30.0);
         let p = f_sf(v, d1, d2);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
         let q = chi2_sf(v, d1);
-        prop_assert!((0.0..=1.0).contains(&q));
-    }
+        assert!((0.0..=1.0).contains(&q));
+    });
+}
 
-    #[test]
-    fn stratified_split_partitions(n_pos in 2usize..20, n_neg in 2usize..40, seed in 0u64..100) {
+#[test]
+fn stratified_split_partitions() {
+    check(|rng| {
+        let n_pos = rng.random_range(2..20usize);
+        let n_neg = rng.random_range(2..40usize);
+        let seed = rng.random_range(0..100u64);
         let mut y = vec![0usize; n_neg];
         y.extend(vec![1usize; n_pos]);
         let (train, test) = em_ml::stratified_train_test_indices(&y, 0.25, seed);
         let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
         all.sort_unstable();
         let expect: Vec<usize> = (0..y.len()).collect();
-        prop_assert_eq!(all, expect);
-    }
+        assert_eq!(all, expect);
+    });
 }
 
 #[test]
-fn labels_strategy_smoke() {
-    // Exercise the helper so it isn't dead code if strategies shift.
-    let mut runner = proptest::test_runner::TestRunner::deterministic();
-    let tree = labels_for(6).new_tree(&mut runner).unwrap();
-    let y = proptest::strategy::ValueTree::current(&tree);
+fn labels_generator_smoke() {
+    // Exercise the helper so it isn't dead code if generators shift.
+    let mut rng = StdRng::seed_from_u64(42);
+    let y = random_labels(&mut rng, 6);
     assert!(y.contains(&0) && y.contains(&1));
 }

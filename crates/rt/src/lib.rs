@@ -1,0 +1,29 @@
+//! `em-rt` — the zero-dependency runtime underneath the AutoML-EM workspace.
+//!
+//! The workspace's hot paths (forest training, pairwise feature generation,
+//! pipeline search) are embarrassingly parallel but latency-sensitive: a
+//! single SMAC run fits hundreds of small forests, so per-fit thread-spawn
+//! overhead compounds. This crate owns that problem with four tiny modules:
+//!
+//! * [`pool`] — a persistent, lazily-initialized, process-global worker pool
+//!   with a scoped [`parallel_for`] interface and atomic-counter work
+//!   stealing. Threads are spawned once and reused across every fit of a
+//!   search, instead of once per call.
+//! * [`rng`] — a deterministic SplitMix64-seeded xoshiro256++ generator
+//!   ([`StdRng`]) replacing the `rand` crate: `seed_from_u64`,
+//!   `random_range`, `shuffle`, and Gaussian sampling.
+//! * [`sync`] — `parking_lot`-flavored wrappers over `std::sync` (a
+//!   [`sync::Mutex`] whose `lock()` returns the guard directly).
+//! * [`json`] — a minimal JSON value/writer for benchmark and experiment
+//!   output, standing in for `serde`.
+//!
+//! Everything is plain `std`; the workspace builds with no registry access.
+
+pub mod json;
+pub mod pool;
+pub mod rng;
+pub mod sync;
+
+pub use json::Json;
+pub use pool::{parallel_for, parallel_for_chunked, scope, set_threads, threads, SliceWriter};
+pub use rng::{SliceRandom, StdRng};

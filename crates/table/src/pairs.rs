@@ -2,7 +2,7 @@
 
 /// A candidate pair referencing one record in table A and one in table B
 /// (by row index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordPair {
     /// Row index into the left (A) table.
     pub left: usize,
@@ -18,7 +18,7 @@ impl RecordPair {
 }
 
 /// A record pair plus its gold label (`true` = matching).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabeledPair {
     /// The candidate pair.
     pub pair: RecordPair,

@@ -1,14 +1,14 @@
 //! Table schemas: ordered, named attributes.
 
 /// An attribute (column) of a table.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Column name, unique within a schema.
     pub name: String,
 }
 
 /// An ordered list of attributes shared by every record in a [`crate::Table`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<Attribute>,
 }

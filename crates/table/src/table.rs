@@ -5,7 +5,7 @@ use crate::value::Value;
 
 /// A table: a schema plus rows of [`Value`]s. Records are identified by their
 /// row index, which is stable for the lifetime of the table.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Vec<Value>>,

@@ -10,7 +10,7 @@ use crate::table::Table;
 use crate::value::Value;
 
 /// The fine-grained Magellan attribute type (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// All non-null values are booleans.
     Boolean,
@@ -27,7 +27,7 @@ pub enum AttrType {
 }
 
 /// The coarse attribute type used by AutoML-EM feature generation (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoarseType {
     /// Any string attribute, regardless of length.
     String,

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// A single table cell. EM benchmark data is dirty by nature, so every cell
 /// may be [`Value::Null`] (missing).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Missing value.
     Null,

@@ -1,83 +1,124 @@
 //! Property tests for the table substrate: CSV round-trips, value parsing
 //! totality, type-inference stability, and blocking soundness.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
+use em_rt::StdRng;
 use em_table::{
     infer_column_type, parse_csv, write_csv, AttrEquivalenceBlocker, Blocker, OverlapBlocker,
     Schema, Table, Value,
 };
-use proptest::prelude::*;
 
-/// CSV-safe-ish field content, including characters that need quoting.
-fn field() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-zA-Z0-9 ,\"']{0,12}").unwrap()
+const CASES: u64 = 256;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0x7ab1_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-fn table_strategy() -> impl Strategy<Value = Table> {
-    (2usize..5)
-        .prop_flat_map(|cols| {
-            proptest::collection::vec(
-                proptest::collection::vec(field(), cols..=cols),
-                1..8,
-            )
-            .prop_map(move |rows| (cols, rows))
-        })
-        .prop_map(|(cols, rows)| {
-            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
-            let mut t = Table::new(Schema::new(names));
-            for r in rows {
-                t.push_row(r.into_iter().map(|f| Value::parse(&f)).collect())
-                    .unwrap();
-            }
-            t
-        })
+/// CSV-safe-ish field content, including characters that need quoting
+/// (the old `[a-zA-Z0-9 ,"']{0,12}` strategy).
+fn field(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,\"'";
+    let len = rng.random_range(0..=12usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn csv_round_trips(t in table_strategy()) {
+/// Arbitrary printable-ASCII content (the old `[ -~]{0,20}` strategy).
+fn printable(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0..=20usize);
+    (0..len)
+        .map(|_| rng.random_range(0x20u32..0x7f) as u8 as char)
+        .collect()
+}
+
+/// A 2-4 column table of typed-parsed random fields with 1-7 rows.
+fn random_table(rng: &mut StdRng) -> Table {
+    let cols = rng.random_range(2..5usize);
+    let rows = rng.random_range(1..8usize);
+    let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+    let mut t = Table::new(Schema::new(names));
+    for _ in 0..rows {
+        t.push_row((0..cols).map(|_| Value::parse(&field(rng))).collect())
+            .unwrap();
+    }
+    t
+}
+
+#[test]
+fn csv_round_trips() {
+    check(|rng| {
+        let t = random_table(rng);
         let text = write_csv(&t);
         let back = parse_csv(&text).unwrap();
-        prop_assert_eq!(back.len(), t.len());
-        prop_assert_eq!(back.schema().names(), t.schema().names());
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.schema().names(), t.schema().names());
         // Values survive up to display-equivalence (typed parsing may turn
         // "07" into Number(7), so compare rendered forms of the reparse).
         let again = parse_csv(&write_csv(&back)).unwrap();
-        prop_assert_eq!(back, again);
-    }
+        assert_eq!(back, again);
+    });
+}
 
-    #[test]
-    fn value_parse_is_total_and_display_reparses(raw in "[ -~]{0,20}") {
+#[test]
+fn value_parse_is_total_and_display_reparses() {
+    check(|rng| {
+        let raw = printable(rng);
         let v = Value::parse(&raw);
         // Displaying and reparsing is idempotent after one round.
         if let Some(display) = v.to_display_string() {
             let v2 = Value::parse(&display);
             let v3 = Value::parse(&v2.to_display_string().unwrap_or_default());
-            prop_assert_eq!(v2, v3);
+            assert_eq!(v2, v3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn type_inference_is_permutation_invariant(vals in proptest::collection::vec(field(), 1..10)) {
-        let values: Vec<Value> = vals.iter().map(|f| Value::parse(f)).collect();
+#[test]
+fn type_inference_is_permutation_invariant() {
+    check(|rng| {
+        let n = rng.random_range(1..10usize);
+        let values: Vec<Value> = (0..n).map(|_| Value::parse(&field(rng))).collect();
         let t1 = infer_column_type(values.iter());
         let mut reversed = values.clone();
         reversed.reverse();
         let t2 = infer_column_type(reversed.iter());
-        prop_assert_eq!(t1, t2);
-    }
+        assert_eq!(t1, t2);
+    });
+}
 
-    #[test]
-    fn attr_blocker_candidates_have_equal_keys(t in table_strategy()) {
+#[test]
+fn attr_blocker_candidates_have_equal_keys() {
+    check(|rng| {
+        let t = random_table(rng);
         let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
         for pair in blocker.candidates(&t, &t) {
             let ka = t.record(pair.left).get(0).to_display_string();
             let kb = t.record(pair.right).get(0).to_display_string();
-            prop_assert_eq!(ka, kb);
+            assert_eq!(ka, kb);
         }
-    }
+    });
+}
 
-    #[test]
-    fn attr_blocker_includes_the_diagonal_for_non_null_keys(t in table_strategy()) {
+#[test]
+fn attr_blocker_includes_the_diagonal_for_non_null_keys() {
+    check(|rng| {
+        let t = random_table(rng);
         let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
         let cands: std::collections::HashSet<(usize, usize)> = blocker
             .candidates(&t, &t)
@@ -86,13 +127,17 @@ proptest! {
             .collect();
         for rec in t.records() {
             if !rec.get(0).is_null() {
-                prop_assert!(cands.contains(&(rec.index(), rec.index())));
+                assert!(cands.contains(&(rec.index(), rec.index())));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn overlap_blocker_is_sound(t in table_strategy(), min_overlap in 1usize..3) {
+#[test]
+fn overlap_blocker_is_sound() {
+    check(|rng| {
+        let t = random_table(rng);
+        let min_overlap = rng.random_range(1..3usize);
         let blocker = OverlapBlocker { attribute: "c0".into(), min_overlap };
         for pair in blocker.candidates(&t, &t) {
             let ka = t.record(pair.left).get(0).to_display_string().unwrap_or_default();
@@ -101,7 +146,7 @@ proptest! {
                 ka.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
             let sb: std::collections::HashSet<String> =
                 kb.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
-            prop_assert!(sa.intersection(&sb).count() >= min_overlap);
+            assert!(sa.intersection(&sb).count() >= min_overlap);
         }
-    }
+    });
 }

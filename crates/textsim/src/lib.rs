@@ -48,7 +48,7 @@ pub use tokenize::{qgrams, Tokenizer};
 /// most measures are similarities in `[0, 1]`, but `LevenshteinDistance`,
 /// `NeedlemanWunsch`, and `SmithWaterman` are raw scores with wider ranges,
 /// exactly as Magellan feeds them to the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StringSimilarity {
     /// Raw Levenshtein edit distance (a distance: 0 = identical).
     LevenshteinDistance,
@@ -121,7 +121,7 @@ impl StringSimilarity {
 }
 
 /// A number-to-number similarity measure (Table I/II "Numeric" rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NumericSimilarity {
     /// Levenshtein distance between decimal representations.
     LevenshteinDistance,
@@ -156,7 +156,7 @@ impl NumericSimilarity {
 }
 
 /// A boolean-to-boolean similarity measure (Table I/II "Bool" row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BooleanSimilarity {
     /// 0/1 exact equality.
     ExactMatch,

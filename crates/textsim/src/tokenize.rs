@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 /// A tokenizer splits a string into tokens. Token-based similarity functions
 /// operate on the resulting token *sets* (duplicates removed), matching the
 /// behaviour of the `py_stringmatching` tokenizers Magellan uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tokenizer {
     /// Split on runs of ASCII whitespace.
     Whitespace,

@@ -1,135 +1,217 @@
 //! Property-based tests for the similarity substrate: metric bounds,
 //! symmetry, identity, and triangle-inequality style invariants.
+//!
+//! Each property runs over `CASES` deterministically seeded random inputs
+//! drawn from the `em-rt` RNG; on failure the offending seed is printed so
+//! the case can be replayed with `StdRng::seed_from_u64(seed)`.
 
+use em_rt::StdRng;
 use em_text::*;
-use proptest::prelude::*;
 
-/// ASCII-ish strings including whitespace, to exercise tokenization.
-fn word_string() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9 ]{0,24}").unwrap()
+const CASES: u64 = 256;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0x7e57_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn levenshtein_identity(s in word_string()) {
-        prop_assert_eq!(levenshtein_distance(&s, &s), 0);
-        prop_assert_eq!(levenshtein_similarity(&s, &s), 1.0);
-    }
+/// ASCII-ish strings including whitespace, to exercise tokenization
+/// (the old `[a-z0-9 ]{0,24}` strategy).
+fn word_string(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ";
+    let len = rng.random_range(0..=24usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+        .collect()
+}
 
-    #[test]
-    fn levenshtein_symmetry(a in word_string(), b in word_string()) {
-        prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
-    }
+/// Non-empty lowercase word (the old `[a-z]{1,16}` strategy).
+fn lowercase_word(rng: &mut StdRng) -> String {
+    let len = rng.random_range(1..=16usize);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26usize) as u8) as char)
+        .collect()
+}
 
-    #[test]
-    fn levenshtein_triangle(a in word_string(), b in word_string(), c in word_string()) {
+#[test]
+fn levenshtein_identity() {
+    check(|rng| {
+        let s = word_string(rng);
+        assert_eq!(levenshtein_distance(&s, &s), 0);
+        assert_eq!(levenshtein_similarity(&s, &s), 1.0);
+    });
+}
+
+#[test]
+fn levenshtein_symmetry() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
+        assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+    });
+}
+
+#[test]
+fn levenshtein_triangle() {
+    check(|rng| {
+        let (a, b, c) = (word_string(rng), word_string(rng), word_string(rng));
         let ab = levenshtein_distance(&a, &b);
         let bc = levenshtein_distance(&b, &c);
         let ac = levenshtein_distance(&a, &c);
-        prop_assert!(ac <= ab + bc);
-    }
+        assert!(ac <= ab + bc);
+    });
+}
 
-    #[test]
-    fn levenshtein_bounded_by_longer_length(a in word_string(), b in word_string()) {
+#[test]
+fn levenshtein_bounded_by_longer_length() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let d = levenshtein_distance(&a, &b);
-        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        assert!(d <= a.chars().count().max(b.chars().count()));
         // and at least the length difference
-        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
-    }
+        assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    });
+}
 
-    #[test]
-    fn levenshtein_similarity_in_unit_interval(a in word_string(), b in word_string()) {
+#[test]
+fn levenshtein_similarity_in_unit_interval() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let s = levenshtein_similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-    }
+        assert!((0.0..=1.0).contains(&s));
+    });
+}
 
-    #[test]
-    fn jaro_bounds_symmetry_identity(a in word_string(), b in word_string()) {
+#[test]
+fn jaro_bounds_symmetry_identity() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let j = jaro(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&j));
-        prop_assert!((j - jaro(&b, &a)).abs() < 1e-12);
-        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&j));
+        assert!((j - jaro(&b, &a)).abs() < 1e-12);
+        assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn jaro_winkler_dominates_jaro(a in word_string(), b in word_string()) {
+#[test]
+fn jaro_winkler_dominates_jaro() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let j = jaro(&a, &b);
         let jw = jaro_winkler(&a, &b);
-        prop_assert!(jw >= j - 1e-12);
-        prop_assert!(jw <= 1.0 + 1e-12);
-    }
+        assert!(jw >= j - 1e-12);
+        assert!(jw <= 1.0 + 1e-12);
+    });
+}
 
-    #[test]
-    fn set_sims_bounds_and_identity(a in word_string(), b in word_string()) {
+#[test]
+fn set_sims_bounds_and_identity() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         for tok in [Tokenizer::Whitespace, Tokenizer::QGram(3)] {
             for f in [jaccard, dice, cosine, overlap_coefficient] {
                 let s = f(&a, &b, tok);
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "value {s}");
-                prop_assert!((f(&a, &a, tok) - 1.0).abs() < 1e-12);
+                assert!((0.0..=1.0 + 1e-12).contains(&s), "value {s}");
+                assert!((f(&a, &a, tok) - 1.0).abs() < 1e-12);
                 // symmetry
-                prop_assert!((s - f(&b, &a, tok)).abs() < 1e-12);
+                assert!((s - f(&b, &a, tok)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn set_sim_ordering(a in word_string(), b in word_string()) {
+#[test]
+fn set_sim_ordering() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let tok = Tokenizer::Whitespace;
         let j = jaccard(&a, &b, tok);
         let d = dice(&a, &b, tok);
         let c = cosine(&a, &b, tok);
         let o = overlap_coefficient(&a, &b, tok);
         // Standard chain: jaccard <= dice <= cosine(ochiai) <= overlap.
-        prop_assert!(j <= d + 1e-12);
-        prop_assert!(d <= c + 1e-12);
-        prop_assert!(c <= o + 1e-12);
-    }
+        assert!(j <= d + 1e-12);
+        assert!(d <= c + 1e-12);
+        assert!(c <= o + 1e-12);
+    });
+}
 
-    #[test]
-    fn smith_waterman_bounded(a in word_string(), b in word_string()) {
+#[test]
+fn smith_waterman_bounded() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let s = smith_waterman(&a, &b);
-        prop_assert!(s >= 0.0);
-        prop_assert!(s <= a.chars().count().min(b.chars().count()) as f64);
+        assert!(s >= 0.0);
+        assert!(s <= a.chars().count().min(b.chars().count()) as f64);
         // Identity achieves the max.
-        prop_assert_eq!(smith_waterman(&a, &a), a.chars().count() as f64);
-    }
+        assert_eq!(smith_waterman(&a, &a), a.chars().count() as f64);
+    });
+}
 
-    #[test]
-    fn needleman_wunsch_identity_is_length(a in word_string()) {
-        prop_assert_eq!(needleman_wunsch(&a, &a), a.chars().count() as f64);
-    }
+#[test]
+fn needleman_wunsch_identity_is_length() {
+    check(|rng| {
+        let a = word_string(rng);
+        assert_eq!(needleman_wunsch(&a, &a), a.chars().count() as f64);
+    });
+}
 
-    #[test]
-    fn needleman_wunsch_upper_bound(a in word_string(), b in word_string()) {
+#[test]
+fn needleman_wunsch_upper_bound() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         // NW score can never exceed the number of possible matches.
         let s = needleman_wunsch(&a, &b);
-        prop_assert!(s <= a.chars().count().min(b.chars().count()) as f64);
-    }
+        assert!(s <= a.chars().count().min(b.chars().count()) as f64);
+    });
+}
 
-    #[test]
-    fn monge_elkan_bounds(a in word_string(), b in word_string()) {
+#[test]
+fn monge_elkan_bounds() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let s = monge_elkan(&a, &b);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "value {s}");
-        prop_assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-9);
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&s), "value {s}");
+        assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn qgram_token_count(s in "[a-z]{1,16}", q in 1usize..5) {
-        prop_assert_eq!(qgrams(&s, q).len(), s.chars().count() + q - 1);
-    }
+#[test]
+fn qgram_token_count() {
+    check(|rng| {
+        let s = lowercase_word(rng);
+        let q = rng.random_range(1..5usize);
+        assert_eq!(qgrams(&s, q).len(), s.chars().count() + q - 1);
+    });
+}
 
-    #[test]
-    fn absolute_norm_bounds(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+#[test]
+fn absolute_norm_bounds() {
+    check(|rng| {
+        let a = rng.random_range(-1e6f64..1e6);
+        let b = rng.random_range(-1e6f64..1e6);
         let s = absolute_norm(a, b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert_eq!(absolute_norm(a, a), 1.0);
-        prop_assert!((s - absolute_norm(b, a)).abs() < 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(absolute_norm(a, a), 1.0);
+        assert!((s - absolute_norm(b, a)).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn exact_match_is_binary(a in word_string(), b in word_string()) {
+#[test]
+fn exact_match_is_binary() {
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
         let e = exact_match(&a, &b);
-        prop_assert!(e == 0.0 || e == 1.0);
-        prop_assert_eq!(e == 1.0, a == b);
-    }
+        assert!(e == 0.0 || e == 1.0);
+        assert_eq!(e == 1.0, a == b);
+    });
 }

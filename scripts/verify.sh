@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace must build, every test
+# must pass, and no workspace dependency may point at a registry — the build
+# is self-contained by construction (see README.md "Zero dependencies").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== checking that all workspace dependencies are path-only =="
+# Inside any [dependencies]-like section, a quoted version number (e.g.
+# `rand = "0.10"` or `version = "1"`) means a registry lookup; every entry
+# must be a `{ path = ... }` or `{ workspace = true }` reference.
+if ! awk '
+    /^\[/ { in_dep = ($0 ~ /dependencies(\]|\.)/) }
+    in_dep && /"[0-9]/ && !/path *=/ {
+        printf "%s:%d: registry dependency: %s\n", FILENAME, FNR, $0; bad = 1
+    }
+    END { exit bad }
+' Cargo.toml crates/*/Cargo.toml; then
+    echo "error: registry dependencies found (listed above)" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path-only"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test --offline =="
+cargo test -q --offline --workspace
+
+echo "verify: OK"
