@@ -243,6 +243,178 @@ pub fn run_search_parallel(
     history
 }
 
+/// Outcome of [`run_search_async_report`]: the history plus per-worker
+/// evaluation counts (empty when the serial fallback ran).
+#[derive(Debug, Clone)]
+pub struct AsyncSearchReport {
+    /// The search trajectory, identical to [`run_search_parallel`]'s for the
+    /// same inputs.
+    pub history: SearchHistory,
+    /// Evaluations completed by each dedicated worker thread.
+    pub evals_per_worker: Vec<usize>,
+}
+
+/// Asynchronous SMBO: persistent worker threads pull suggestions over an
+/// `em-rt` channel and stream scores back, while the coordinator — the sole
+/// owner of the surrogate and the RNG, so no mutex guards either — commits
+/// results in suggestion order through a reorder buffer and issues the next
+/// wave of suggestions. See [`run_search_async_report`] for the worker
+/// accounting variant.
+///
+/// The trajectory is **identical to [`run_search_parallel`]** for the same
+/// `(space, algo, budget, seed, initial, batch)` by construction: the
+/// coordinator makes the same `suggest_batch` calls against the same
+/// committed history and the same RNG stream, and evaluation results are
+/// committed in suggestion order no matter which worker finished first. The
+/// difference is mechanical: evaluations run on dedicated channel-fed
+/// threads (leaving the shared pool free for nested parallelism inside the
+/// objective, e.g. forest fits) with scores streaming back as they finish,
+/// instead of a fork-join `parallel_for` per batch.
+pub fn run_search_async(
+    space: &ConfigSpace,
+    algo: &mut dyn SearchAlgorithm,
+    objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+    budget: Budget,
+    seed: u64,
+    initial: &[Configuration],
+    batch: usize,
+) -> SearchHistory {
+    run_search_async_report(space, algo, objective, budget, seed, initial, batch).history
+}
+
+/// [`run_search_async`], additionally reporting how many evaluations each
+/// worker thread completed (for scheduling/starvation diagnostics).
+///
+/// Worker count is `min(batch, em_rt::threads() - 1)` — one slot is left
+/// for the coordinator. When that is zero (`EM_THREADS=1`, or `batch = 0`)
+/// the search runs inline on the caller thread and still produces the exact
+/// same history, which is what makes the 1-vs-N-thread determinism harness
+/// able to cover this path.
+pub fn run_search_async_report(
+    space: &ConfigSpace,
+    algo: &mut dyn SearchAlgorithm,
+    objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+    budget: Budget,
+    seed: u64,
+    initial: &[Configuration],
+    batch: usize,
+) -> AsyncSearchReport {
+    let batch = batch.max(1);
+    let n_workers = batch.min(em_rt::threads().saturating_sub(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = SearchHistory::default();
+    let start = Instant::now();
+    let exhausted = |history: &SearchHistory, start: &Instant| match budget {
+        Budget::Evaluations(n) => history.len() >= n,
+        Budget::WallClock(d) => start.elapsed() >= d,
+    };
+    let remaining = |history: &SearchHistory| match budget {
+        Budget::Evaluations(n) => n.saturating_sub(history.len()),
+        Budget::WallClock(_) => batch,
+    };
+    let warm: Vec<Configuration> = initial.iter().take(remaining(&history)).cloned().collect();
+    for config in &warm {
+        assert!(
+            space.validate(config).is_ok(),
+            "warm-start configuration is invalid for this space"
+        );
+    }
+
+    if n_workers == 0 {
+        // Serial fallback: the identical suggest/commit sequence, evaluated
+        // inline (the objective is pure, so scoring a suggestion before or
+        // after its batch-mates cannot change any committed value).
+        let mut round = warm;
+        loop {
+            for config in round.drain(..) {
+                if exhausted(&history, &start) {
+                    break;
+                }
+                let score = objective(&config);
+                history.push(config, score);
+            }
+            if exhausted(&history, &start) {
+                break;
+            }
+            let k = remaining(&history).min(batch).max(1);
+            round = algo.suggest_batch(space, &history, &mut rng, k);
+            assert!(!round.is_empty(), "suggest_batch returned no candidates");
+        }
+        return AsyncSearchReport {
+            history,
+            evals_per_worker: Vec::new(),
+        };
+    }
+
+    let (job_tx, job_rx) = em_rt::channel::<(usize, Configuration)>();
+    let (result_tx, result_rx) = em_rt::channel::<(usize, usize, f64)>();
+    let mut evals_per_worker = vec![0usize; n_workers];
+
+    std::thread::scope(|s| {
+        for w in 0..n_workers {
+            let jobs = job_rx.clone();
+            let results = result_tx.clone();
+            s.spawn(move || {
+                while let Some((ix, config)) = jobs.recv() {
+                    let score = objective(&config);
+                    if results.send((ix, w, score)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The workers hold their own clones; dropping these keeps channel
+        // close semantics tied to the coordinator (job_tx) and the worker
+        // set (result_tx clones).
+        drop(job_rx);
+        drop(result_tx);
+
+        let mut round = warm;
+        loop {
+            // Dispatch the round; workers race for jobs over the channel.
+            let base = history.len();
+            for (i, config) in round.iter().enumerate() {
+                job_tx
+                    .send((base + i, config.clone()))
+                    .expect("workers alive while coordinator dispatches");
+            }
+            // Reorder buffer: collect every score of the round, then commit
+            // in suggestion order regardless of completion order.
+            let mut scores: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            while scores.len() < round.len() {
+                let (ix, w, score) = result_rx.recv().expect("a worker result per job");
+                evals_per_worker[w] += 1;
+                scores.insert(ix, score);
+            }
+            for (i, config) in round.drain(..).enumerate() {
+                if exhausted(&history, &start) {
+                    break;
+                }
+                history.push(config, scores[&(base + i)]);
+            }
+            if exhausted(&history, &start) {
+                break;
+            }
+            let k = remaining(&history).min(batch).max(1);
+            round = algo.suggest_batch(space, &history, &mut rng, k);
+            assert!(!round.is_empty(), "suggest_batch returned no candidates");
+            for config in &round {
+                debug_assert!(
+                    space.validate(config).is_ok(),
+                    "search algorithm produced an invalid configuration"
+                );
+            }
+        }
+        // Closing the job channel sends workers home; the scope joins them.
+        job_tx.close();
+    });
+
+    AsyncSearchReport {
+        history,
+        evals_per_worker,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

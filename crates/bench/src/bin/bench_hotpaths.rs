@@ -1,0 +1,204 @@
+//! Acceptance benchmark for the remaining hot paths moved onto the shared
+//! `em-rt` pool: blocking candidate generation, stratified k-fold
+//! cross-validation, permutation feature importances, and benchmark dataset
+//! synthesis — serial (`jobs = 1`) vs pooled — plus the async SMBO runner
+//! against the fork-join batch runner on the same workload. Writes
+//! `BENCH_hotpaths.json` (override the path with the first CLI argument).
+//!
+//! Thread count comes from `EM_THREADS` when set, else defaults to 4 so the
+//! serial-vs-pool comparison is stable across machines; the host's actual
+//! `available_parallelism` is recorded alongside the numbers.
+
+use em_automl::{run_search_async, run_search_parallel, Budget, SmacSearch};
+use em_bench::timing::{fmt_ns, Harness};
+use em_ml::Matrix;
+use em_rt::{Json, StdRng};
+use em_table::{Blocker, OverlapBlocker};
+
+fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 2;
+        rows.push(
+            (0..d)
+                .map(|_| c as f64 * 0.6 + rng.random_range(-0.5..0.5))
+                .collect(),
+        );
+        y.push(c);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("threads = {threads}, host cores = {cores}");
+
+    let mut h = Harness::new("bench_hotpaths");
+
+    // -- blocking: ~2.9k-record tables, multi-shard probe --------------------
+    let ds = em_data::Benchmark::DblpScholar.generate_scaled(0, 0.55);
+    let attr = ds.table_a.schema().names()[0].to_string();
+    let blocker = OverlapBlocker {
+        attribute: attr,
+        min_overlap: 2,
+    };
+    h.bench("blocking_overlap_dblp_scholar/serial", || {
+        blocker.candidates_with_jobs(&ds.table_a, &ds.table_b, 1)
+    });
+    h.bench("blocking_overlap_dblp_scholar/pool", || {
+        blocker.candidates_with_jobs(&ds.table_a, &ds.table_b, threads)
+    });
+
+    // -- 5-fold cross-validation of the default forest pipeline --------------
+    let (x, y) = dataset(600, 12, 1);
+    let config = automl_em::EmPipelineConfig::default_random_forest(0);
+    h.bench("cross_val_f1_5fold_600x12/serial", || {
+        config.cross_val_f1_with_jobs(&x, &y, 5, 0, 1)
+    });
+    h.bench("cross_val_f1_5fold_600x12/pool", || {
+        config.cross_val_f1_with_jobs(&x, &y, 5, 0, threads)
+    });
+
+    // -- permutation importances over 12 columns ------------------------------
+    let fitted = config.fit(&x, &y);
+    let names: Vec<String> = (0..x.ncols()).map(|i| format!("f{i}")).collect();
+    h.bench("permutation_importance_12cols/serial", || {
+        fitted.permutation_importances_with_jobs(&x, &y, &names, 2, 0, 1)
+    });
+    h.bench("permutation_importance_12cols/pool", || {
+        fitted.permutation_importances_with_jobs(&x, &y, &names, 2, 0, threads)
+    });
+
+    // -- benchmark synthesis (per-entity tasks) -------------------------------
+    h.bench("datagen_dblp_scholar_halfscale/serial", || {
+        em_data::Benchmark::DblpScholar.generate_scaled_with_jobs(0, 0.5, 1)
+    });
+    h.bench("datagen_dblp_scholar_halfscale/pool", || {
+        em_data::Benchmark::DblpScholar.generate_scaled_with_jobs(0, 0.5, threads)
+    });
+
+    // -- async SMBO vs fork-join batch mode -----------------------------------
+    // The objective fits a small forest so evaluations cost something real;
+    // both runners see the same space, seed, budget, and batch, and produce
+    // the same trajectory — the comparison is pure scheduling overhead.
+    let (sx, sy) = dataset(240, 8, 2);
+    let space = automl_em::build_space(automl_em::SpaceOptions::default());
+    let objective = |c: &em_automl::Configuration| -> f64 {
+        let pipeline = automl_em::decode_configuration(c, 0);
+        let f = pipeline.fit(&sx, &sy);
+        f.f1(&sx, &sy)
+    };
+    h.bench("smbo_16evals_batch4/batch_pool", || {
+        run_search_parallel(
+            &space,
+            &mut SmacSearch::default(),
+            &objective,
+            Budget::Evaluations(16),
+            0,
+            &[],
+            4,
+        )
+    });
+    h.bench("smbo_16evals_batch4/async_workers", || {
+        run_search_async(
+            &space,
+            &mut SmacSearch::default(),
+            &objective,
+            Budget::Evaluations(16),
+            0,
+            &[],
+            4,
+        )
+    });
+
+    // -- report ---------------------------------------------------------------
+    let median = |name: &str| -> f64 {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark ran")
+            .median_ns()
+    };
+    let mut comparisons = Vec::new();
+    for (name, baseline, variant, workload) in [
+        (
+            "blocking_overlap_dblp_scholar",
+            "serial",
+            "pool",
+            "OverlapBlocker min_overlap=2 over ~2.9k x 2.9k DBLP-Scholar tables",
+        ),
+        (
+            "cross_val_f1_5fold_600x12",
+            "serial",
+            "pool",
+            "5-fold stratified CV of the default RF pipeline on 600 x 12",
+        ),
+        (
+            "permutation_importance_12cols",
+            "serial",
+            "pool",
+            "12 columns x 2 repeats against a fitted default RF pipeline",
+        ),
+        (
+            "datagen_dblp_scholar_halfscale",
+            "serial",
+            "pool",
+            "DBLP-Scholar synthesis at scale 0.5 (~2.7k entities + negatives)",
+        ),
+        (
+            "smbo_16evals_batch4",
+            "batch_pool",
+            "async_workers",
+            "SMAC, 16 evaluations, batch 4, small-forest objective",
+        ),
+    ] {
+        let base = median(&format!("{name}/{baseline}"));
+        let var = median(&format!("{name}/{variant}"));
+        let speedup = base / var;
+        eprintln!(
+            "{name}: {baseline} {} vs {variant} {} -> {speedup:.2}x",
+            fmt_ns(base),
+            fmt_ns(var)
+        );
+        comparisons.push(Json::obj([
+            ("name", Json::from(name)),
+            ("workload", Json::from(workload)),
+            ("baseline", Json::from(baseline)),
+            ("baseline_median_ns", Json::from(base)),
+            ("variant", Json::from(variant)),
+            ("variant_median_ns", Json::from(var)),
+            ("speedup", Json::from(speedup)),
+        ]));
+    }
+    let report = Json::obj([
+        ("suite", Json::from("bench_hotpaths")),
+        ("threads", Json::from(threads)),
+        ("host_available_parallelism", Json::from(cores)),
+        (
+            "note",
+            Json::from(
+                "serial = jobs 1 on the caller thread; pool = the shared em-rt \
+                 worker pool. Every pair is bit-identical output by \
+                 construction (see crates/core/tests/determinism.rs); the \
+                 async SMBO row compares the channel-fed worker runner \
+                 against the fork-join batch runner on an identical \
+                 trajectory. Speedups > 1 assume a multi-core host; \
+                 host_available_parallelism records what this run had.",
+            ),
+        ),
+        ("comparisons", Json::Arr(comparisons)),
+        ("raw", h.to_json()),
+    ]);
+    std::fs::write(&out_path, report.render_pretty(2) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

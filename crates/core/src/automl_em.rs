@@ -6,7 +6,7 @@ use crate::featuregen::{FeatureGenerator, FeatureScheme};
 use crate::pipeline::{decode_configuration, EmPipelineConfig, FittedEmPipeline};
 use crate::space::{build_space, SpaceOptions};
 use em_automl::{
-    run_search_parallel, run_search_with_initial, Budget, Configuration, RandomSearch,
+    run_search_async, run_search_with_initial, Budget, Configuration, RandomSearch,
     SearchAlgorithm, SearchHistory, SmacSearch, TpeSearch,
 };
 use em_data::EmDataset;
@@ -47,10 +47,12 @@ pub struct AutoMlEmOptions {
     pub budget: Budget,
     /// Master seed (splits, search, model training).
     pub seed: u64,
-    /// Candidate configurations evaluated concurrently per search step on
-    /// the shared `em-rt` pool. `1` reproduces the strictly sequential
-    /// suggest → evaluate loop; larger batches trade per-step feedback for
-    /// wall-clock speed (still deterministic for a fixed seed).
+    /// Candidate configurations evaluated concurrently per search step, on
+    /// the async SMBO runner's dedicated channel-fed workers (which leaves
+    /// the shared `em-rt` pool free for the forest fits inside each
+    /// evaluation). `1` reproduces the strictly sequential suggest →
+    /// evaluate loop; larger batches trade per-step feedback for wall-clock
+    /// speed (still deterministic for a fixed seed and any thread count).
     pub candidate_batch: usize,
 }
 
@@ -120,7 +122,7 @@ impl AutoMlEm {
         // sklearn defaults), so the surrogate model sees it immediately.
         let warm_start = [crate::space::default_configuration(self.options.space)];
         let history = if self.options.candidate_batch > 1 {
-            run_search_parallel(
+            run_search_async(
                 &space,
                 algo.as_mut(),
                 &objective,

@@ -87,25 +87,49 @@ impl FittedEmPipeline {
         repeats: usize,
         seed: u64,
     ) -> FeatureImportanceReport {
+        self.permutation_importances_with_jobs(x, y, feature_names, repeats, seed, 0)
+    }
+
+    /// [`permutation_importances`] with an explicit `em-rt` job cap
+    /// (0 = full pool).
+    ///
+    /// Columns are independent pool tasks. Each column shuffles with its own
+    /// `derive_seed(seed, col)` RNG stream, so the permutations — and the
+    /// report — depend only on `(seed, col)`, never on thread count or
+    /// scheduling order.
+    pub fn permutation_importances_with_jobs(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        feature_names: &[String],
+        repeats: usize,
+        seed: u64,
+        jobs: usize,
+    ) -> FeatureImportanceReport {
         assert_eq!(x.ncols(), feature_names.len(), "name/column mismatch");
         assert!(repeats > 0, "repeats must be positive");
         let baseline = f1_score(y, &self.predict(x));
         let n = x.nrows();
-        let mut scores = Vec::with_capacity(x.ncols());
-        let mut rng = StdRng::seed_from_u64(seed);
-        for col in 0..x.ncols() {
-            let mut drop_sum = 0.0;
-            for _ in 0..repeats {
-                let mut perm: Vec<usize> = (0..n).collect();
-                perm.shuffle(&mut rng);
-                let mut shuffled = x.clone();
-                for (r, &src) in perm.iter().enumerate() {
-                    shuffled.set(r, col, x.get(src, col));
+        let mut scores = vec![0.0f64; x.ncols()];
+        {
+            let writer = em_rt::SliceWriter::new(&mut scores);
+            em_rt::parallel_for_chunked(x.ncols(), jobs, 1, |col| {
+                let mut rng = StdRng::seed_from_u64(em_rt::derive_seed(seed, col as u64));
+                let mut drop_sum = 0.0;
+                for _ in 0..repeats {
+                    let mut perm: Vec<usize> = (0..n).collect();
+                    perm.shuffle(&mut rng);
+                    let mut shuffled = x.clone();
+                    for (r, &src) in perm.iter().enumerate() {
+                        shuffled.set(r, col, x.get(src, col));
+                    }
+                    let f1 = f1_score(y, &self.predict(&shuffled));
+                    drop_sum += baseline - f1;
                 }
-                let f1 = f1_score(y, &self.predict(&shuffled));
-                drop_sum += baseline - f1;
-            }
-            scores.push((drop_sum / repeats as f64).max(0.0));
+                // Safety: each column index is handed out exactly once, and
+                // the one-element slots are pairwise disjoint.
+                unsafe { writer.slice_mut(col, 1)[0] = (drop_sum / repeats as f64).max(0.0) };
+            });
         }
         FeatureImportanceReport::from_scores(feature_names, scores)
     }

@@ -201,16 +201,38 @@ impl EmPipelineConfig {
     /// alternative to the paper's single hold-out for comparing pipelines on
     /// small datasets.
     pub fn cross_val_f1(&self, x: &Matrix, y: &[usize], k: usize, seed: u64) -> f64 {
+        self.cross_val_f1_with_jobs(x, y, k, seed, 0)
+    }
+
+    /// [`cross_val_f1`] with an explicit `em-rt` job cap (0 = full pool).
+    ///
+    /// Folds are independent pool tasks; each fold's score lands in its own
+    /// slot and the slots are summed in fold order, so the result is
+    /// bit-identical to the serial loop for any `jobs`.
+    pub fn cross_val_f1_with_jobs(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        k: usize,
+        seed: u64,
+        jobs: usize,
+    ) -> f64 {
         let folds = em_ml::stratified_k_fold(y, k, seed);
-        let mut total = 0.0;
-        for (train_idx, test_idx) in &folds {
-            let xt = x.select_rows(train_idx);
-            let yt: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
-            let xs = x.select_rows(test_idx);
-            let ys: Vec<usize> = test_idx.iter().map(|&i| y[i]).collect();
-            total += self.fit(&xt, &yt).f1(&xs, &ys);
+        let mut scores = vec![0.0f64; folds.len()];
+        {
+            let writer = em_rt::SliceWriter::new(&mut scores);
+            em_rt::parallel_for_chunked(folds.len(), jobs, 1, |f| {
+                let (train_idx, test_idx) = &folds[f];
+                let xt = x.select_rows(train_idx);
+                let yt: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+                let xs = x.select_rows(test_idx);
+                let ys: Vec<usize> = test_idx.iter().map(|&i| y[i]).collect();
+                // Safety: each fold index is handed out exactly once, and
+                // the one-element slots are pairwise disjoint.
+                unsafe { writer.slice_mut(f, 1)[0] = self.fit(&xt, &yt).f1(&xs, &ys) };
+            });
         }
-        total / folds.len() as f64
+        scores.iter().sum::<f64>() / folds.len() as f64
     }
 
     /// Fit the pipeline on training data: impute → scale → select/project →

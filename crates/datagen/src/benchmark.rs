@@ -264,6 +264,18 @@ impl Benchmark {
     /// Generate at `scale` × the paper's size (0 < scale ≤ 1). Tests and
     /// quick experiment runs use small scales; the full harness uses 1.0.
     pub fn generate_scaled(&self, seed: u64, scale: f64) -> EmDataset {
+        self.generate_scaled_with_jobs(seed, scale, 0)
+    }
+
+    /// [`generate_scaled`] with an explicit `em-rt` job cap (0 = full pool).
+    ///
+    /// Entity synthesis is one pool task per entity: entity `e` draws from
+    /// its own `derive_seed(seed, e)` RNG stream and writes into its own
+    /// row slot, so the dataset depends only on `(seed, scale)` and is
+    /// bit-identical for every `jobs`. Negative-pair sampling runs serially
+    /// on a separate `derive_seed(seed, u64::MAX)` stream (a reserved index
+    /// no entity can reach).
+    pub fn generate_scaled_with_jobs(&self, seed: u64, scale: f64, jobs: usize) -> EmDataset {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let profile = self.profile();
         let positives = ((profile.positives as f64 * scale).round() as usize).max(8);
@@ -271,27 +283,39 @@ impl Benchmark {
         let negatives = total - positives;
         let (domain_a, domain_b) = self.domains();
         let noise = self.noise();
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut table_a = Table::new(domain_a.schema());
         let mut table_b = Table::new(domain_b.schema());
         // One entity per positive pair; A gets the clean render, B the
         // noisy render of the same entity (DBLP-Scholar also switches the
         // rendering style via its distinct B-side domain).
-        for e in 0..positives {
-            let (family, member) = family_of(e);
-            let rec_a = domain_a.base_record(family, member, &mut rng);
-            let rec_b_base = domain_b.base_record(family, member, &mut rng);
-            let rec_b: Vec<em_table::Value> = rec_b_base
-                .iter()
-                .enumerate()
-                .map(|(col, v)| {
-                    let model = self.attr_noise(col).unwrap_or(noise);
-                    model.apply(v, &mut rng)
-                })
-                .collect();
+        type RowPair = (Vec<em_table::Value>, Vec<em_table::Value>);
+        let mut rows: Vec<Option<RowPair>> = vec![None; positives];
+        {
+            let writer = em_rt::SliceWriter::new(&mut rows);
+            em_rt::parallel_for(positives, jobs, |e| {
+                let mut rng = StdRng::seed_from_u64(em_rt::derive_seed(seed, e as u64));
+                let (family, member) = family_of(e);
+                let rec_a = domain_a.base_record(family, member, &mut rng);
+                let rec_b_base = domain_b.base_record(family, member, &mut rng);
+                let rec_b: Vec<em_table::Value> = rec_b_base
+                    .iter()
+                    .enumerate()
+                    .map(|(col, v)| {
+                        let model = self.attr_noise(col).unwrap_or(noise);
+                        model.apply(v, &mut rng)
+                    })
+                    .collect();
+                // Safety: each entity index is handed out exactly once, and
+                // the one-element slots are pairwise disjoint.
+                unsafe { writer.slice_mut(e, 1)[0] = Some((rec_a, rec_b)) };
+            });
+        }
+        for pair in rows {
+            let (rec_a, rec_b) = pair.expect("every entity slot filled");
             table_a.push_row(rec_a).expect("domain arity");
             table_b.push_row(rec_b).expect("domain arity");
         }
+        let mut rng = StdRng::seed_from_u64(em_rt::derive_seed(seed, u64::MAX));
         let mut pairs: Vec<LabeledPair> =
             (0..positives).map(|e| LabeledPair::new(e, e, true)).collect();
         // Negatives reference existing rows: same-family cross pairs are the

@@ -1,0 +1,195 @@
+//! A small blocking MPMC channel for coordinator/worker protocols.
+//!
+//! The async SMBO scheduler in `em-automl` keeps its surrogate model and
+//! suggestion RNG on a single coordinator and ships work out / results back
+//! over two of these channels, so the mutable search state itself never sits
+//! behind a lock. The channel is the only shared structure, and it is a
+//! plain `Mutex<VecDeque>` + `Condvar` — unbounded, FIFO, clonable on both
+//! ends.
+//!
+//! Closing: every sender dropped (or an explicit [`Sender::close`]) wakes
+//! all blocked receivers, which then drain the remaining queue and get
+//! `None`. This is the termination signal worker loops key off.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    closed: bool,
+}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    ready: Condvar,
+}
+
+/// The sending half of a [`channel`]. Cloning adds a sender; the channel
+/// closes when all senders are dropped or any calls [`Sender::close`].
+pub struct Sender<T> {
+    inner: Arc<Channel<T>>,
+}
+
+/// The receiving half of a [`channel`]. Cloning adds a competing consumer
+/// (MPMC: each item is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Channel<T>>,
+}
+
+/// Create an unbounded FIFO channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            queue: VecDeque::new(),
+            senders: 1,
+            closed: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value, waking one blocked receiver. Returns the value back
+    /// as an `Err` if the channel was already closed.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Close the channel explicitly: receivers drain the queue, then see
+    /// `None`. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.inner.ready.notify_all();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            st.closed = true;
+            drop(st);
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value is available (`Some`) or the channel is closed
+    /// and drained (`None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking receive: `Some` if a value was queued, `None` otherwise
+    /// (whether the channel is open or closed).
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.state.lock().unwrap().queue.pop_front()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_single_consumer() {
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn drop_of_last_sender_closes() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let (tx, rx) = channel();
+        tx.close();
+        assert_eq!(tx.send(7), Err(7));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything() {
+        let (work_tx, work_rx) = channel::<usize>();
+        let (res_tx, res_rx) = channel::<usize>();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let work_rx = work_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Some(v) = work_rx.recv() {
+                        res_tx.send(v * 2).unwrap();
+                    }
+                });
+            }
+            for i in 0..100 {
+                work_tx.send(i).unwrap();
+            }
+            work_tx.close();
+            drop(res_tx);
+            let mut got: Vec<usize> = std::iter::from_fn(|| res_rx.recv()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        });
+    }
+}

@@ -11,7 +11,11 @@
 //!   search, instead of once per call.
 //! * [`rng`] — a deterministic SplitMix64-seeded xoshiro256++ generator
 //!   ([`StdRng`]) replacing the `rand` crate: `seed_from_u64`,
-//!   `random_range`, `shuffle`, and Gaussian sampling.
+//!   `random_range`, `shuffle`, and Gaussian sampling, plus the
+//!   [`derive_seed`] per-task stream-splitting discipline that keeps
+//!   parallel sections bit-identical across thread counts.
+//! * [`channel`] — a blocking MPMC channel (`Mutex<VecDeque>` + `Condvar`)
+//!   for coordinator/worker protocols such as the async SMBO scheduler.
 //! * [`sync`] — `parking_lot`-flavored wrappers over `std::sync` (a
 //!   [`sync::Mutex`] whose `lock()` returns the guard directly).
 //! * [`json`] — a minimal JSON value/writer for benchmark and experiment
@@ -19,11 +23,15 @@
 //!
 //! Everything is plain `std`; the workspace builds with no registry access.
 
+pub mod channel;
 pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod sync;
 
+pub use channel::{channel, Receiver, Sender};
 pub use json::Json;
-pub use pool::{parallel_for, parallel_for_chunked, scope, set_threads, threads, SliceWriter};
-pub use rng::{SliceRandom, StdRng};
+pub use pool::{
+    parallel_for, parallel_for_chunked, pool_workers, scope, set_threads, threads, SliceWriter,
+};
+pub use rng::{derive_seed, SliceRandom, StdRng};

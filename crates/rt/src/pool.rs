@@ -179,6 +179,16 @@ impl Pool {
     }
 }
 
+/// Number of background worker threads the shared pool owns (initializing
+/// the pool if needed). The calling thread always participates in parallel
+/// sections too, so total concurrency is `pool_workers() + 1`. Returns 0
+/// when the pool resolved to a single thread — callers that need *real*
+/// concurrency (e.g. a blocking coordinator/worker protocol) must fall back
+/// to a sequential path in that case.
+pub fn pool_workers() -> usize {
+    pool().n_workers
+}
+
 /// Run `f(i)` for every `i in 0..n`, distributing indices over the shared
 /// pool with chunked work stealing. `jobs` caps the number of participating
 /// threads (0 = the pool's full [`threads`] count). Results are independent

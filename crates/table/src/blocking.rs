@@ -4,6 +4,13 @@
 //! but end-to-end examples need one, so this module provides the two common
 //! baseline blockers Magellan offers: attribute equivalence and token
 //! overlap. Both avoid the quadratic all-pairs enumeration by hashing.
+//!
+//! Candidate generation runs on the shared `em-rt` pool: the right-table
+//! index is built once, then the left table is sharded into contiguous
+//! record ranges probed in parallel, each shard appending to its own output
+//! buffer. Shards are concatenated in range order, so the candidate list is
+//! byte-for-byte the serial one for every thread count — each record's
+//! candidates are self-contained (no state crosses a shard boundary).
 
 use crate::pairs::RecordPair;
 use crate::table::Table;
@@ -13,6 +20,53 @@ use std::collections::HashMap;
 pub trait Blocker {
     /// Generate candidate pairs between tables `a` and `b`.
     fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair>;
+
+    /// [`Blocker::candidates`] with an explicit worker cap for the shared
+    /// `em-rt` pool (0 = the pool's [`em_rt::threads`] count, 1 = serial).
+    /// Implementations must return the same pairs in the same order for
+    /// every `jobs` value; the default ignores `jobs` and runs serially.
+    fn candidates_with_jobs(&self, a: &Table, b: &Table, _jobs: usize) -> Vec<RecordPair> {
+        self.candidates(a, b)
+    }
+}
+
+/// Left-table records per parallel shard. Small enough to balance skewed
+/// per-record cost (a hub record whose key matches half the right table),
+/// large enough that per-shard buffer overhead is noise.
+const SHARD_SIZE: usize = 256;
+
+/// Probe every left record in `0..n_left` through `probe(record, out)`,
+/// sharded over the pool, and return the concatenation of all shard buffers
+/// in record order — exactly the serial output, for any `jobs`.
+fn sharded_probe<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
+where
+    F: Fn(usize, &mut Vec<RecordPair>) + Sync,
+{
+    let n_shards = n_left.div_ceil(SHARD_SIZE);
+    if n_shards <= 1 || jobs == 1 {
+        let mut out = Vec::new();
+        for i in 0..n_left {
+            probe(i, &mut out);
+        }
+        return out;
+    }
+    let mut shards: Vec<Vec<RecordPair>> = vec![Vec::new(); n_shards];
+    let writer = em_rt::SliceWriter::new(&mut shards);
+    em_rt::parallel_for(n_shards, jobs, |s| {
+        // Safety: each shard index is handed out exactly once, so this is
+        // the only thread touching slot `s`.
+        let buf = unsafe { &mut writer.slice_mut(s, 1)[0] };
+        let end = ((s + 1) * SHARD_SIZE).min(n_left);
+        for i in s * SHARD_SIZE..end {
+            probe(i, buf);
+        }
+    });
+    let total = shards.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for shard in &mut shards {
+        out.append(shard);
+    }
+    out
 }
 
 /// Pairs records whose values on one attribute are exactly equal
@@ -26,6 +80,10 @@ pub struct AttrEquivalenceBlocker {
 
 impl Blocker for AttrEquivalenceBlocker {
     fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair> {
+        self.candidates_with_jobs(a, b, 0)
+    }
+
+    fn candidates_with_jobs(&self, a: &Table, b: &Table, jobs: usize) -> Vec<RecordPair> {
         let col_a = a
             .schema()
             .index_of(&self.attribute)
@@ -40,15 +98,13 @@ impl Blocker for AttrEquivalenceBlocker {
                 index.entry(key).or_default().push(rec.index());
             }
         }
-        let mut out = Vec::new();
-        for rec in a.records() {
-            if let Some(key) = rec.get(col_a).to_display_string() {
+        sharded_probe(a.len(), jobs, |i, out| {
+            if let Some(key) = a.record(i).get(col_a).to_display_string() {
                 if let Some(rights) = index.get(&key) {
-                    out.extend(rights.iter().map(|&r| RecordPair::new(rec.index(), r)));
+                    out.extend(rights.iter().map(|&r| RecordPair::new(i, r)));
                 }
             }
-        }
-        out
+        })
     }
 }
 
@@ -70,6 +126,10 @@ fn word_tokens(s: &str) -> Vec<String> {
 
 impl Blocker for OverlapBlocker {
     fn candidates(&self, a: &Table, b: &Table) -> Vec<RecordPair> {
+        self.candidates_with_jobs(a, b, 0)
+    }
+
+    fn candidates_with_jobs(&self, a: &Table, b: &Table, jobs: usize) -> Vec<RecordPair> {
         let col_a = a
             .schema()
             .index_of(&self.attribute)
@@ -90,13 +150,11 @@ impl Blocker for OverlapBlocker {
                 }
             }
         }
-        let mut out = Vec::new();
-        let mut overlap_count: HashMap<usize, usize> = HashMap::new();
-        for rec in a.records() {
-            let Some(s) = rec.get(col_a).to_display_string() else {
-                continue;
+        sharded_probe(a.len(), jobs, |i, out| {
+            let Some(s) = a.record(i).get(col_a).to_display_string() else {
+                return;
             };
-            overlap_count.clear();
+            let mut overlap_count: HashMap<usize, usize> = HashMap::new();
             let mut toks = word_tokens(&s);
             toks.sort_unstable();
             toks.dedup();
@@ -113,9 +171,8 @@ impl Blocker for OverlapBlocker {
                 .map(|(&r, _)| r)
                 .collect();
             hits.sort_unstable();
-            out.extend(hits.into_iter().map(|r| RecordPair::new(rec.index(), r)));
-        }
-        out
+            out.extend(hits.into_iter().map(|r| RecordPair::new(i, r)));
+        })
     }
 }
 
@@ -124,8 +181,18 @@ impl Blocker for OverlapBlocker {
 /// customers" scenario): runs the blocker on `(t, t)` and keeps only one
 /// orientation of each pair (`left < right`), dropping self-pairs.
 pub fn self_join_candidates(blocker: &dyn Blocker, t: &Table) -> Vec<RecordPair> {
+    self_join_candidates_with_jobs(blocker, t, 0)
+}
+
+/// [`self_join_candidates`] with an explicit worker cap (0 = the pool's
+/// [`em_rt::threads`] count, 1 = serial).
+pub fn self_join_candidates_with_jobs(
+    blocker: &dyn Blocker,
+    t: &Table,
+    jobs: usize,
+) -> Vec<RecordPair> {
     let mut out: Vec<RecordPair> = blocker
-        .candidates(t, t)
+        .candidates_with_jobs(t, t, jobs)
         .into_iter()
         .filter(|p| p.left < p.right)
         .collect();
@@ -277,6 +344,43 @@ mod tests {
         let empty = BlockingStats::evaluate(&[], &truth, a.len(), b.len());
         assert_eq!(empty.reduction_ratio, 1.0);
         assert_eq!(empty.pair_completeness, 0.0);
+    }
+
+    #[test]
+    fn parallel_candidates_match_serial_across_shard_boundaries() {
+        // Enough left records to span several shards, with repeated keys so
+        // blocks straddle shard boundaries.
+        let schema = Schema::new(["name", "city"]);
+        let mut a = Table::new(schema.clone());
+        let mut b = Table::new(schema);
+        for i in 0..(3 * super::SHARD_SIZE + 17) {
+            a.push_row(vec![
+                format!("alpha {}", i % 7).into(),
+                format!("city{}", i % 13).into(),
+            ])
+            .unwrap();
+        }
+        for i in 0..97 {
+            b.push_row(vec![
+                format!("alpha {} beta", i % 7).into(),
+                format!("city{}", i % 13).into(),
+            ])
+            .unwrap();
+        }
+        let overlap = OverlapBlocker {
+            attribute: "name".into(),
+            min_overlap: 1,
+        };
+        let equiv = AttrEquivalenceBlocker {
+            attribute: "city".into(),
+        };
+        for blocker in [&overlap as &dyn Blocker, &equiv] {
+            let serial = blocker.candidates_with_jobs(&a, &b, 1);
+            assert!(!serial.is_empty());
+            for jobs in [0, 2, 8] {
+                assert_eq!(serial, blocker.candidates_with_jobs(&a, &b, jobs));
+            }
+        }
     }
 
     #[test]

@@ -15,14 +15,19 @@ const CASES: u64 = 256;
 
 /// Run a property over `CASES` seeded RNGs, reporting the failing seed.
 fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
-    for case in 0..CASES {
+    check_cases(CASES, f);
+}
+
+/// [`check`] with an explicit case count, for expensive properties.
+fn check_cases(cases: u64, f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
         let seed = 0x7ab1_0000 ^ case;
         let result = std::panic::catch_unwind(|| {
             let mut rng = StdRng::seed_from_u64(seed);
             f(&mut rng);
         });
         if let Err(e) = result {
-            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            eprintln!("property failed for seed {seed} (case {case}/{cases})");
             std::panic::resume_unwind(e);
         }
     }
@@ -129,6 +134,72 @@ fn attr_blocker_includes_the_diagonal_for_non_null_keys() {
             if !rec.get(0).is_null() {
                 assert!(cands.contains(&(rec.index(), rec.index())));
             }
+        }
+    });
+}
+
+/// A wide random table for blocking: one key column drawn from a small
+/// vocabulary (so blocks are large and straddle the parallel probe's
+/// 256-record shard boundaries) plus a payload column.
+fn random_blocking_table(rng: &mut StdRng, rows: usize) -> Table {
+    const WORDS: [&str; 9] = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota",
+    ];
+    let mut t = Table::new(Schema::new(["key", "payload"]));
+    for _ in 0..rows {
+        let tokens = rng.random_range(0..=3usize);
+        let key: Vec<&str> = (0..tokens)
+            .map(|_| WORDS[rng.random_range(0..WORDS.len())])
+            .collect();
+        t.push_row(vec![
+            Value::parse(&key.join(" ")),
+            Value::parse(&field(rng)),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+#[test]
+fn parallel_blocking_matches_serial_exactly() {
+    // Fewer, larger cases: left tables of up to ~600 records span multiple
+    // 256-record shards, so chunk boundaries are genuinely exercised.
+    check_cases(24, |rng| {
+        let rows_a = rng.random_range(1..=600usize);
+        let rows_b = rng.random_range(1..=80usize);
+        let a = random_blocking_table(rng, rows_a);
+        let b = random_blocking_table(rng, rows_b);
+        let overlap = OverlapBlocker {
+            attribute: "key".into(),
+            min_overlap: rng.random_range(1..=2usize),
+        };
+        let equiv = AttrEquivalenceBlocker { attribute: "key".into() };
+        for blocker in [&overlap as &dyn Blocker, &equiv] {
+            let serial = blocker.candidates_with_jobs(&a, &b, 1);
+            for jobs in [2, 3, 8] {
+                // Exact match — same pairs, same order, no permutation.
+                assert_eq!(serial, blocker.candidates_with_jobs(&a, &b, jobs));
+            }
+        }
+    });
+}
+
+#[test]
+fn parallel_blocking_neither_drops_nor_duplicates_pairs() {
+    check_cases(24, |rng| {
+        let rows_a = rng.random_range(200..=600usize);
+        let rows_b = rng.random_range(1..=60usize);
+        let a = random_blocking_table(rng, rows_a);
+        let b = random_blocking_table(rng, rows_b);
+        let blocker = OverlapBlocker { attribute: "key".into(), min_overlap: 1 };
+        let parallel = blocker.candidates_with_jobs(&a, &b, 8);
+        // No pair duplicated across chunk boundaries...
+        let unique: std::collections::HashSet<(usize, usize)> =
+            parallel.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(unique.len(), parallel.len());
+        // ...and none dropped: every serial pair is present.
+        for pair in blocker.candidates_with_jobs(&a, &b, 1) {
+            assert!(unique.contains(&(pair.left, pair.right)));
         }
     });
 }

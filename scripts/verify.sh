@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification, fully offline: the workspace must build, every test
-# must pass, and no workspace dependency may point at a registry — the build
-# is self-contained by construction (see README.md "Zero dependencies").
+# must pass — on a 1-thread pool AND on an 8-thread pool, since every
+# parallel path guarantees thread-count-invariant results — and no workspace
+# dependency may point at a registry; the build is self-contained by
+# construction (see README.md "Zero dependencies").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +26,10 @@ echo "ok: all dependencies are path-only"
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
-echo "== cargo test --offline =="
-cargo test -q --offline --workspace
+echo "== cargo test --offline (EM_THREADS=1) =="
+EM_THREADS=1 cargo test -q --offline --workspace
+
+echo "== cargo test --offline (EM_THREADS=8) =="
+EM_THREADS=8 cargo test -q --offline --workspace
 
 echo "verify: OK"
