@@ -144,9 +144,18 @@ mod tests {
 
     fn sample() -> Configuration {
         Configuration::from_map([
-            ("classifier:__choice__".to_string(), ParamValue::Cat("random_forest".into())),
-            ("random_forest:n_estimators".to_string(), ParamValue::Int(100)),
-            ("random_forest:max_features".to_string(), ParamValue::Float(0.377)),
+            (
+                "classifier:__choice__".to_string(),
+                ParamValue::Cat("random_forest".into()),
+            ),
+            (
+                "random_forest:n_estimators".to_string(),
+                ParamValue::Int(100),
+            ),
+            (
+                "random_forest:max_features".to_string(),
+                ParamValue::Float(0.377),
+            ),
         ])
     }
 

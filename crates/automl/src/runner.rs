@@ -52,9 +52,12 @@ impl SearchHistory {
 
     /// The best trial so far (ties keep the earliest).
     pub fn incumbent(&self) -> Option<&Trial> {
-        self.trials
-            .iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(b.index.cmp(&a.index)))
+        self.trials.iter().max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap()
+                .then(b.index.cmp(&a.index))
+        })
     }
 
     /// Best score so far (NEG_INFINITY when empty).
@@ -77,11 +80,26 @@ impl SearchHistory {
 
     fn push(&mut self, config: Configuration, score: f64) {
         let index = self.trials.len();
+        let improved = score > self.best_score();
         self.trials.push(Trial {
             config,
             score,
             index,
         });
+        em_obs::event("search.trial", || {
+            vec![
+                ("trial", em_rt::Json::from(index)),
+                ("score", em_rt::Json::from(score)),
+            ]
+        });
+        if improved {
+            em_obs::event("search.incumbent", || {
+                vec![
+                    ("trial", em_rt::Json::from(index)),
+                    ("score", em_rt::Json::from(score)),
+                ]
+            });
+        }
     }
 }
 
@@ -107,7 +125,9 @@ pub trait SearchAlgorithm {
         rng: &mut StdRng,
         k: usize,
     ) -> Vec<Configuration> {
-        (0..k.max(1)).map(|_| self.suggest(space, history, rng)).collect()
+        (0..k.max(1))
+            .map(|_| self.suggest(space, history, rng))
+            .collect()
     }
 
     /// Human-readable name for logs and experiment output.
@@ -167,7 +187,17 @@ pub fn run_search_with_initial(
             space.validate(&config).is_ok(),
             "search algorithm produced an invalid configuration"
         );
+        let trial = history.len();
+        em_obs::event("search.eval_start", || {
+            vec![("trial", em_rt::Json::from(trial))]
+        });
         let score = objective(&config);
+        em_obs::event("search.eval_finish", || {
+            vec![
+                ("trial", em_rt::Json::from(trial)),
+                ("score", em_rt::Json::from(score)),
+            ]
+        });
         history.push(config, score);
     }
     history
@@ -356,7 +386,20 @@ pub fn run_search_async_report(
             let results = result_tx.clone();
             s.spawn(move || {
                 while let Some((ix, config)) = jobs.recv() {
+                    em_obs::event("search.eval_start", || {
+                        vec![
+                            ("trial", em_rt::Json::from(ix)),
+                            ("worker", em_rt::Json::from(w)),
+                        ]
+                    });
                     let score = objective(&config);
+                    em_obs::event("search.eval_finish", || {
+                        vec![
+                            ("trial", em_rt::Json::from(ix)),
+                            ("worker", em_rt::Json::from(w)),
+                            ("score", em_rt::Json::from(score)),
+                        ]
+                    });
                     if results.send((ix, w, score)).is_err() {
                         break;
                     }
@@ -380,7 +423,8 @@ pub fn run_search_async_report(
             }
             // Reorder buffer: collect every score of the round, then commit
             // in suggestion order regardless of completion order.
-            let mut scores: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            let mut scores: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             while scores.len() < round.len() {
                 let (ix, w, score) = result_rx.recv().expect("a worker result per job");
                 evals_per_worker[w] += 1;
@@ -444,7 +488,13 @@ mod tests {
     fn evaluation_budget_is_exact() {
         let space = quadratic_space();
         let mut algo = RandomSearch;
-        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(37), 0);
+        let h = run_search(
+            &space,
+            &mut algo,
+            &mut objective,
+            Budget::Evaluations(37),
+            0,
+        );
         assert_eq!(h.len(), 37);
     }
 
@@ -452,7 +502,13 @@ mod tests {
     fn incumbent_is_the_max() {
         let space = quadratic_space();
         let mut algo = RandomSearch;
-        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(50), 1);
+        let h = run_search(
+            &space,
+            &mut algo,
+            &mut objective,
+            Budget::Evaluations(50),
+            1,
+        );
         let best = h.incumbent().unwrap();
         for t in h.trials() {
             assert!(t.score <= best.score);
@@ -464,7 +520,13 @@ mod tests {
     fn trace_is_monotone_nondecreasing() {
         let space = quadratic_space();
         let mut algo = RandomSearch;
-        let h = run_search(&space, &mut algo, &mut objective, Budget::Evaluations(40), 2);
+        let h = run_search(
+            &space,
+            &mut algo,
+            &mut objective,
+            Budget::Evaluations(40),
+            2,
+        );
         let trace = h.best_score_trace();
         for w in trace.windows(2) {
             assert!(w[1] >= w[0]);
@@ -475,8 +537,20 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let space = quadratic_space();
-        let h1 = run_search(&space, &mut RandomSearch, &mut objective, Budget::Evaluations(20), 7);
-        let h2 = run_search(&space, &mut RandomSearch, &mut objective, Budget::Evaluations(20), 7);
+        let h1 = run_search(
+            &space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::Evaluations(20),
+            7,
+        );
+        let h2 = run_search(
+            &space,
+            &mut RandomSearch,
+            &mut objective,
+            Budget::Evaluations(20),
+            7,
+        );
         assert_eq!(h1.best_score(), h2.best_score());
         for (a, b) in h1.trials().iter().zip(h2.trials()) {
             assert_eq!(a.config, b.config);
@@ -507,7 +581,7 @@ mod tests {
             &mut objective,
             Budget::Evaluations(10),
             0,
-            &[good.clone()],
+            std::slice::from_ref(&good),
         );
         assert_eq!(h.trials()[0].config, good);
         assert_eq!(h.trials()[0].score, 0.0);

@@ -67,6 +67,10 @@ impl SmacSearch {
         history: &SearchHistory,
         rng: &mut StdRng,
     ) -> Vec<Configuration> {
+        /// Surrogate model refits across all SMAC instances (traced runs).
+        static SURROGATE_REFITS: em_obs::Counter = em_obs::Counter::new("smbo.surrogate_refits");
+        let _span = em_obs::span!("smac.suggest");
+        SURROGATE_REFITS.incr();
         let n = history.len();
         // Fit the surrogate on all observations.
         let encoded: Vec<Vec<f64>> = history
@@ -228,17 +232,29 @@ mod tests {
         assert!(expected_improvement(0.2, 0.5, 0.5) > 0.0);
         assert!(expected_improvement(1.0, 0.5, 0.5) > 0.5);
         // EI grows with sigma.
-        assert!(
-            expected_improvement(0.4, 0.8, 0.5) > expected_improvement(0.4, 0.2, 0.5)
-        );
+        assert!(expected_improvement(0.4, 0.8, 0.5) > expected_improvement(0.4, 0.2, 0.5));
     }
 
     /// A deceptive 2-D objective with a narrow peak: the surrogate should
     /// find it faster than random search (statistically, with fixed seeds).
     fn hard_space() -> ConfigSpace {
         let mut s = ConfigSpace::new();
-        s.add("x", Domain::Float { lo: 0.0, hi: 1.0, log: false });
-        s.add("y", Domain::Float { lo: 0.0, hi: 1.0, log: false });
+        s.add(
+            "x",
+            Domain::Float {
+                lo: 0.0,
+                hi: 1.0,
+                log: false,
+            },
+        );
+        s.add(
+            "y",
+            Domain::Float {
+                lo: 0.0,
+                hi: 1.0,
+                log: false,
+            },
+        );
         s
     }
 

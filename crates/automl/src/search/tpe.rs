@@ -59,6 +59,7 @@ impl SearchAlgorithm for TpeSearch {
         if n < self.params.n_init {
             return space.sample(rng);
         }
+        let _span = em_obs::span!("tpe.suggest");
         // Split observations into good/bad by score quantile.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
@@ -187,12 +188,12 @@ fn log_density(space: &ConfigSpace, candidate: &Configuration, obs: &[&Configura
                 let active = obs.iter().filter(|o| o.contains(&p.name)).count() as f64;
                 total += ((count + 1.0) / (active + k)).ln();
             }
-            (Domain::Float { .. } | Domain::Int { .. }, ParamValue::Float(_) | ParamValue::Int(_)) => {
+            (
+                Domain::Float { .. } | Domain::Int { .. },
+                ParamValue::Float(_) | ParamValue::Int(_),
+            ) => {
                 let x = cv.as_float().unwrap();
-                let values: Vec<f64> = obs
-                    .iter()
-                    .filter_map(|o| o.get_float(&p.name))
-                    .collect();
+                let values: Vec<f64> = obs.iter().filter_map(|o| o.get_float(&p.name)).collect();
                 if values.is_empty() {
                     continue;
                 }
@@ -258,7 +259,11 @@ mod tests {
             .map(|t| t.config.get_float("x").unwrap())
             .collect();
         let near = late.iter().filter(|&&x| (x - 0.8).abs() < 0.2).count();
-        assert!(near > late.len() / 2, "only {near}/{} near the peak", late.len());
+        assert!(
+            near > late.len() / 2,
+            "only {near}/{} near the peak",
+            late.len()
+        );
     }
 
     #[test]
@@ -267,7 +272,13 @@ mod tests {
         let budget = Budget::Evaluations(40);
         let mut wins = 0;
         for seed in 0..5 {
-            let ht = run_search(&space, &mut TpeSearch::default(), &mut peak_objective, budget, seed);
+            let ht = run_search(
+                &space,
+                &mut TpeSearch::default(),
+                &mut peak_objective,
+                budget,
+                seed,
+            );
             let hr = run_search(&space, &mut RandomSearch, &mut peak_objective, budget, seed);
             if ht.best_score() >= hr.best_score() - 1e-9 {
                 wins += 1;
@@ -279,10 +290,7 @@ mod tests {
     #[test]
     fn tpe_handles_conditional_spaces() {
         let mut space = ConfigSpace::new();
-        space.add(
-            "algo",
-            Domain::Categorical(vec!["a".into(), "b".into()]),
-        );
+        space.add("algo", Domain::Categorical(vec!["a".into(), "b".into()]));
         space.add_conditional(
             "a:x",
             Domain::Float {
@@ -311,10 +319,7 @@ mod tests {
             space.validate(&t.config).unwrap();
         }
         // TPE should discover that algo=a dominates.
-        assert_eq!(
-            h.incumbent().unwrap().config.get_str("algo"),
-            Some("a")
-        );
+        assert_eq!(h.incumbent().unwrap().config.get_str("algo"), Some("a"));
         assert!(h.best_score() > 0.85);
     }
 }

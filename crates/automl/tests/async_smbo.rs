@@ -44,7 +44,14 @@ fn build_space() -> ConfigSpace {
         "model",
         ["gbm"],
     );
-    s.add("x", Domain::Float { lo: -2.0, hi: 2.0, log: false });
+    s.add(
+        "x",
+        Domain::Float {
+            lo: -2.0,
+            hi: 2.0,
+            log: false,
+        },
+    );
     s
 }
 

@@ -88,9 +88,7 @@ fn toy_objective(c: &Configuration) -> f64 {
         Some("gbm") => 0.6,
         _ => 0.4,
     };
-    let bonus = c
-        .get_float("rf:trees")
-        .map_or(0.0, |t| (t / 500.0) * 0.1);
+    let bonus = c.get_float("rf:trees").map_or(0.0, |t| (t / 500.0) * 0.1);
     base + bonus
 }
 

@@ -31,12 +31,14 @@ fn main() {
             ("automl_em", FeatureScheme::AutoMlEm),
         ] {
             let generator = FeatureGenerator::plan_for_tables(scheme, &ds.table_a, &ds.table_b);
-            h.bench(&format!("featuregen/{label}/{scheme_label}/single_pair"), || {
-                generator.generate_row(black_box(&ds.table_a), black_box(&ds.table_b), pairs[0])
-            });
-            h.bench(&format!("featuregen/{label}/{scheme_label}/batch_pool"), || {
-                generator.generate(&ds.table_a, &ds.table_b, black_box(&pairs))
-            });
+            h.bench(
+                &format!("featuregen/{label}/{scheme_label}/single_pair"),
+                || generator.generate_row(black_box(&ds.table_a), black_box(&ds.table_b), pairs[0]),
+            );
+            h.bench(
+                &format!("featuregen/{label}/{scheme_label}/batch_pool"),
+                || generator.generate(&ds.table_a, &ds.table_b, black_box(&pairs)),
+            );
             h.bench(
                 &format!("featuregen/{label}/{scheme_label}/batch_scope_baseline"),
                 || {

@@ -6,8 +6,7 @@
 use em_bench::baseline::fit_trees_scope_baseline;
 use em_bench::timing::Harness;
 use em_ml::{
-    Classifier, DecisionTree, ForestParams, Matrix, MaxFeatures, RandomForestClassifier,
-    TreeParams,
+    Classifier, DecisionTree, ForestParams, Matrix, MaxFeatures, RandomForestClassifier, TreeParams,
 };
 use em_rt::StdRng;
 use std::hint::black_box;
@@ -72,8 +71,12 @@ fn main() {
     });
     let mut rf = RandomForestClassifier::new(params);
     rf.fit(&x, &y, 2, None);
-    h.bench("forest/predict_proba_2000", || rf.predict_proba(black_box(&x)));
-    h.bench("forest/vote_fraction_2000", || rf.vote_fraction(black_box(&x)));
+    h.bench("forest/predict_proba_2000", || {
+        rf.predict_proba(black_box(&x))
+    });
+    h.bench("forest/vote_fraction_2000", || {
+        rf.vote_fraction(black_box(&x))
+    });
 
     h.finish();
 }

@@ -42,15 +42,21 @@ fn main() {
     });
     {
         let mut rng = StdRng::seed_from_u64(0);
-        h.bench("space/sample_rf_space", || black_box(rf_space.sample(&mut rng)));
+        h.bench("space/sample_rf_space", || {
+            black_box(rf_space.sample(&mut rng))
+        });
     }
     {
         let mut rng = StdRng::seed_from_u64(0);
-        h.bench("space/sample_all_space", || black_box(all_space.sample(&mut rng)));
+        h.bench("space/sample_all_space", || {
+            black_box(all_space.sample(&mut rng))
+        });
     }
     let mut rng = StdRng::seed_from_u64(1);
     let config = all_space.sample(&mut rng);
-    h.bench("space/encode_all_space", || black_box(all_space.encode(&config)));
+    h.bench("space/encode_all_space", || {
+        black_box(all_space.encode(&config))
+    });
     {
         let mut rng = StdRng::seed_from_u64(2);
         h.bench("space/neighbor_all_space", || {

@@ -37,7 +37,10 @@ pub fn fit_trees_scope_baseline(
                     max_features: params.max_features,
                     splitter: Splitter::Best,
                     min_impurity_decrease: params.min_impurity_decrease,
-                    seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    seed: params
+                        .seed
+                        .wrapping_add(t as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 };
                 let tree = if params.bootstrap {
                     let mut rng = StdRng::seed_from_u64(tree_params.seed ^ 0xB001_57A9);
@@ -76,7 +79,8 @@ pub fn generate_scope_baseline(
     let jobs = jobs.max(1);
     if jobs <= 1 || n < 64 {
         for (r, &pair) in pairs.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(&generator.generate_row(a, b, pair));
+            out.row_mut(r)
+                .copy_from_slice(&generator.generate_row(a, b, pair));
         }
         return out;
     }
@@ -138,7 +142,8 @@ mod tests {
     #[test]
     fn scope_baseline_matches_pooled_featuregen() {
         let ds = em_data::Benchmark::FodorsZagats.generate_scaled(0, 0.2);
-        let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        let g =
+            FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
         let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
         let pooled = g.generate(&ds.table_a, &ds.table_b, &pairs);
         let baseline = generate_scope_baseline(&g, &ds.table_a, &ds.table_b, &pairs, 4);

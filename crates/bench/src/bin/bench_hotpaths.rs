@@ -201,4 +201,5 @@ fn main() {
     std::fs::write(&out_path, report.render_pretty(2) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+    em_obs::flush();
 }

@@ -30,7 +30,9 @@ fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_rt.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rt.json".to_string());
     if std::env::var("EM_THREADS").is_err() {
         em_rt::set_threads(4);
     }
@@ -59,7 +61,9 @@ fn main() {
     // -- 10k-pair feature generation ----------------------------------------
     let ds = em_data::Benchmark::FodorsZagats.generate_scaled(0, 0.2);
     let base_pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
-    let pairs: Vec<RecordPair> = (0..10_000).map(|i| base_pairs[i % base_pairs.len()]).collect();
+    let pairs: Vec<RecordPair> = (0..10_000)
+        .map(|i| base_pairs[i % base_pairs.len()])
+        .collect();
     let generator = automl_em::FeatureGenerator::plan_for_tables(
         automl_em::FeatureScheme::AutoMlEm,
         &ds.table_a,
@@ -102,12 +106,19 @@ fn main() {
             "featuregen_10k_pairs",
             "AutoML-EM scheme over Fodors-Zagats records, 10000 pairs",
         ),
-        ("dispatch_overhead", "empty parallel body, one task per thread"),
+        (
+            "dispatch_overhead",
+            "empty parallel body, one task per thread",
+        ),
     ] {
         let pool = median(&format!("{name}/pool"));
         let scope = median(&format!("{name}/scope_baseline"));
         let speedup = scope / pool;
-        eprintln!("{name}: pool {} vs scope {} -> {speedup:.2}x", fmt_ns(pool), fmt_ns(scope));
+        eprintln!(
+            "{name}: pool {} vs scope {} -> {speedup:.2}x",
+            fmt_ns(pool),
+            fmt_ns(scope)
+        );
         comparisons.push(Json::obj([
             ("name", Json::from(name)),
             ("workload", Json::from(workload)),
@@ -135,4 +146,5 @@ fn main() {
     std::fs::write(&out_path, report.render_pretty(2) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+    em_obs::flush();
 }

@@ -11,8 +11,8 @@
 //! ```
 
 use automl_em::{
-    ActiveConfig, AutoMlEmActive, AutoMlEmOptions, FeatureScheme, GroundTruthOracle,
-    QueryStrategy, SearchChoice,
+    ActiveConfig, AutoMlEmActive, AutoMlEmOptions, FeatureScheme, GroundTruthOracle, QueryStrategy,
+    SearchChoice,
 };
 use em_automl::Budget;
 use em_bench::{pct, prepare, reference_for, row, ExpArgs};
@@ -30,14 +30,23 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Dataset".into(), "random".into(), "smac".into(), "tpe".into()],
+            &[
+                "Dataset".into(),
+                "random".into(),
+                "smac".into(),
+                "tpe".into()
+            ],
             &widths
         )
     );
     let datasets = if args.only.is_some() || args.hard_only {
         args.benchmarks()
     } else {
-        vec![Benchmark::ItunesAmazon, Benchmark::AmazonGoogle, Benchmark::AbtBuy]
+        vec![
+            Benchmark::ItunesAmazon,
+            Benchmark::AmazonGoogle,
+            Benchmark::AbtBuy,
+        ]
     };
     for b in &datasets {
         let reference = reference_for(*b);
@@ -112,4 +121,5 @@ fn main() {
             );
         }
     }
+    em_obs::flush();
 }

@@ -12,7 +12,10 @@ use em_table::infer_pair_types;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table III: EM datasets (generated at scale {}) ==\n", args.scale);
+    println!(
+        "== Table III: EM datasets (generated at scale {}) ==\n",
+        args.scale
+    );
     let widths = [20, 12, 12, 8, 10, 40];
     println!(
         "{}",
@@ -57,7 +60,12 @@ fn main() {
         "\npaper sizes at scale 1.0: {:?}",
         Benchmark::all()
             .iter()
-            .map(|b| (b.profile().name, b.profile().total_pairs, b.profile().positives))
+            .map(|b| (
+                b.profile().name,
+                b.profile().total_pairs,
+                b.profile().positives
+            ))
             .collect::<Vec<_>>()
     );
+    em_obs::flush();
 }

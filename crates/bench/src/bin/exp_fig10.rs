@@ -48,7 +48,12 @@ fn main() {
         println!(
             "{}",
             row(
-                &["space".into(), "budget".into(), "validF1".into(), "testF1".into()],
+                &[
+                    "space".into(),
+                    "budget".into(),
+                    "validF1".into(),
+                    "testF1".into()
+                ],
                 &widths
             )
         );
@@ -101,4 +106,5 @@ fn main() {
         }
     }
     println!("\nshape check: random-forest leads at small budgets; all-model catches up at large budgets.");
+    em_obs::flush();
 }

@@ -50,7 +50,11 @@ fn main() {
         let score = |config: &automl_em::EmPipelineConfig| config.fit(&xt, &yt).f1(&xv, &yv);
         let f_full = score(full);
         let f_no_dp = score(&full.without_data_preprocessing());
-        let f_no_dp_fp = score(&full.without_data_preprocessing().without_feature_preprocessing());
+        let f_no_dp_fp = score(
+            &full
+                .without_data_preprocessing()
+                .without_feature_preprocessing(),
+        );
         println!(
             "{}",
             row(
@@ -66,4 +70,5 @@ fn main() {
     }
     println!("\npaper: Amazon-Google 63.7 / 60.1 / 59.3; Abt-Buy 63.9 / 56.0 / 55.7");
     println!("shape check: scores degrade (or stay) as modules are removed.");
+    em_obs::flush();
 }

@@ -74,4 +74,5 @@ fn main() {
     }
     println!("\npaper (Amazon-Google): AC 32.8/41.6/48.3 vs Active 50.1/56.5/54.8");
     println!("paper (Abt-Buy):       AC 34.0/39.7/45.2 vs Active 42.8/45.1/52.9");
+    em_obs::flush();
 }

@@ -75,4 +75,5 @@ fn main() {
     println!("\npaper (Amazon-Google): AC 47.6/48.1/48.3 vs Active 32.3/53.5/54.8");
     println!("paper (Abt-Buy):       AC 48.2/43.2/45.2 vs Active 45.2/53.1/52.9");
     println!("shape check: Active wins at init >= 100 and may lose at init = 30.");
+    em_obs::flush();
 }

@@ -72,4 +72,5 @@ fn main() {
     println!("\npaper (Amazon-Google): 48.3 / 48.7 / 53.6 / 54.8");
     println!("paper (Abt-Buy):       45.2 / 45.2 / 46.8 / 52.9");
     println!("shape check: F1 grows with st_batch, with diminishing returns.");
+    em_obs::flush();
 }

@@ -67,7 +67,11 @@ fn main() {
     let (imputer, x_train) = SimpleImputer::fit_transform(ImputeStrategy::Mean, &x_train_raw);
     let x_test = imputer.transform(&xs_raw);
     let d = x_train.ncols();
-    println!("features: {d}, train pairs: {}, test pairs: {}", x_train.nrows(), x_test.nrows());
+    println!(
+        "features: {d}, train pairs: {}, test pairs: {}",
+        x_train.nrows(),
+        x_test.nrows()
+    );
 
     // (a) RF max_features.
     let knobs: Vec<usize> = (5..=70.min(d)).step_by(5).collect();
@@ -96,7 +100,11 @@ fn main() {
             rf_f1(&xt, &y_train, &xs, &ys, MaxFeatures::Sqrt, args.seed)
         })
         .collect();
-    sweep_summary("(b) tuning feature selection (top-k by ANOVA F)", &knobs, &scores_b);
+    sweep_summary(
+        "(b) tuning feature selection (top-k by ANOVA F)",
+        &knobs,
+        &scores_b,
+    );
 
     // (c) RobustScaler q_min, then default RF.
     let q_knobs: Vec<usize> = (0..=50).step_by(5).collect();
@@ -115,8 +123,13 @@ fn main() {
             rf_f1(&xt, &y_train, &xs, &ys, MaxFeatures::Sqrt, args.seed)
         })
         .collect();
-    sweep_summary("(c) tuning RobustScaler q_min (q_max = 75)", &q_knobs, &scores_c);
+    sweep_summary(
+        "(c) tuning RobustScaler q_min (q_max = 75)",
+        &q_knobs,
+        &scores_c,
+    );
 
     println!("\npaper deltas: (a) 10.08%  (b) 13.99%  (c) 1.17%");
     println!("shape check: Δ(a) and Δ(b) should dwarf Δ(c).");
+    em_obs::flush();
 }

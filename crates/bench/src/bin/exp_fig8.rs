@@ -53,4 +53,5 @@ fn main() {
         );
     }
     println!("\nnote: DeepMatcher column is the published reference series (see DESIGN.md substitutions).");
+    em_obs::flush();
 }

@@ -58,4 +58,5 @@ fn main() {
         );
     }
     println!("\npaper: AutoML-EM features win on every dataset, up to +11.1 (Abt-Buy) and +8.2 (iTunes-Amazon).");
+    em_obs::flush();
 }

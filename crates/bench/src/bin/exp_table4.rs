@@ -67,7 +67,10 @@ fn main() {
             )
         );
         if args.show_pipeline {
-            println!("\nincumbent pipeline for {}:\n{}\n", reference.name, result.best_configuration);
+            println!(
+                "\nincumbent pipeline for {}:\n{}\n",
+                reference.name, result.best_configuration
+            );
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -84,4 +87,5 @@ fn main() {
             &widths
         )
     );
+    em_obs::flush();
 }

@@ -1,0 +1,37 @@
+//! Render a human-readable report from an `EM_TRACE` JSONL trace file.
+//!
+//! Usage:
+//! ```text
+//! EM_TRACE=trace.jsonl cargo run --release --example quickstart
+//! cargo run --release --bin obs_report -- trace.jsonl
+//! ```
+//!
+//! The report shows the per-stage time breakdown (total, mean, self time),
+//! pool utilization (busy/idle per worker, queue-wait quantiles), channel
+//! traffic, search-trajectory events, and counters/histograms.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: obs_report <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match em_obs::report::parse_trace(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs_report: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", em_obs::report::render_report(&records));
+    ExitCode::SUCCESS
+}

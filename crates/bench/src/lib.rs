@@ -24,14 +24,54 @@ pub struct PaperReference {
 
 /// The eight Table IV / Figure 8 rows.
 pub const PAPER_REFERENCES: [PaperReference; 8] = [
-    PaperReference { name: "BeerAdvo-RateBeer", magellan_f1: 78.8, automl_em_f1: 82.3, deepmatcher_f1: 72.7 },
-    PaperReference { name: "Fodors-Zagats", magellan_f1: 100.0, automl_em_f1: 100.0, deepmatcher_f1: 100.0 },
-    PaperReference { name: "iTunes-Amazon", magellan_f1: 91.2, automl_em_f1: 96.3, deepmatcher_f1: 88.0 },
-    PaperReference { name: "DBLP-ACM", magellan_f1: 98.4, automl_em_f1: 98.4, deepmatcher_f1: 98.4 },
-    PaperReference { name: "DBLP-Scholar", magellan_f1: 92.3, automl_em_f1: 94.6, deepmatcher_f1: 94.7 },
-    PaperReference { name: "Amazon-Google", magellan_f1: 49.1, automl_em_f1: 66.4, deepmatcher_f1: 69.3 },
-    PaperReference { name: "Walmart-Amazon", magellan_f1: 71.9, automl_em_f1: 78.5, deepmatcher_f1: 66.9 },
-    PaperReference { name: "Abt-Buy", magellan_f1: 43.6, automl_em_f1: 59.2, deepmatcher_f1: 62.8 },
+    PaperReference {
+        name: "BeerAdvo-RateBeer",
+        magellan_f1: 78.8,
+        automl_em_f1: 82.3,
+        deepmatcher_f1: 72.7,
+    },
+    PaperReference {
+        name: "Fodors-Zagats",
+        magellan_f1: 100.0,
+        automl_em_f1: 100.0,
+        deepmatcher_f1: 100.0,
+    },
+    PaperReference {
+        name: "iTunes-Amazon",
+        magellan_f1: 91.2,
+        automl_em_f1: 96.3,
+        deepmatcher_f1: 88.0,
+    },
+    PaperReference {
+        name: "DBLP-ACM",
+        magellan_f1: 98.4,
+        automl_em_f1: 98.4,
+        deepmatcher_f1: 98.4,
+    },
+    PaperReference {
+        name: "DBLP-Scholar",
+        magellan_f1: 92.3,
+        automl_em_f1: 94.6,
+        deepmatcher_f1: 94.7,
+    },
+    PaperReference {
+        name: "Amazon-Google",
+        magellan_f1: 49.1,
+        automl_em_f1: 66.4,
+        deepmatcher_f1: 69.3,
+    },
+    PaperReference {
+        name: "Walmart-Amazon",
+        magellan_f1: 71.9,
+        automl_em_f1: 78.5,
+        deepmatcher_f1: 66.9,
+    },
+    PaperReference {
+        name: "Abt-Buy",
+        magellan_f1: 43.6,
+        automl_em_f1: 59.2,
+        deepmatcher_f1: 62.8,
+    },
 ];
 
 /// Reference row for a benchmark.
@@ -166,47 +206,6 @@ pub fn pct(f1: f64) -> String {
     format!("{:.1}", f1 * 100.0)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn references_cover_all_benchmarks() {
-        for b in Benchmark::all() {
-            let r = reference_for(b);
-            assert!(r.magellan_f1 > 0.0);
-            assert!(r.automl_em_f1 >= r.magellan_f1 - 1e-9, "{:?}", b);
-        }
-    }
-
-    #[test]
-    fn paper_average_improvement_is_5_8() {
-        // Table IV's bottom row: averages 78.1 vs 83.9, i.e. ΔF1 = +5.8.
-        // (The paper's own per-row deltas are internally inconsistent —
-        // e.g. Abt-Buy is printed as +5.3 though 59.2 - 43.6 = 15.6 — so we
-        // anchor on the published averages.)
-        let avg_m: f64 = PAPER_REFERENCES.iter().map(|r| r.magellan_f1).sum::<f64>() / 8.0;
-        let avg_a: f64 = PAPER_REFERENCES.iter().map(|r| r.automl_em_f1).sum::<f64>() / 8.0;
-        assert!((avg_m - 78.16).abs() < 0.05, "{avg_m}");
-        // The per-row numbers average to +6.3; the paper's printed bottom
-        // row says 83.9 / +5.8, which its own rows don't quite reproduce.
-        // Either way the headline "≈ +6" improvement holds.
-        assert!((avg_a - avg_m - 6.3).abs() < 0.05, "{}", avg_a - avg_m);
-    }
-
-    #[test]
-    fn pct_formats() {
-        assert_eq!(pct(0.592), "59.2");
-        assert_eq!(pct(1.0), "100.0");
-    }
-
-    #[test]
-    fn row_pads() {
-        let r = row(&["a".into(), "bb".into()], &[3, 4]);
-        assert_eq!(r, "a    bb  ");
-    }
-}
-
 /// Run the paper's active-learning protocol (Algorithm 1) on a prepared
 /// dataset and report the final test F1 of AutoML-EM trained on the
 /// collected labels. `st_batch = 0` gives the "AC + AutoML-EM" baseline.
@@ -278,4 +277,45 @@ pub fn active_learning_test_f1(
         )
     };
     f1_score(&y_test, &result.fitted.predict(&x_test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_cover_all_benchmarks() {
+        for b in Benchmark::all() {
+            let r = reference_for(b);
+            assert!(r.magellan_f1 > 0.0);
+            assert!(r.automl_em_f1 >= r.magellan_f1 - 1e-9, "{:?}", b);
+        }
+    }
+
+    #[test]
+    fn paper_average_improvement_is_5_8() {
+        // Table IV's bottom row: averages 78.1 vs 83.9, i.e. ΔF1 = +5.8.
+        // (The paper's own per-row deltas are internally inconsistent —
+        // e.g. Abt-Buy is printed as +5.3 though 59.2 - 43.6 = 15.6 — so we
+        // anchor on the published averages.)
+        let avg_m: f64 = PAPER_REFERENCES.iter().map(|r| r.magellan_f1).sum::<f64>() / 8.0;
+        let avg_a: f64 = PAPER_REFERENCES.iter().map(|r| r.automl_em_f1).sum::<f64>() / 8.0;
+        assert!((avg_m - 78.16).abs() < 0.05, "{avg_m}");
+        // The per-row numbers average to +6.3; the paper's printed bottom
+        // row says 83.9 / +5.8, which its own rows don't quite reproduce.
+        // Either way the headline "≈ +6" improvement holds.
+        assert!((avg_a - avg_m - 6.3).abs() < 0.05, "{}", avg_a - avg_m);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.592), "59.2");
+        assert_eq!(pct(1.0), "100.0");
+    }
+
+    #[test]
+    fn row_pads() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "a    bb  ");
+    }
 }

@@ -47,7 +47,10 @@ impl BenchResult {
 
     /// Fastest sample.
     pub fn min_ns(&self) -> f64 {
-        self.samples_ns.iter().copied().fold(f64::INFINITY, f64::min)
+        self.samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Slowest sample.
@@ -116,7 +119,9 @@ impl Harness {
         for _ in 0..WARMUP_SAMPLES {
             run_sample(iters, &mut f);
         }
-        let samples_ns: Vec<f64> = (0..self.samples).map(|_| run_sample(iters, &mut f)).collect();
+        let samples_ns: Vec<f64> = (0..self.samples)
+            .map(|_| run_sample(iters, &mut f))
+            .collect();
         let result = BenchResult {
             name: name.to_string(),
             iters,
@@ -139,11 +144,18 @@ impl Harness {
         &self.results
     }
 
-    /// JSON report for the whole suite.
+    /// JSON report for the whole suite. Embeds the runtime's configured
+    /// thread count and the machine's available parallelism so results from
+    /// different hosts or `EM_THREADS` settings stay comparable.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("suite", Json::from(self.suite.as_str())),
             ("samples_per_benchmark", Json::from(self.samples)),
+            ("threads", Json::from(em_rt::threads())),
+            (
+                "available_parallelism",
+                Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+            ),
             (
                 "benchmarks",
                 Json::arr(self.results.iter().map(BenchResult::to_json)),

@@ -12,8 +12,8 @@
 use crate::oracle::Oracle;
 use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
 use em_ml::{Classifier, ForestParams, Matrix, RandomForestClassifier};
-use em_rt::StdRng;
 use em_rt::SliceRandom;
+use em_rt::StdRng;
 
 /// How per-pair confidence is computed from the committee of trees —
 /// the paper uses tree-agreement (Figure 7); the alternatives implement its
@@ -168,17 +168,17 @@ impl AutoMlEmActive {
             labeled.push(idx, y, true);
         }
         // α: positive rate of the initial training data (§IV Remark 2).
-        let alpha = labeled.labels.iter().filter(|&&y| y == 1).count() as f64
-            / labeled.len().max(1) as f64;
+        let alpha =
+            labeled.labels.iter().filter(|&&y| y == 1).count() as f64 / labeled.len().max(1) as f64;
         let mut iterations = Vec::new();
         for it in 0..cfg.iterations {
             if unlabeled.is_empty() {
                 break;
             }
+            let _iter_span = em_obs::span!("active.iteration");
             // Line 4/12: (re)train the model on the current labels.
             let xt = x.select_rows(&labeled.indices);
-            let has_both = labeled.labels.contains(&0)
-                && labeled.labels.contains(&1);
+            let has_both = labeled.labels.contains(&0) && labeled.labels.contains(&1);
             if !has_both {
                 // Degenerate: the initial sample caught a single class; ask
                 // the human about random pairs until both classes appear.
@@ -210,7 +210,8 @@ impl AutoMlEmActive {
             // Line 9: highest-confidence pairs get machine labels, with the
             // α class-ratio preserved among them.
             let st_candidates: Vec<usize> = order[ac_take..].to_vec();
-            let st_local = self.pick_self_training(&st_candidates, &confidence, &predictions, alpha);
+            let st_local =
+                self.pick_self_training(&st_candidates, &confidence, &predictions, alpha);
             let mean_st_confidence = mean_of(&st_local, &confidence);
             // Lines 10-11: commit the batches and shrink U.
             let mut remove: Vec<usize> = Vec::with_capacity(ac_local.len() + st_local.len());
@@ -229,6 +230,20 @@ impl AutoMlEmActive {
             for li in remove {
                 unlabeled.swap_remove(li);
             }
+            em_obs::event("active.query", || {
+                vec![
+                    ("iteration", em_rt::Json::from(it)),
+                    ("batch", em_rt::Json::from(ac_local.len())),
+                    ("mean_confidence", em_rt::Json::from(mean_ac_confidence)),
+                ]
+            });
+            em_obs::event("active.selftrain", || {
+                vec![
+                    ("iteration", em_rt::Json::from(it)),
+                    ("batch", em_rt::Json::from(st_local.len())),
+                    ("mean_confidence", em_rt::Json::from(mean_st_confidence)),
+                ]
+            });
             iterations.push(IterationStats {
                 iteration: it,
                 human_labels: labeled.human_count(),
@@ -294,7 +309,9 @@ fn confidence_scores(
         QueryStrategy::VoteFraction => forest.vote_fraction(x),
         QueryStrategy::ProbabilityMargin => {
             let p = forest.predict_proba(x);
-            (0..p.nrows()).map(|r| (p.get(r, 1) - p.get(r, 0)).abs()).collect()
+            (0..p.nrows())
+                .map(|r| (p.get(r, 1) - p.get(r, 0)).abs())
+                .collect()
         }
         QueryStrategy::Entropy => {
             let p = forest.predict_proba(x);
@@ -458,7 +475,10 @@ mod tests {
         let ratio = machine_pos as f64 / machine_total.max(1) as f64;
         // Pool is 25% positive; the preserved ratio should be in a broad
         // band around that (predictions may run short of one class).
-        assert!((0.05..=0.5).contains(&ratio), "machine positive rate {ratio}");
+        assert!(
+            (0.05..=0.5).contains(&ratio),
+            "machine positive rate {ratio}"
+        );
     }
 
     #[test]
@@ -529,7 +549,10 @@ mod tests {
                 },
                 ..quick_config(0)
             };
-            AutoMlEmActive::new(cfg).run(&x, &mut oracle).labeled.indices
+            AutoMlEmActive::new(cfg)
+                .run(&x, &mut oracle)
+                .labeled
+                .indices
         };
         let vf = run(QueryStrategy::VoteFraction);
         let pm = run(QueryStrategy::ProbabilityMargin);

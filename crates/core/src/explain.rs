@@ -14,8 +14,8 @@
 
 use crate::pipeline::{FittedEmPipeline, FittedTransform};
 use em_ml::{f1_score, Matrix};
-use em_rt::StdRng;
 use em_rt::SliceRandom;
+use em_rt::StdRng;
 use std::fmt;
 
 /// Named, sorted feature-importance scores.
@@ -28,11 +28,7 @@ pub struct FeatureImportanceReport {
 impl FeatureImportanceReport {
     fn from_scores(names: &[String], scores: Vec<f64>) -> Self {
         assert_eq!(names.len(), scores.len(), "name/score length mismatch");
-        let mut entries: Vec<(String, f64)> = names
-            .iter()
-            .cloned()
-            .zip(scores)
-            .collect();
+        let mut entries: Vec<(String, f64)> = names.iter().cloned().zip(scores).collect();
         entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         FeatureImportanceReport { entries }
     }
@@ -59,12 +55,16 @@ impl FittedEmPipeline {
     /// models, k-NN, NB) or when the feature-preprocessing stage does not
     /// preserve feature identity (PCA, feature agglomeration) — use
     /// [`FittedEmPipeline::permutation_importances`] there instead.
-    pub fn impurity_importances(&self, feature_names: &[String]) -> Option<FeatureImportanceReport> {
+    pub fn impurity_importances(
+        &self,
+        feature_names: &[String],
+    ) -> Option<FeatureImportanceReport> {
         let model_scores = self.model_feature_importances()?;
         match self.fitted_transform() {
-            FittedTransform::None => {
-                Some(FeatureImportanceReport::from_scores(feature_names, model_scores))
-            }
+            FittedTransform::None => Some(FeatureImportanceReport::from_scores(
+                feature_names,
+                model_scores,
+            )),
             FittedTransform::Select(sel) => {
                 let mut scores = vec![0.0; feature_names.len()];
                 for (model_ix, &orig_ix) in sel.selected().iter().enumerate() {
@@ -155,7 +155,9 @@ mod tests {
     fn impurity_report_covers_all_features_and_sums_to_one() {
         let (fitted, prep) = fitted_on_restaurants();
         let names = prep.generator.feature_names();
-        let report = fitted.impurity_importances(&names).expect("RF has importances");
+        let report = fitted
+            .impurity_importances(&names)
+            .expect("RF has importances");
         assert_eq!(report.entries.len(), names.len());
         let total: f64 = report.entries.iter().map(|(_, s)| s).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -173,7 +175,8 @@ mod tests {
         // Some name- or address-based similarity should rank in the top 5.
         let top: Vec<&str> = report.top(5).iter().map(|(n, _)| n.as_str()).collect();
         assert!(
-            top.iter().any(|n| n.starts_with("name_") || n.starts_with("address_")),
+            top.iter()
+                .any(|n| n.starts_with("name_") || n.starts_with("address_")),
             "top-5 was {top:?}"
         );
     }
@@ -213,7 +216,9 @@ mod tests {
             ..EmPipelineConfig::default_random_forest(2)
         };
         let fitted = config.fit(&xt, &yt);
-        assert!(fitted.impurity_importances(&prep.generator.feature_names()).is_none());
+        assert!(fitted
+            .impurity_importances(&prep.generator.feature_names())
+            .is_none());
     }
 
     #[test]
@@ -264,11 +269,8 @@ mod tests {
     #[test]
     fn works_for_magellan_scheme_names_too() {
         let ds = Benchmark::AbtBuy.generate_scaled(3, 0.05);
-        let gen = FeatureGenerator::plan_for_tables(
-            FeatureScheme::Magellan,
-            &ds.table_a,
-            &ds.table_b,
-        );
+        let gen =
+            FeatureGenerator::plan_for_tables(FeatureScheme::Magellan, &ds.table_a, &ds.table_b);
         assert!(gen.feature_names().iter().all(|n| n.contains('_')));
     }
 }

@@ -14,9 +14,9 @@
 //! single-word, long, long) Magellan yields 6+6+2+2 = 14 features while
 //! AutoML-EM yields 16×4 = 64, matching §III-B.
 
+use em_ml::Matrix;
 use em_table::{AttrType, RecordPair, Schema, Table, Value};
 use em_text::{BooleanSimilarity, NumericSimilarity, StringSimilarity, Tokenizer};
-use em_ml::Matrix;
 
 /// Which feature-generation rules to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,10 +114,7 @@ pub fn magellan_string_similarities(t: AttrType) -> Vec<StringSimilarity> {
             Cosine(Tokenizer::Whitespace),
             Jaccard(Tokenizer::QGram(3)),
         ],
-        AttrType::LongString => vec![
-            Cosine(Tokenizer::Whitespace),
-            Jaccard(Tokenizer::QGram(3)),
-        ],
+        AttrType::LongString => vec![Cosine(Tokenizer::Whitespace), Jaccard(Tokenizer::QGram(3))],
         AttrType::Numeric | AttrType::Boolean => Vec::new(),
     }
 }
@@ -243,6 +240,7 @@ impl FeatureGenerator {
         pairs: &[RecordPair],
         jobs: usize,
     ) -> Matrix {
+        let _span = em_obs::span!("featuregen.generate");
         let n = pairs.len();
         let d = self.specs.len();
         let mut out = Matrix::zeros(n, d);
@@ -269,12 +267,10 @@ impl FeatureGenerator {
 /// Evaluate one feature, propagating missing values as NaN.
 fn compute_feature(kind: &FeatureKind, va: &Value, vb: &Value) -> f64 {
     match kind {
-        FeatureKind::String(sim) => {
-            match (va.to_display_string(), vb.to_display_string()) {
-                (Some(a), Some(b)) => sim.apply(&a, &b),
-                _ => f64::NAN,
-            }
-        }
+        FeatureKind::String(sim) => match (va.to_display_string(), vb.to_display_string()) {
+            (Some(a), Some(b)) => sim.apply(&a, &b),
+            _ => f64::NAN,
+        },
         FeatureKind::Numeric(sim) => match (va.as_number(), vb.as_number()) {
             (Some(a), Some(b)) => sim.apply(a, b),
             _ => f64::NAN,
@@ -313,9 +309,15 @@ mod tests {
 
     #[test]
     fn table_i_counts_per_type() {
-        assert_eq!(magellan_string_similarities(AttrType::SingleWordString).len(), 6);
+        assert_eq!(
+            magellan_string_similarities(AttrType::SingleWordString).len(),
+            6
+        );
         assert_eq!(magellan_string_similarities(AttrType::ShortString).len(), 8);
-        assert_eq!(magellan_string_similarities(AttrType::MediumString).len(), 5);
+        assert_eq!(
+            magellan_string_similarities(AttrType::MediumString).len(),
+            5
+        );
         assert_eq!(magellan_string_similarities(AttrType::LongString).len(), 2);
         assert_eq!(all_string_similarities().len(), 16);
         assert_eq!(numeric_similarities().len(), 4);
@@ -350,7 +352,10 @@ mod tests {
         let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &a, &b);
         let x = g.generate(&a, &b, &[RecordPair::new(0, 0)]);
         let names = g.feature_names();
-        let jix = names.iter().position(|n| n == "name_jaccard_space").unwrap();
+        let jix = names
+            .iter()
+            .position(|n| n == "name_jaccard_space")
+            .unwrap();
         assert!((x.get(0, jix) - 2.0 / 3.0).abs() < 1e-12);
         let eix = names.iter().position(|n| n == "name_exact_match").unwrap();
         assert_eq!(x.get(0, eix), 0.0);
@@ -375,7 +380,8 @@ mod tests {
     #[test]
     fn parallel_and_serial_generation_agree() {
         let ds = em_data::Benchmark::FodorsZagats.generate_scaled(0, 0.3);
-        let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        let g =
+            FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
         let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
         let batch = g.generate(&ds.table_a, &ds.table_b, &pairs);
         for (r, &p) in pairs.iter().enumerate().step_by(17) {

@@ -47,8 +47,8 @@ pub use active::{
 pub use automl_em::{AutoMlEm, AutoMlEmOptions, AutoMlEmResult, PreparedDataset, SearchChoice};
 pub use explain::FeatureImportanceReport;
 pub use featuregen::{
-    all_string_similarities, magellan_string_similarities, numeric_similarities,
-    FeatureGenerator, FeatureKind, FeatureScheme, FeatureSpec,
+    all_string_similarities, magellan_string_similarities, numeric_similarities, FeatureGenerator,
+    FeatureKind, FeatureScheme, FeatureSpec,
 };
 pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use pipeline::{

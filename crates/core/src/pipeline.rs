@@ -4,14 +4,17 @@
 
 use em_automl::Configuration;
 use em_ml::decomp::{FeatureAgglomeration, Pca};
-use em_ml::featsel::{select_percentile, select_rates, variance_threshold, FittedSelector, RateMode, ScoreFunc};
-use em_ml::preprocess::{sample_weights, BalancingStrategy, FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer};
+use em_ml::featsel::{
+    select_percentile, select_rates, variance_threshold, FittedSelector, RateMode, ScoreFunc,
+};
+use em_ml::preprocess::{
+    sample_weights, BalancingStrategy, FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer,
+};
 use em_ml::{
     AdaBoostClassifier, AdaBoostParams, Classifier, Criterion, DecisionTree, ExtraTreesClassifier,
-    ForestParams, GaussianNb, GaussianNbParams, GradientBoostingClassifier,
-    GradientBoostingParams, KNeighborsClassifier, KnnParams, KnnWeights, LinearSvm,
-    LinearSvmParams, LogisticRegression, LogisticRegressionParams, Matrix, MaxFeatures,
-    RandomForestClassifier, TreeParams,
+    ForestParams, GaussianNb, GaussianNbParams, GradientBoostingClassifier, GradientBoostingParams,
+    KNeighborsClassifier, KnnParams, KnnWeights, LinearSvm, LinearSvmParams, LogisticRegression,
+    LogisticRegressionParams, Matrix, MaxFeatures, RandomForestClassifier, TreeParams,
 };
 
 /// Feature-preprocessing component choice (paper Fig. 4 middle column).
@@ -217,6 +220,7 @@ impl EmPipelineConfig {
         seed: u64,
         jobs: usize,
     ) -> f64 {
+        let _span = em_obs::span!("pipeline.cross_val");
         let folds = em_ml::stratified_k_fold(y, k, seed);
         let mut scores = vec![0.0f64; folds.len()];
         {
@@ -227,9 +231,16 @@ impl EmPipelineConfig {
                 let yt: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
                 let xs = x.select_rows(test_idx);
                 let ys: Vec<usize> = test_idx.iter().map(|&i| y[i]).collect();
+                let f1 = self.fit(&xt, &yt).f1(&xs, &ys);
+                em_obs::event("cv.fold", || {
+                    vec![
+                        ("fold", em_rt::Json::from(f)),
+                        ("f1", em_rt::Json::from(f1)),
+                    ]
+                });
                 // Safety: each fold index is handed out exactly once, and
                 // the one-element slots are pairwise disjoint.
-                unsafe { writer.slice_mut(f, 1)[0] = self.fit(&xt, &yt).f1(&xs, &ys) };
+                unsafe { writer.slice_mut(f, 1)[0] = f1 };
             });
         }
         scores.iter().sum::<f64>() / folds.len() as f64
@@ -238,13 +249,26 @@ impl EmPipelineConfig {
     /// Fit the pipeline on training data: impute → scale → select/project →
     /// balance → train. Returns the fitted pipeline.
     pub fn fit(&self, x: &Matrix, y: &[usize]) -> FittedEmPipeline {
+        let _span = em_obs::span!("pipeline.fit");
         let n_classes = 2;
-        let (imputer, x1) = SimpleImputer::fit_transform(self.imputation, x);
-        let (scaler, x2) = FittedScaler::fit_transform(self.rescaling, &x1);
-        let (transform, x3) = fit_preprocessor(&self.preprocessor, &x2, y, n_classes);
+        let (imputer, x1) = {
+            let _s = em_obs::span!("pipeline.impute");
+            SimpleImputer::fit_transform(self.imputation, x)
+        };
+        let (scaler, x2) = {
+            let _s = em_obs::span!("pipeline.scale");
+            FittedScaler::fit_transform(self.rescaling, &x1)
+        };
+        let (transform, x3) = {
+            let _s = em_obs::span!("pipeline.preprocess");
+            fit_preprocessor(&self.preprocessor, &x2, y, n_classes)
+        };
         let weights = sample_weights(self.balancing, y, n_classes);
         let mut model = build_classifier(&self.classifier, self.seed);
-        model.fit(&x3, y, n_classes, Some(&weights));
+        {
+            let _s = em_obs::span!("pipeline.classifier_fit");
+            model.fit(&x3, y, n_classes, Some(&weights));
+        }
         FittedEmPipeline {
             config: self.clone(),
             imputer,
@@ -312,7 +336,9 @@ fn fit_preprocessor(
             let out = sel.transform(x);
             (FittedTransform::Select(sel), out)
         }
-        PreprocessorChoice::Pca { components_fraction } => {
+        PreprocessorChoice::Pca {
+            components_fraction,
+        } => {
             let k = ((x.ncols() as f64 * components_fraction).round() as usize).clamp(1, x.ncols());
             let pca = Pca::fit(x, k);
             let out = pca.transform(x);
@@ -407,12 +433,10 @@ fn build_classifier(choice: &ClassifierChoice, seed: u64) -> Box<dyn Classifier>
             seed,
             ..LinearSvmParams::default()
         })),
-        ClassifierChoice::Knn { k, weights } => {
-            Box::new(KNeighborsClassifier::new(KnnParams {
-                k: *k,
-                weights: *weights,
-            }))
-        }
+        ClassifierChoice::Knn { k, weights } => Box::new(KNeighborsClassifier::new(KnnParams {
+            k: *k,
+            weights: *weights,
+        })),
         ClassifierChoice::GaussianNb { var_smoothing } => {
             Box::new(GaussianNb::new(GaussianNbParams {
                 var_smoothing: *var_smoothing,
@@ -462,7 +486,10 @@ impl Classifier for SingleTreeClassifier {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        self.tree.as_ref().expect("fit before predicting").predict_proba(x)
+        self.tree
+            .as_ref()
+            .expect("fit before predicting")
+            .predict_proba(x)
     }
 
     fn n_classes(&self) -> usize {
@@ -680,9 +707,7 @@ pub fn decode_configuration(config: &Configuration, seed: u64) -> EmPipelineConf
             learning_rate: config
                 .get_float("classifier:adaboost:learning_rate")
                 .unwrap_or(1.0),
-            max_depth: config
-                .get_int("classifier:adaboost:max_depth")
-                .unwrap_or(1) as usize,
+            max_depth: config.get_int("classifier:adaboost:max_depth").unwrap_or(1) as usize,
         },
         "gradient_boosting" => ClassifierChoice::GradientBoosting {
             n_estimators: config
@@ -712,7 +737,9 @@ pub fn decode_configuration(config: &Configuration, seed: u64) -> EmPipelineConf
                 .unwrap_or(1e-3),
         },
         "k_nearest_neighbors" => ClassifierChoice::Knn {
-            k: config.get_int("classifier:k_nearest_neighbors:k").unwrap_or(5) as usize,
+            k: config
+                .get_int("classifier:k_nearest_neighbors:k")
+                .unwrap_or(5) as usize,
             weights: match config.get_str("classifier:k_nearest_neighbors:weights") {
                 Some("distance") => KnnWeights::Distance,
                 _ => KnnWeights::Uniform,
@@ -911,11 +938,26 @@ mod tests {
     fn decode_round_trip_from_figure5_style_config() {
         use em_automl::ParamValue;
         let config = Configuration::from_map([
-            ("balancing:strategy".to_string(), ParamValue::Cat("weighting".into())),
-            ("imputation:strategy".to_string(), ParamValue::Cat("mean".into())),
-            ("rescaling:__choice__".to_string(), ParamValue::Cat("robust_scaler".into())),
-            ("rescaling:robust_scaler:q_min".to_string(), ParamValue::Float(0.19454891546620004)),
-            ("rescaling:robust_scaler:q_max".to_string(), ParamValue::Float(0.9194022794180152)),
+            (
+                "balancing:strategy".to_string(),
+                ParamValue::Cat("weighting".into()),
+            ),
+            (
+                "imputation:strategy".to_string(),
+                ParamValue::Cat("mean".into()),
+            ),
+            (
+                "rescaling:__choice__".to_string(),
+                ParamValue::Cat("robust_scaler".into()),
+            ),
+            (
+                "rescaling:robust_scaler:q_min".to_string(),
+                ParamValue::Float(0.19454891546620004),
+            ),
+            (
+                "rescaling:robust_scaler:q_max".to_string(),
+                ParamValue::Float(0.9194022794180152),
+            ),
             (
                 "preprocessor:__choice__".to_string(),
                 ParamValue::Cat("select_percentile_classification".into()),
@@ -928,26 +970,47 @@ mod tests {
                 "preprocessor:select_percentile:score_func".to_string(),
                 ParamValue::Cat("f_classif".into()),
             ),
-            ("classifier:__choice__".to_string(), ParamValue::Cat("random_forest".into())),
-            ("classifier:random_forest:bootstrap".to_string(), ParamValue::Cat("True".into())),
-            ("classifier:random_forest:criterion".to_string(), ParamValue::Cat("gini".into())),
+            (
+                "classifier:__choice__".to_string(),
+                ParamValue::Cat("random_forest".into()),
+            ),
+            (
+                "classifier:random_forest:bootstrap".to_string(),
+                ParamValue::Cat("True".into()),
+            ),
+            (
+                "classifier:random_forest:criterion".to_string(),
+                ParamValue::Cat("gini".into()),
+            ),
             (
                 "classifier:random_forest:max_features".to_string(),
                 ParamValue::Float(0.9008519355763185),
             ),
-            ("classifier:random_forest:min_samples_leaf".to_string(), ParamValue::Int(2)),
-            ("classifier:random_forest:min_samples_split".to_string(), ParamValue::Int(6)),
+            (
+                "classifier:random_forest:min_samples_leaf".to_string(),
+                ParamValue::Int(2),
+            ),
+            (
+                "classifier:random_forest:min_samples_split".to_string(),
+                ParamValue::Int(6),
+            ),
         ]);
         let pc = decode_configuration(&config, 7);
         assert_eq!(pc.balancing, BalancingStrategy::Weighting);
-        assert!(matches!(pc.rescaling, ScalerKind::Robust { q_min, .. } if (q_min - 19.45).abs() < 0.1));
+        assert!(
+            matches!(pc.rescaling, ScalerKind::Robust { q_min, .. } if (q_min - 19.45).abs() < 0.1)
+        );
         assert!(matches!(
             pc.preprocessor,
             PreprocessorChoice::SelectPercentile { percentile, .. } if (percentile - 55.84).abs() < 0.1
         ));
         assert!(matches!(
             pc.classifier,
-            ClassifierChoice::RandomForest { min_samples_split: 6, min_samples_leaf: 2, .. }
+            ClassifierChoice::RandomForest {
+                min_samples_split: 6,
+                min_samples_leaf: 2,
+                ..
+            }
         ));
         assert_eq!(pc.seed, 7);
     }

@@ -439,7 +439,10 @@ pub fn default_configuration(options: SpaceOptions) -> em_automl::Configuration 
     values.push(("imputation:strategy".into(), ParamValue::Cat("mean".into())));
     if options.data_preprocessing {
         values.push(("balancing:strategy".into(), ParamValue::Cat("none".into())));
-        values.push(("rescaling:__choice__".into(), ParamValue::Cat("none".into())));
+        values.push((
+            "rescaling:__choice__".into(),
+            ParamValue::Cat("none".into()),
+        ));
     }
     if options.feature_preprocessing {
         values.push((
@@ -586,7 +589,9 @@ mod tests {
         ] {
             let space = build_space(options);
             let config = default_configuration(options);
-            space.validate(&config).unwrap_or_else(|e| panic!("{options:?}: {e}"));
+            space
+                .validate(&config)
+                .unwrap_or_else(|e| panic!("{options:?}: {e}"));
         }
     }
 

@@ -61,7 +61,10 @@ fn feature_matrix_and_forest_are_thread_count_invariant() {
     let generator =
         FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
     let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
-    assert!(pairs.len() >= 64, "need enough pairs to trigger the parallel path");
+    assert!(
+        pairs.len() >= 64,
+        "need enough pairs to trigger the parallel path"
+    );
 
     // Feature matrix: serial vs pooled, bit for bit (NaN = missing cell).
     let serial = generator.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, 1);
@@ -75,8 +78,10 @@ fn feature_matrix_and_forest_are_thread_count_invariant() {
     // Forest: 1 job vs many jobs, identical predictions and probabilities.
     // Trees reject NaN, so impute the missing cells first (mean, like the
     // pipeline's default preprocessor).
-    let (_, serial) =
-        em_ml::preprocess::SimpleImputer::fit_transform(em_ml::preprocess::ImputeStrategy::Mean, &serial);
+    let (_, serial) = em_ml::preprocess::SimpleImputer::fit_transform(
+        em_ml::preprocess::ImputeStrategy::Mean,
+        &serial,
+    );
     let labels: Vec<usize> = ds.pairs.iter().map(|p| usize::from(p.label)).collect();
     let fit = |n_jobs: usize| {
         let mut rf = RandomForestClassifier::new(ForestParams {
@@ -136,8 +141,7 @@ fn permutation_importances_are_thread_count_invariant() {
     let fitted = EmPipelineConfig::default_random_forest(5).fit(&x, &y);
     let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
     let serial = fitted.permutation_importances_with_jobs(&x, &y, &names, 3, 17, 1);
-    let pooled =
-        fitted.permutation_importances_with_jobs(&x, &y, &names, 3, 17, em_rt::threads());
+    let pooled = fitted.permutation_importances_with_jobs(&x, &y, &names, 3, 17, em_rt::threads());
     assert_eq!(serial.entries.len(), pooled.entries.len());
     for (a, b) in serial.entries.iter().zip(&pooled.entries) {
         assert_eq!(a.0, b.0);
@@ -160,6 +164,41 @@ fn benchmark_synthesis_is_thread_count_invariant() {
         assert_eq!(serial.table_b, pooled.table_b, "{}", serial.name);
         assert_eq!(serial.pairs, pooled.pairs, "{}", serial.name);
     }
+}
+
+#[test]
+fn results_are_identical_with_tracing_on_and_off() {
+    let _guard = serialize();
+    ensure_pool();
+    // The observability contract: instrumentation observes, it never feeds
+    // back. A traced run must produce bit-identical results to an untraced
+    // one — spans, counters, and events may not perturb RNG streams, work
+    // partitioning, or float accumulation order.
+    let (x, y) = toy_data();
+    let run = || {
+        let config = EmPipelineConfig::default_random_forest(7);
+        let f1 = config.cross_val_f1_with_jobs(&x, &y, 5, 3, em_rt::threads());
+        let fitted = config.fit(&x, &y);
+        (f1, fitted.predict(&x))
+    };
+    let trace_path =
+        std::env::temp_dir().join(format!("em-det-trace-{}.jsonl", std::process::id()));
+    em_obs::set_mode(em_obs::TraceMode::File(
+        trace_path.to_string_lossy().into_owned(),
+    ));
+    let traced = run();
+    em_obs::flush();
+    em_obs::set_mode(em_obs::TraceMode::Off);
+    let untraced = run();
+    assert_eq!(traced.0.to_bits(), untraced.0.to_bits());
+    assert_eq!(traced.1, untraced.1);
+    // The trace itself must be well-formed JSONL with the expected spans.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let records = em_obs::report::parse_trace(&text).expect("trace parses");
+    assert!(!records.is_empty());
+    assert!(text.contains("pipeline.cross_val"));
+    assert!(text.contains("forest.fit"));
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 #[test]
@@ -199,5 +238,8 @@ fn async_smbo_trajectory_is_thread_count_invariant() {
         assert_eq!(a.score.to_bits(), b.score.to_bits());
     }
     assert_eq!(serial.best_configuration, pooled.best_configuration);
-    assert_eq!(serial.validation_f1.to_bits(), pooled.validation_f1.to_bits());
+    assert_eq!(
+        serial.validation_f1.to_bits(),
+        pooled.validation_f1.to_bits()
+    );
 }

@@ -14,8 +14,8 @@ use crate::domains::{
 };
 use crate::entity::{family_of, EntityDomain, FAMILY_SIZE};
 use crate::noise::NoiseModel;
-use em_table::{LabeledPair, PairStats, Table};
 use em_rt::StdRng;
+use em_table::{LabeledPair, PairStats, Table};
 use std::collections::BTreeSet;
 
 /// Difficulty category from Table III.
@@ -150,12 +150,20 @@ impl Benchmark {
             Benchmark::FodorsZagats => (Box::new(RestaurantDomain), Box::new(RestaurantDomain)),
             Benchmark::ItunesAmazon => (Box::new(SongDomain), Box::new(SongDomain)),
             Benchmark::DblpAcm => (
-                Box::new(PublicationDomain { scholar_style: false }),
-                Box::new(PublicationDomain { scholar_style: false }),
+                Box::new(PublicationDomain {
+                    scholar_style: false,
+                }),
+                Box::new(PublicationDomain {
+                    scholar_style: false,
+                }),
             ),
             Benchmark::DblpScholar => (
-                Box::new(PublicationDomain { scholar_style: false }),
-                Box::new(PublicationDomain { scholar_style: true }),
+                Box::new(PublicationDomain {
+                    scholar_style: false,
+                }),
+                Box::new(PublicationDomain {
+                    scholar_style: true,
+                }),
             ),
             Benchmark::AmazonGoogle => (Box::new(SoftwareDomain), Box::new(SoftwareDomain)),
             Benchmark::WalmartAmazon => (Box::new(ElectronicsDomain), Box::new(ElectronicsDomain)),
@@ -316,8 +324,9 @@ impl Benchmark {
             table_b.push_row(rec_b).expect("domain arity");
         }
         let mut rng = StdRng::seed_from_u64(em_rt::derive_seed(seed, u64::MAX));
-        let mut pairs: Vec<LabeledPair> =
-            (0..positives).map(|e| LabeledPair::new(e, e, true)).collect();
+        let mut pairs: Vec<LabeledPair> = (0..positives)
+            .map(|e| LabeledPair::new(e, e, true))
+            .collect();
         // Negatives reference existing rows: same-family cross pairs are the
         // hard ones, cross-family pairs the easy ones. Hard pairs are finite
         // (≈ positives × (FAMILY_SIZE - 1)), so enumerate them exhaustively,
@@ -484,10 +493,8 @@ mod tests {
         for p in &ds.pairs {
             let a = ds.table_a.record(p.pair.left);
             let b = ds.table_b.record(p.pair.right);
-            let (Some(na), Some(nb)) = (
-                a.get(0).to_display_string(),
-                b.get(0).to_display_string(),
-            ) else {
+            let (Some(na), Some(nb)) = (a.get(0).to_display_string(), b.get(0).to_display_string())
+            else {
                 continue;
             };
             let s = jaccard(&na, &nb, Tokenizer::QGram(3));

@@ -3,8 +3,8 @@
 
 use crate::entity::EntityDomain;
 use crate::vocab;
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// Beers: members of a family come from the same brewery.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,7 +29,9 @@ impl EntityDomain for BeerDomain {
         let noun = vocab::pick(vocab::BEER_NOUNS, family * 3 + member % 2);
         let style = vocab::pick(vocab::BEER_STYLES, family + member / 2);
         let name = format!("{brewery} {adj} {noun}");
-        let abv = 4.0 + ((family * 17) % 70) as f64 / 10.0 + member as f64 * 0.1
+        let abv = 4.0
+            + ((family * 17) % 70) as f64 / 10.0
+            + member as f64 * 0.1
             + rng.random_range(0.0..0.1);
         vec![
             Value::Text(name),

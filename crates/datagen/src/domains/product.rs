@@ -15,8 +15,8 @@
 
 use crate::entity::EntityDomain;
 use crate::vocab;
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// Family base price plus a small per-member step, so sibling prices are
 /// confusably close.
@@ -60,7 +60,11 @@ impl EntityDomain for SoftwareDomain {
         let publisher = vocab::pick(vocab::SOFTWARE_PUBLISHERS, family);
         let product = vocab::pick(vocab::SOFTWARE_NAMES, family);
         let version = 3 + family % 9 + member / 2;
-        let edition = if member.is_multiple_of(2) { "standard" } else { "professional" };
+        let edition = if member.is_multiple_of(2) {
+            "standard"
+        } else {
+            "professional"
+        };
         let title = format!("{publisher} {product} {version}.0 {edition}");
         let _ = rng;
         vec![

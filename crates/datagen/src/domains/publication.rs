@@ -5,8 +5,8 @@
 
 use crate::entity::EntityDomain;
 use crate::vocab;
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// Publications: members of a family share a venue and an author cluster
 /// (same research group publishing related papers).
@@ -48,7 +48,11 @@ impl EntityDomain for PublicationDomain {
             }
         }
         let authors = authors.join(", ");
-        let venue = if self.scholar_style { venue_short } else { venue_long };
+        let venue = if self.scholar_style {
+            venue_short
+        } else {
+            venue_long
+        };
         let year = 1998 + (family * 5 + member / 2 + rng.random_range(0..2usize)) % 25;
         vec![
             Value::Text(title),

@@ -3,8 +3,8 @@
 
 use crate::entity::EntityDomain;
 use crate::vocab;
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// Restaurants: members of a family share a city and street, modeling
 /// same-neighborhood confusables.

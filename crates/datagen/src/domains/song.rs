@@ -3,8 +3,8 @@
 
 use crate::entity::EntityDomain;
 use crate::vocab;
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// Songs: members of a family are tracks by the same artist on the same
 /// album — the classic hard-negative structure of music catalogs.

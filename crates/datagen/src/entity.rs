@@ -6,8 +6,8 @@
 //! city tokens, so cross-pairs within a family are *hard negatives* — they
 //! look similar but are different entities.
 
-use em_table::{Schema, Value};
 use em_rt::StdRng;
+use em_table::{Schema, Value};
 
 /// A benchmark domain: schema plus base-record synthesis.
 pub trait EntityDomain: Send + Sync {

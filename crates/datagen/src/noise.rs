@@ -3,8 +3,8 @@
 //! and reordered tokens, missing values, numeric jitter). The intensity knob
 //! is what separates the paper's "easy" and "hard" dataset categories.
 
-use em_table::Value;
 use em_rt::StdRng;
+use em_table::Value;
 
 /// Long-form → short-form rewrites applied at the token level, modeling the
 /// real A/B divergence of the benchmarks ("boulevard" vs "blvd.",
@@ -169,7 +169,11 @@ impl NoiseModel {
             // Round to a "different-looking but same" rendering.
             v = if x.fract() == 0.0 {
                 // Integers drift by one (years, counts).
-                x + if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 }
+                x + if rng.random_range(0.0..1.0) < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
             } else {
                 (v * 100.0).round() / 100.0
             };

@@ -6,22 +6,66 @@
 pub const NAME_HEADS: &[&str] = &[
     "arnie", "arts", "fenix", "katsu", "palm", "grill", "luna", "rose", "golden", "blue",
     "crystal", "royal", "little", "grand", "old", "new", "silver", "iron", "green", "red",
-    "harbor", "sunset", "ocean", "mountain", "river", "garden", "spice", "villa", "casa",
-    "maple", "cedar", "union", "liberty", "empire", "metro", "central", "corner", "urban",
+    "harbor", "sunset", "ocean", "mountain", "river", "garden", "spice", "villa", "casa", "maple",
+    "cedar", "union", "liberty", "empire", "metro", "central", "corner", "urban",
 ];
 
 /// Restaurant / place name tails.
 pub const NAME_TAILS: &[&str] = &[
-    "mortons", "delicatessen", "kitchen", "bistro", "house", "tavern", "cafe", "diner",
-    "grill", "room", "table", "place", "spot", "garden", "club", "bar", "eatery", "canteen",
-    "pavilion", "terrace", "lounge", "corner", "works", "company", "brothers", "palace",
+    "mortons",
+    "delicatessen",
+    "kitchen",
+    "bistro",
+    "house",
+    "tavern",
+    "cafe",
+    "diner",
+    "grill",
+    "room",
+    "table",
+    "place",
+    "spot",
+    "garden",
+    "club",
+    "bar",
+    "eatery",
+    "canteen",
+    "pavilion",
+    "terrace",
+    "lounge",
+    "corner",
+    "works",
+    "company",
+    "brothers",
+    "palace",
 ];
 
 /// Street names for addresses.
 pub const STREETS: &[&str] = &[
-    "la cienega", "ventura", "sunset", "hillhurst", "main", "oak", "elm", "maple", "pine",
-    "washington", "lincoln", "jefferson", "madison", "franklin", "highland", "melrose",
-    "wilshire", "olympic", "pico", "figueroa", "broadway", "spring", "grand", "hope",
+    "la cienega",
+    "ventura",
+    "sunset",
+    "hillhurst",
+    "main",
+    "oak",
+    "elm",
+    "maple",
+    "pine",
+    "washington",
+    "lincoln",
+    "jefferson",
+    "madison",
+    "franklin",
+    "highland",
+    "melrose",
+    "wilshire",
+    "olympic",
+    "pico",
+    "figueroa",
+    "broadway",
+    "spring",
+    "grand",
+    "hope",
 ];
 
 /// Street suffixes (the abbreviation dictionary maps between long and short
@@ -30,9 +74,26 @@ pub const STREET_SUFFIXES: &[&str] = &["boulevard", "street", "avenue", "drive",
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "los angeles", "studio city", "west hollywood", "los feliz", "new york", "brooklyn",
-    "chicago", "san francisco", "oakland", "seattle", "portland", "austin", "boston",
-    "philadelphia", "atlanta", "miami", "denver", "phoenix", "dallas", "houston",
+    "los angeles",
+    "studio city",
+    "west hollywood",
+    "los feliz",
+    "new york",
+    "brooklyn",
+    "chicago",
+    "san francisco",
+    "oakland",
+    "seattle",
+    "portland",
+    "austin",
+    "boston",
+    "philadelphia",
+    "atlanta",
+    "miami",
+    "denver",
+    "phoenix",
+    "dallas",
+    "houston",
 ];
 
 /// Cuisine / venue types. Paired synonym sets model the Figure 1 situation
@@ -52,104 +113,291 @@ pub const CUISINES: &[(&str, &str)] = &[
 
 /// Beer name fragments.
 pub const BEER_ADJECTIVES: &[&str] = &[
-    "hoppy", "golden", "dark", "imperial", "double", "wild", "sour", "smoked", "barrel",
-    "vintage", "hazy", "crisp", "bold", "noble", "rustic", "amber", "midnight", "blonde",
+    "hoppy", "golden", "dark", "imperial", "double", "wild", "sour", "smoked", "barrel", "vintage",
+    "hazy", "crisp", "bold", "noble", "rustic", "amber", "midnight", "blonde",
 ];
 
 /// Beer name nouns.
 pub const BEER_NOUNS: &[&str] = &[
-    "lager", "porter", "stout", "ale", "pilsner", "saison", "dubbel", "tripel", "bock",
-    "wheat", "kolsch", "bitter", "weisse", "gose", "lambic", "barleywine",
+    "lager",
+    "porter",
+    "stout",
+    "ale",
+    "pilsner",
+    "saison",
+    "dubbel",
+    "tripel",
+    "bock",
+    "wheat",
+    "kolsch",
+    "bitter",
+    "weisse",
+    "gose",
+    "lambic",
+    "barleywine",
 ];
 
 /// Brewery name fragments.
 pub const BREWERIES: &[&str] = &[
-    "stone", "anchor", "sierra", "cascade", "ballast", "harpoon", "founders", "bell",
-    "dogfish", "alchemist", "russian river", "tree house", "half acre", "odell", "surly",
-    "deschutes", "allagash", "firestone", "cigar city", "maine beer",
+    "stone",
+    "anchor",
+    "sierra",
+    "cascade",
+    "ballast",
+    "harpoon",
+    "founders",
+    "bell",
+    "dogfish",
+    "alchemist",
+    "russian river",
+    "tree house",
+    "half acre",
+    "odell",
+    "surly",
+    "deschutes",
+    "allagash",
+    "firestone",
+    "cigar city",
+    "maine beer",
 ];
 
 /// Beer styles.
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "imperial stout", "pale ale", "pilsner", "saison", "porter",
-    "hefeweizen", "amber ale", "brown ale", "belgian tripel", "berliner weisse", "gose",
+    "american ipa",
+    "imperial stout",
+    "pale ale",
+    "pilsner",
+    "saison",
+    "porter",
+    "hefeweizen",
+    "amber ale",
+    "brown ale",
+    "belgian tripel",
+    "berliner weisse",
+    "gose",
 ];
 
 /// Artist name fragments for songs.
 pub const ARTISTS: &[&str] = &[
-    "aurora", "midnight", "velvet", "echo", "crimson", "silver", "neon", "atlas", "nova",
-    "ember", "willow", "phoenix", "indigo", "cobalt", "marble", "salt", "golden", "hollow",
+    "aurora", "midnight", "velvet", "echo", "crimson", "silver", "neon", "atlas", "nova", "ember",
+    "willow", "phoenix", "indigo", "cobalt", "marble", "salt", "golden", "hollow",
 ];
 
 /// Song title words.
 pub const SONG_WORDS: &[&str] = &[
-    "love", "night", "dream", "fire", "rain", "heart", "road", "light", "shadow", "dance",
-    "summer", "winter", "ocean", "city", "home", "stars", "forever", "yesterday", "tomorrow",
-    "golden", "broken", "silent", "electric", "wild",
+    "love",
+    "night",
+    "dream",
+    "fire",
+    "rain",
+    "heart",
+    "road",
+    "light",
+    "shadow",
+    "dance",
+    "summer",
+    "winter",
+    "ocean",
+    "city",
+    "home",
+    "stars",
+    "forever",
+    "yesterday",
+    "tomorrow",
+    "golden",
+    "broken",
+    "silent",
+    "electric",
+    "wild",
 ];
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "pop", "rock", "indie", "electronic", "hip-hop", "jazz", "folk", "country", "r&b",
-    "classical", "ambient", "metal",
+    "pop",
+    "rock",
+    "indie",
+    "electronic",
+    "hip-hop",
+    "jazz",
+    "folk",
+    "country",
+    "r&b",
+    "classical",
+    "ambient",
+    "metal",
 ];
 
 /// Research-paper title words.
 pub const PAPER_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "adaptive", "learning", "query", "optimization",
-    "indexing", "streaming", "approximate", "parallel", "incremental", "entity", "matching",
-    "integration", "schema", "mining", "clustering", "classification", "graph", "join",
-    "sampling", "privacy", "crowdsourcing", "probabilistic", "semantic", "knowledge",
+    "efficient",
+    "scalable",
+    "distributed",
+    "adaptive",
+    "learning",
+    "query",
+    "optimization",
+    "indexing",
+    "streaming",
+    "approximate",
+    "parallel",
+    "incremental",
+    "entity",
+    "matching",
+    "integration",
+    "schema",
+    "mining",
+    "clustering",
+    "classification",
+    "graph",
+    "join",
+    "sampling",
+    "privacy",
+    "crowdsourcing",
+    "probabilistic",
+    "semantic",
+    "knowledge",
 ];
 
 /// Research-paper title nouns.
 pub const PAPER_NOUNS: &[&str] = &[
-    "databases", "systems", "networks", "queries", "models", "algorithms", "frameworks",
-    "pipelines", "warehouses", "tables", "records", "indexes", "streams", "engines",
+    "databases",
+    "systems",
+    "networks",
+    "queries",
+    "models",
+    "algorithms",
+    "frameworks",
+    "pipelines",
+    "warehouses",
+    "tables",
+    "records",
+    "indexes",
+    "streams",
+    "engines",
 ];
 
 /// Author first names.
 pub const AUTHOR_FIRST: &[&str] = &[
-    "wei", "jian", "pei", "anhai", "erhard", "felix", "hector", "jennifer", "michael",
-    "rachel", "david", "sanjay", "luis", "xin", "ahmed", "theodoros", "sebastian", "laura",
+    "wei",
+    "jian",
+    "pei",
+    "anhai",
+    "erhard",
+    "felix",
+    "hector",
+    "jennifer",
+    "michael",
+    "rachel",
+    "david",
+    "sanjay",
+    "luis",
+    "xin",
+    "ahmed",
+    "theodoros",
+    "sebastian",
+    "laura",
 ];
 
 /// Author last names.
 pub const AUTHOR_LAST: &[&str] = &[
-    "wang", "zheng", "pei", "doan", "rahm", "naumann", "garcia-molina", "widom", "stonebraker",
-    "koudas", "dewitt", "agrawal", "gravano", "dong", "elmagarmid", "rekatsinas", "schelter",
+    "wang",
+    "zheng",
+    "pei",
+    "doan",
+    "rahm",
+    "naumann",
+    "garcia-molina",
+    "widom",
+    "stonebraker",
+    "koudas",
+    "dewitt",
+    "agrawal",
+    "gravano",
+    "dong",
+    "elmagarmid",
+    "rekatsinas",
+    "schelter",
     "haas",
 ];
 
 /// Publication venues (long and short forms).
 pub const VENUES: &[(&str, &str)] = &[
-    ("proceedings of the acm sigmod international conference on management of data", "sigmod"),
+    (
+        "proceedings of the acm sigmod international conference on management of data",
+        "sigmod",
+    ),
     ("proceedings of the vldb endowment", "pvldb"),
     ("ieee international conference on data engineering", "icde"),
     ("acm transactions on database systems", "tods"),
-    ("international conference on extending database technology", "edbt"),
+    (
+        "international conference on extending database technology",
+        "edbt",
+    ),
     ("conference on information and knowledge management", "cikm"),
 ];
 
 /// Product brand names.
 pub const BRANDS: &[&str] = &[
-    "sony", "samsung", "panasonic", "logitech", "canon", "nikon", "philips", "toshiba",
-    "epson", "brother", "lenovo", "asus", "acer", "jbl", "bose", "garmin", "netgear",
-    "linksys", "sandisk", "kingston",
+    "sony",
+    "samsung",
+    "panasonic",
+    "logitech",
+    "canon",
+    "nikon",
+    "philips",
+    "toshiba",
+    "epson",
+    "brother",
+    "lenovo",
+    "asus",
+    "acer",
+    "jbl",
+    "bose",
+    "garmin",
+    "netgear",
+    "linksys",
+    "sandisk",
+    "kingston",
 ];
 
 /// Product category words.
 pub const PRODUCT_TYPES: &[&str] = &[
-    "wireless mouse", "mechanical keyboard", "noise cancelling headphones", "usb hub",
-    "laser printer", "digital camera", "bluetooth speaker", "portable ssd", "hdmi cable",
-    "wifi router", "fitness tracker", "webcam", "microphone", "monitor", "docking station",
-    "power bank", "memory card", "external drive", "smart bulb", "media streamer",
+    "wireless mouse",
+    "mechanical keyboard",
+    "noise cancelling headphones",
+    "usb hub",
+    "laser printer",
+    "digital camera",
+    "bluetooth speaker",
+    "portable ssd",
+    "hdmi cable",
+    "wifi router",
+    "fitness tracker",
+    "webcam",
+    "microphone",
+    "monitor",
+    "docking station",
+    "power bank",
+    "memory card",
+    "external drive",
+    "smart bulb",
+    "media streamer",
 ];
 
 /// Adjectives for product descriptions (long-text attributes).
 pub const PRODUCT_ADJECTIVES: &[&str] = &[
-    "premium", "compact", "ergonomic", "high-speed", "ultra-slim", "professional",
-    "rechargeable", "portable", "durable", "lightweight", "advanced", "versatile",
+    "premium",
+    "compact",
+    "ergonomic",
+    "high-speed",
+    "ultra-slim",
+    "professional",
+    "rechargeable",
+    "portable",
+    "durable",
+    "lightweight",
+    "advanced",
+    "versatile",
 ];
 
 /// Clause fragments for long product descriptions.
@@ -170,15 +418,38 @@ pub const DESCRIPTION_CLAUSES: &[&str] = &[
 
 /// Software product names.
 pub const SOFTWARE_NAMES: &[&str] = &[
-    "photo studio", "office suite", "antivirus plus", "backup manager", "video editor",
-    "tax preparer", "language tutor", "system optimizer", "password vault", "drawing pad",
-    "music maker", "pdf toolkit", "web designer", "data recovery", "firewall pro",
+    "photo studio",
+    "office suite",
+    "antivirus plus",
+    "backup manager",
+    "video editor",
+    "tax preparer",
+    "language tutor",
+    "system optimizer",
+    "password vault",
+    "drawing pad",
+    "music maker",
+    "pdf toolkit",
+    "web designer",
+    "data recovery",
+    "firewall pro",
 ];
 
 /// Software publishers.
 pub const SOFTWARE_PUBLISHERS: &[&str] = &[
-    "adobe", "microsoft", "corel", "symantec", "intuit", "mcafee", "roxio", "nero",
-    "kaspersky", "avanquest", "broderbund", "individual software", "nova development",
+    "adobe",
+    "microsoft",
+    "corel",
+    "symantec",
+    "intuit",
+    "mcafee",
+    "roxio",
+    "nero",
+    "kaspersky",
+    "avanquest",
+    "broderbund",
+    "individual software",
+    "nova development",
 ];
 
 /// Deterministically pick an item from a pool using an index.

@@ -126,7 +126,11 @@ fn noise_models_keep_values_sane() {
     check(|rng| {
         let text = random_text(rng, 5);
         let number = rng.random_range(-1e4f64..1e4);
-        for model in [NoiseModel::light(), NoiseModel::medium(), NoiseModel::heavy()] {
+        for model in [
+            NoiseModel::light(),
+            NoiseModel::medium(),
+            NoiseModel::heavy(),
+        ] {
             match model.apply_string(&text, rng) {
                 Value::Null => {}
                 Value::Text(t) => assert!(!t.is_empty()),

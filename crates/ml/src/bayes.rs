@@ -88,7 +88,13 @@ impl Classifier for GaussianNb {
             };
             self.class_log_prior.push(prior);
             let mean_c: Vec<f64> = (0..d)
-                .map(|j| if class_w[c] > 0.0 { sums[c][j] / class_w[c] } else { 0.0 })
+                .map(|j| {
+                    if class_w[c] > 0.0 {
+                        sums[c][j] / class_w[c]
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let var_c: Vec<f64> = (0..d).map(|j| raw_vars[c][j] + eps).collect();
             self.means.push(mean_c);
@@ -204,7 +210,12 @@ mod tests {
     #[test]
     fn zero_variance_features_do_not_crash() {
         // Constant feature alongside an informative one.
-        let x = Matrix::from_rows(&[vec![1.0, -1.0], vec![1.0, 1.0], vec![1.0, -1.2], vec![1.0, 1.2]]);
+        let x = Matrix::from_rows(&[
+            vec![1.0, -1.0],
+            vec![1.0, 1.0],
+            vec![1.0, -1.2],
+            vec![1.0, 1.2],
+        ]);
         let y = vec![0, 1, 0, 1];
         let mut nb = GaussianNb::new(GaussianNbParams::default());
         nb.fit(&x, &y, 2, None);

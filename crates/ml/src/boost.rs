@@ -57,6 +57,7 @@ impl AdaBoostClassifier {
 
 impl Classifier for AdaBoostClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
+        let _span = em_obs::span!("adaboost.fit");
         let n = x.nrows();
         self.n_classes = n_classes;
         self.stages.clear();
@@ -215,6 +216,7 @@ fn sigmoid(z: f64) -> f64 {
 
 impl Classifier for GradientBoostingClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
+        let _span = em_obs::span!("gboost.fit");
         assert_eq!(n_classes, 2, "GradientBoostingClassifier is binary-only");
         self.n_classes = 2;
         self.trees.clear();
@@ -262,8 +264,10 @@ impl Classifier for GradientBoostingClassifier {
             };
             let mut tree = DecisionTree::fit_regressor(&xs, &rs, Some(&ws), tree_params);
             // Newton step per leaf: gamma = sum(res) / sum(p (1 - p)).
-            let mut leaf_num: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-            let mut leaf_den: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            let mut leaf_num: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            let mut leaf_den: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
             for (local, &i) in rows.iter().enumerate() {
                 let leaf = tree.apply(xs.row(local));
                 let p = sigmoid(f[i]);

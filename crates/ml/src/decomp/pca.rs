@@ -109,7 +109,9 @@ fn dominant_eigenvector(m: &[Vec<f64>], seed: u64) -> (Vec<f64>, f64) {
     // Deterministic, seed-dependent start vector.
     let mut v: Vec<f64> = (0..d)
         .map(|i| {
-            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            let h = (i as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed);
             ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5 + 1e-3
         })
         .collect();

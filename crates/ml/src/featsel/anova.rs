@@ -123,7 +123,7 @@ mod tests {
         let res = f_classif(&x, &y, 2);
         assert!((res.f_values[0] - 13.5).abs() < 1e-9);
         // p = f_sf(13.5, 1, 4) ~ 0.0213
-        assert!((res.p_values[0] - 0.021_311_641_128_756_857).abs() < 1e-6);
+        assert!((res.p_values[0] - 0.021_311_641_128_756_86).abs() < 1e-6);
     }
 
     #[test]

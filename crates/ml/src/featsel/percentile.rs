@@ -74,7 +74,10 @@ pub fn select_percentile(
     score_func: ScoreFunc,
     percentile: f64,
 ) -> FittedSelector {
-    assert!((0.0..=100.0).contains(&percentile), "percentile out of range");
+    assert!(
+        (0.0..=100.0).contains(&percentile),
+        "percentile out of range"
+    );
     let (scores, _) = score_func.score(x, y, n_classes);
     let d = x.ncols();
     let keep = (((percentile / 100.0) * d as f64).round() as usize).clamp(1, d);
@@ -100,8 +103,16 @@ fn select_top_k(scores: &[f64], k: usize, d: usize) -> FittedSelector {
     // Sort by descending score; NaN scores sink to the end; ties keep the
     // lower index first for determinism.
     order.sort_by(|&a, &b| {
-        let sa = if scores[a].is_nan() { f64::NEG_INFINITY } else { scores[a] };
-        let sb = if scores[b].is_nan() { f64::NEG_INFINITY } else { scores[b] };
+        let sa = if scores[a].is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            scores[a]
+        };
+        let sb = if scores[b].is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            scores[b]
+        };
         sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
     });
     let mut selected: Vec<usize> = order.into_iter().take(k).collect();
@@ -121,10 +132,10 @@ mod tests {
             let c = i % 2;
             let noise = ((i * 13) % 17) as f64 / 17.0;
             rows.push(vec![
-                c as f64,                  // perfectly informative
-                c as f64 + noise,          // informative + noise
-                noise,                     // pure noise
-                0.5,                       // constant
+                c as f64,         // perfectly informative
+                c as f64 + noise, // informative + noise
+                noise,            // pure noise
+                0.5,              // constant
             ]);
             y.push(c);
         }

@@ -40,8 +40,16 @@ pub fn select_rates(
         // Fall back to the single best-scoring feature.
         let best = (0..d)
             .max_by(|&a, &b| {
-                let sa = if scores[a].is_nan() { f64::NEG_INFINITY } else { scores[a] };
-                let sb = if scores[b].is_nan() { f64::NEG_INFINITY } else { scores[b] };
+                let sa = if scores[a].is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    scores[a]
+                };
+                let sb = if scores[b].is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    scores[b]
+                };
                 sa.partial_cmp(&sb).unwrap()
             })
             .unwrap_or(0);
@@ -108,9 +116,15 @@ mod tests {
     #[test]
     fn fdr_between_fwe_and_fpr() {
         let (x, y) = data();
-        let fpr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fpr, 0.05).selected().len();
-        let fdr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fdr, 0.05).selected().len();
-        let fwe = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fwe, 0.05).selected().len();
+        let fpr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fpr, 0.05)
+            .selected()
+            .len();
+        let fdr = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fdr, 0.05)
+            .selected()
+            .len();
+        let fwe = select_rates(&x, &y, 2, ScoreFunc::FClassif, RateMode::Fwe, 0.05)
+            .selected()
+            .len();
         assert!(fwe <= fdr && fdr <= fpr, "fwe={fwe} fdr={fdr} fpr={fpr}");
     }
 

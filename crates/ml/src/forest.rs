@@ -64,6 +64,7 @@ fn fit_trees(
     params: &ForestParams,
     splitter: Splitter,
 ) -> Vec<DecisionTree> {
+    let _span = em_obs::span!("forest.fit");
     let n = x.nrows();
     let n_trees = params.n_estimators.max(1);
     let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
@@ -77,15 +78,17 @@ fn fit_trees(
             max_features: params.max_features,
             splitter,
             min_impurity_decrease: params.min_impurity_decrease,
-            seed: params.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed: params
+                .seed
+                .wrapping_add(t as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
         let tree = if params.bootstrap {
             let mut rng = StdRng::seed_from_u64(tree_params.seed ^ BOOTSTRAP_SALT);
             let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
             let xb = x.select_rows(&idx);
             let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
-            let wb: Option<Vec<f64>> =
-                sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
+            let wb: Option<Vec<f64>> = sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
             DecisionTree::fit_classifier(&xb, &yb, n_classes, wb.as_deref(), tree_params)
         } else {
             DecisionTree::fit_classifier(x, y, n_classes, sample_weight, tree_params)
@@ -288,7 +291,14 @@ impl ExtraTreesClassifier {
 impl Classifier for ExtraTreesClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
         self.n_classes = n_classes;
-        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params, Splitter::Random);
+        self.trees = fit_trees(
+            x,
+            y,
+            n_classes,
+            sample_weight,
+            &self.params,
+            Splitter::Random,
+        );
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
@@ -351,6 +361,7 @@ impl RandomForestRegressor {
 
     /// Fit on continuous targets (trees train on the shared `em-rt` pool).
     pub fn fit(&mut self, x: &Matrix, targets: &[f64]) {
+        let _span = em_obs::span!("forest.fit_regressor");
         let n = x.nrows();
         let n_trees = self.params.n_estimators.max(1);
         let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
@@ -430,7 +441,11 @@ mod tests {
         for i in 0..n {
             let c = i % 2;
             let center = if c == 0 { 0.0 } else { 1.0 };
-            rows.push((0..4).map(|_| center + rng.random_range(-0.3..0.3)).collect());
+            rows.push(
+                (0..4)
+                    .map(|_| center + rng.random_range(-0.3..0.3))
+                    .collect(),
+            );
             y.push(c);
         }
         (Matrix::from_rows(&rows), y)
@@ -588,7 +603,10 @@ mod tests {
         // Fresh data from the same distribution as an oracle comparison.
         let (xt, yt) = clusters(300, 77);
         let holdout = crate::metrics::f1_score(&yt, &rf.predict(&xt));
-        assert!((oob - holdout).abs() < 0.1, "oob {oob} vs holdout {holdout}");
+        assert!(
+            (oob - holdout).abs() < 0.1,
+            "oob {oob} vs holdout {holdout}"
+        );
     }
 
     #[test]
@@ -624,7 +642,10 @@ mod tests {
         rf.fit(&x, &y, 2, None);
         let imp = rf.feature_importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(imp[0] > imp[1] && imp[0] > imp[2] && imp[0] > imp[3], "{imp:?}");
+        assert!(
+            imp[0] > imp[1] && imp[0] > imp[2] && imp[0] > imp[3],
+            "{imp:?}"
+        );
         assert!(imp[0] > 0.5, "{imp:?}");
     }
 

@@ -80,7 +80,8 @@ impl Classifier for KNeighborsClassifier {
                 .enumerate()
                 .map(|(i, t)| (squared_distance(row, t), i))
                 .collect();
-            dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+            dists
+                .select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
             let mut votes = vec![0.0f64; self.n_classes];
             for &(d2, i) in &dists[..k] {
                 let w = match self.params.weights {
@@ -91,7 +92,15 @@ impl Classifier for KNeighborsClassifier {
             }
             let total: f64 = votes.iter().sum();
             for (c, v) in votes.iter().enumerate() {
-                out.set(r, c, if total > 0.0 { v / total } else { 1.0 / self.n_classes as f64 });
+                out.set(
+                    r,
+                    c,
+                    if total > 0.0 {
+                        v / total
+                    } else {
+                        1.0 / self.n_classes as f64
+                    },
+                );
             }
         }
         out
@@ -131,7 +140,10 @@ mod tests {
     #[test]
     fn k_one_memorizes_training_data() {
         let (x, y) = grid();
-        let mut knn = KNeighborsClassifier::new(KnnParams { k: 1, ..KnnParams::default() });
+        let mut knn = KNeighborsClassifier::new(KnnParams {
+            k: 1,
+            ..KnnParams::default()
+        });
         knn.fit(&x, &y, 2, None);
         assert_eq!(knn.predict(&x), y);
     }
@@ -160,7 +172,10 @@ mod tests {
     #[test]
     fn k_larger_than_train_is_clamped() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
-        let mut knn = KNeighborsClassifier::new(KnnParams { k: 50, ..KnnParams::default() });
+        let mut knn = KNeighborsClassifier::new(KnnParams {
+            k: 50,
+            ..KnnParams::default()
+        });
         knn.fit(&x, &[0, 1], 2, None);
         let p = knn.predict_proba(&Matrix::from_rows(&[vec![0.5]]));
         assert!((p.get(0, 0) - 0.5).abs() < 1e-12);

@@ -4,8 +4,8 @@
 
 use crate::matrix::Matrix;
 use crate::Classifier;
-use em_rt::StdRng;
 use em_rt::SliceRandom;
+use em_rt::StdRng;
 
 /// Logistic-regression hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -299,8 +299,14 @@ mod tests {
     #[test]
     fn svm_deterministic() {
         let (x, y) = linear_data(200, 4);
-        let mut a = LinearSvm::new(LinearSvmParams { seed: 5, ..LinearSvmParams::default() });
-        let mut b = LinearSvm::new(LinearSvmParams { seed: 5, ..LinearSvmParams::default() });
+        let mut a = LinearSvm::new(LinearSvmParams {
+            seed: 5,
+            ..LinearSvmParams::default()
+        });
+        let mut b = LinearSvm::new(LinearSvmParams {
+            seed: 5,
+            ..LinearSvmParams::default()
+        });
         a.fit(&x, &y, 2, None);
         b.fit(&x, &y, 2, None);
         assert_eq!(a.predict(&x), b.predict(&x));

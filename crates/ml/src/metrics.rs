@@ -224,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn average_precision_is_bounded(){
+    fn average_precision_is_bounded() {
         let y = vec![1, 0, 1, 0, 0, 1];
         let s = vec![0.7, 0.6, 0.9, 0.3, 0.2, 0.4];
         let ap = average_precision(&y, &s);

@@ -3,8 +3,8 @@
 //! The paper splits each benchmark 4:1 into train/test and then the training
 //! portion 4:1 again into train/validation (§V-A), i.e. 64/16/20 overall.
 
-use em_rt::StdRng;
 use em_rt::SliceRandom;
+use em_rt::StdRng;
 
 /// Shuffle `0..n` deterministically with the given seed.
 pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
@@ -17,7 +17,10 @@ pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
 /// Split `0..n` into two index sets with `test_fraction` of the items in the
 /// second set, after a seeded shuffle.
 pub fn train_test_indices(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction out of range"
+    );
     let idx = shuffled_indices(n, seed);
     let n_test = ((n as f64) * test_fraction).round() as usize;
     let n_test = n_test.min(n);
@@ -32,7 +35,10 @@ pub fn stratified_train_test_indices(
     test_fraction: f64,
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction out of range"
+    );
     let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
     for (i, &c) in y.iter().enumerate() {
@@ -129,7 +135,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        assert_eq!(train_test_indices(50, 0.3, 42), train_test_indices(50, 0.3, 42));
+        assert_eq!(
+            train_test_indices(50, 0.3, 42),
+            train_test_indices(50, 0.3, 42)
+        );
         assert_ne!(
             train_test_indices(50, 0.3, 42).1,
             train_test_indices(50, 0.3, 43).1
@@ -153,8 +162,16 @@ mod tests {
         let y: Vec<usize> = (0..1000).map(|i| usize::from(i % 10 == 0)).collect();
         let s = paper_split(&y, 3);
         assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1000);
-        assert!((s.test.len() as i64 - 200).abs() <= 2, "test {}", s.test.len());
-        assert!((s.valid.len() as i64 - 160).abs() <= 3, "valid {}", s.valid.len());
+        assert!(
+            (s.test.len() as i64 - 200).abs() <= 2,
+            "test {}",
+            s.test.len()
+        );
+        assert!(
+            (s.valid.len() as i64 - 160).abs() <= 3,
+            "valid {}",
+            s.valid.len()
+        );
         // Disjointness.
         let mut all: Vec<usize> = s
             .train

@@ -7,8 +7,8 @@
 //! and the extra-trees "random threshold" splitter.
 
 use crate::matrix::Matrix;
-use em_rt::StdRng;
 use em_rt::SliceRandom;
+use em_rt::StdRng;
 
 /// Split-quality criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +149,11 @@ impl DecisionTree {
         sample_weight: Option<&[f64]>,
         params: TreeParams,
     ) -> Self {
-        assert_ne!(params.criterion, Criterion::Mse, "use fit_regressor for MSE");
+        assert_ne!(
+            params.criterion,
+            Criterion::Mse,
+            "use fit_regressor for MSE"
+        );
         assert_eq!(x.nrows(), y.len(), "X/y length mismatch");
         assert!(!x.has_nan(), "NaN features: impute before fitting trees");
         assert!(y.iter().all(|&c| c < n_classes), "label out of range");
@@ -283,7 +287,11 @@ impl DecisionTree {
                     sum_sq += w[i] * t[i] * t[i];
                 }
                 let mean = if sw > 0.0 { sum / sw } else { 0.0 };
-                let var = if sw > 0.0 { (sum_sq / sw - mean * mean).max(0.0) } else { 0.0 };
+                let var = if sw > 0.0 {
+                    (sum_sq / sw - mean * mean).max(0.0)
+                } else {
+                    0.0
+                };
                 (var, vec![mean])
             }
         }
@@ -314,7 +322,9 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None;
         for &f in &features {
             let candidate = match self.params.splitter {
-                Splitter::Best => self.best_threshold_for(x, target, w, idx, f, parent_imp, total_w),
+                Splitter::Best => {
+                    self.best_threshold_for(x, target, w, idx, f, parent_imp, total_w)
+                }
                 Splitter::Random => {
                     self.random_threshold_for(x, target, w, idx, f, parent_imp, total_w, rng)
                 }
@@ -466,7 +476,11 @@ impl DecisionTree {
                 } => {
                     // NaN goes left by convention.
                     let v = row[*feature];
-                    node = if v <= *threshold || v.is_nan() { *left } else { *right };
+                    node = if v <= *threshold || v.is_nan() {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -723,13 +737,8 @@ mod tests {
             ..TreeParams::default()
         };
         let t = DecisionTree::fit_classifier(&x, &y, 2, None, p);
-        let acc = t
-            .predict(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / y.len() as f64;
+        let acc =
+            t.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.9, "accuracy {acc}");
     }
 

@@ -9,9 +9,7 @@
 use em_ml::featsel::{select_percentile, variance_threshold, ScoreFunc};
 use em_ml::preprocess::{FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer};
 use em_ml::stats::{betainc, chi2_sf, f_sf, ln_gamma};
-use em_ml::{
-    f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier, TreeParams,
-};
+use em_ml::{f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier, TreeParams};
 use em_rt::StdRng;
 
 const CASES: u64 = 64;
@@ -36,7 +34,11 @@ fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
 fn random_matrix(rng: &mut StdRng, max_rows: usize, cols: usize) -> Matrix {
     let rows = rng.random_range(4..max_rows);
     let data: Vec<Vec<f64>> = (0..rows)
-        .map(|_| (0..cols).map(|_| rng.random_range(-100.0f64..100.0)).collect())
+        .map(|_| {
+            (0..cols)
+                .map(|_| rng.random_range(-100.0f64..100.0))
+                .collect()
+        })
         .collect();
     Matrix::from_rows(&data)
 }
@@ -59,7 +61,10 @@ fn scalers_round_trip() {
         for kind in [
             ScalerKind::Standard,
             ScalerKind::MinMax,
-            ScalerKind::Robust { q_min: 25.0, q_max: 75.0 },
+            ScalerKind::Robust {
+                q_min: 25.0,
+                q_max: 75.0,
+            },
         ] {
             let (s, out) = FittedScaler::fit_transform(kind, &x);
             let back = s.inverse_transform(&out);
@@ -153,7 +158,7 @@ fn tree_training_accuracy_is_perfect_without_limits() {
         let keep: Vec<usize> = unique.into_values().collect();
         let xu = x.select_rows(&keep);
         let yu: Vec<usize> = keep.iter().map(|&i| y[i]).collect();
-        if yu.iter().any(|&c| c == 0) && yu.iter().any(|&c| c == 1) {
+        if yu.contains(&0) && yu.contains(&1) {
             let t = em_ml::DecisionTree::fit_classifier(&xu, &yu, 2, None, TreeParams::default());
             assert_eq!(t.predict(&xu), yu);
         }
@@ -169,7 +174,7 @@ fn percentile_selector_respects_bounds() {
         let y = (0..n).map(|i| i % 2).collect::<Vec<_>>();
         let sel = select_percentile(&x, &y, 2, ScoreFunc::FClassif, pct);
         let k = sel.selected().len();
-        assert!(k >= 1 && k <= 5);
+        assert!((1..=5).contains(&k));
         // Selected indices are sorted and unique.
         let mut sorted = sel.selected().to_vec();
         sorted.dedup();

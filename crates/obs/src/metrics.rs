@@ -1,0 +1,125 @@
+//! Domain counters and histograms as `static` items.
+//!
+//! Declaration is `const` so a metric costs nothing until first touched
+//! while tracing is active, at which point it registers itself into the
+//! global flush list:
+//!
+//! ```
+//! static PAIRS_EMITTED: em_obs::Counter = em_obs::Counter::new("blocking.pairs_emitted");
+//! PAIRS_EMITTED.add(42);
+//! ```
+//!
+//! Updates are relaxed atomics behind the crate-wide enabled check; while
+//! tracing is off nothing moves, so a metric's value describes exactly the
+//! traced window.
+
+use crate::write_record;
+use em_rt::stats::LogHistogram;
+use em_rt::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Declare a counter (usable in `static` position).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` (no-op while tracing is off).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS.lock().unwrap().push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 (no-op while tracing is off).
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named log2-bucket histogram (see [`em_rt::stats::LogHistogram`]).
+pub struct Histogram {
+    name: &'static str,
+    inner: LogHistogram,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Declare a histogram (usable in `static` position).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            inner: LogHistogram::new(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Count one observation of `v` (no-op while tracing is off).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            HISTOGRAMS.lock().unwrap().push(self);
+        }
+        self.inner.record(v);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+}
+
+/// Serialize every registered metric. Called from [`flush`](crate::flush).
+pub(crate) fn flush() {
+    for c in COUNTERS.lock().unwrap().iter() {
+        write_record(&Json::obj([
+            ("kind", Json::from("counter")),
+            ("name", Json::from(c.name)),
+            ("value", Json::from(c.value())),
+        ]));
+    }
+    for h in HISTOGRAMS.lock().unwrap().iter() {
+        write_record(&Json::obj([
+            ("kind", Json::from("hist")),
+            ("name", Json::from(h.name)),
+            ("count", Json::from(h.inner.count())),
+            ("p50", h.inner.quantile(0.50).map_or(Json::Null, Json::from)),
+            ("p99", h.inner.quantile(0.99).map_or(Json::Null, Json::from)),
+            (
+                "buckets",
+                Json::arr(h.inner.nonzero_buckets().into_iter().map(|(lower, n)| {
+                    Json::obj([("ge", Json::from(lower)), ("n", Json::from(n))])
+                })),
+            ),
+        ]));
+    }
+}

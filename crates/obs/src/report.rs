@@ -1,0 +1,298 @@
+//! Trace aggregation: turn a JSONL trace back into the tables a human
+//! wants — per-stage time breakdown and pool utilization. The `obs_report`
+//! binary in `em-bench` is a thin CLI over [`parse_trace`] +
+//! [`render_report`]; the logic lives here so it can be unit-tested.
+
+use em_rt::Json;
+use std::collections::HashMap;
+
+/// Parse a JSONL trace (one record per line; blank lines ignored).
+pub fn parse_trace(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| Json::parse(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Human-readable nanosecond duration.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn num(rec: &Json, key: &str) -> f64 {
+    rec.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn kind(rec: &Json) -> &str {
+    rec.get("kind").and_then(Json::as_str).unwrap_or("")
+}
+
+#[derive(Default)]
+struct StageAgg {
+    calls: u64,
+    total_ns: f64,
+    self_ns: f64,
+}
+
+/// Render a full text report from parsed trace records: per-stage time
+/// breakdown (total and self time, spans nest), pool utilization
+/// (busy/idle per worker, queue-wait quantiles), channel traffic, event
+/// counts, and metric values.
+pub fn render_report(records: &[Json]) -> String {
+    let mut out = String::new();
+    let spans: Vec<&Json> = records.iter().filter(|r| kind(r) == "span").collect();
+
+    // ---- header: meta ------------------------------------------------------
+    if let Some(meta) = records.iter().rev().find(|r| kind(r) == "meta") {
+        out.push_str(&format!(
+            "trace: {} records | threads={} available_parallelism={}\n\n",
+            records.len(),
+            num(meta, "threads"),
+            num(meta, "available_parallelism"),
+        ));
+    } else {
+        out.push_str(&format!("trace: {} records\n\n", records.len()));
+    }
+
+    // ---- per-stage breakdown ----------------------------------------------
+    // Self time = a span's duration minus its direct children's durations
+    // (reconstructed from parent ids); totals overlap because spans nest.
+    let wall_ns = {
+        let t0 = spans
+            .iter()
+            .map(|s| num(s, "t0"))
+            .fold(f64::INFINITY, f64::min);
+        let t1 = spans.iter().map(|s| num(s, "t1")).fold(0.0, f64::max);
+        (t1 - t0).max(0.0)
+    };
+    let mut child_ns: HashMap<u64, f64> = HashMap::new();
+    for s in &spans {
+        let parent = num(s, "parent") as u64;
+        if parent != 0 {
+            *child_ns.entry(parent).or_default() += num(s, "t1") - num(s, "t0");
+        }
+    }
+    let mut stages: HashMap<&str, StageAgg> = HashMap::new();
+    for s in &spans {
+        let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+        let dur = num(s, "t1") - num(s, "t0");
+        let own = (dur - child_ns.get(&(num(s, "id") as u64)).copied().unwrap_or(0.0)).max(0.0);
+        let agg = stages.entry(name).or_default();
+        agg.calls += 1;
+        agg.total_ns += dur;
+        agg.self_ns += own;
+    }
+    if stages.is_empty() {
+        out.push_str("no span records (was the trace flushed?)\n");
+    } else {
+        out.push_str(&format!(
+            "== per-stage time breakdown (span wall {} ) ==\n",
+            fmt_ns(wall_ns)
+        ));
+        out.push_str(&format!(
+            "{:<32} {:>7} {:>12} {:>12} {:>12} {:>7}\n",
+            "stage", "calls", "total", "mean", "self", "self%"
+        ));
+        let mut rows: Vec<(&str, StageAgg)> = stages.into_iter().collect();
+        rows.sort_by(|a, b| b.1.self_ns.total_cmp(&a.1.self_ns));
+        for (name, agg) in rows {
+            let pct = if wall_ns > 0.0 {
+                100.0 * agg.self_ns / wall_ns
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<32} {:>7} {:>12} {:>12} {:>12} {:>6.1}%\n",
+                name,
+                agg.calls,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.total_ns / agg.calls as f64),
+                fmt_ns(agg.self_ns),
+                pct
+            ));
+        }
+    }
+
+    // ---- pool utilization --------------------------------------------------
+    if let Some(pool) = records.iter().rev().find(|r| kind(r) == "pool") {
+        out.push_str(&format!(
+            "\n== pool utilization ==\nworkers={} jobs={} inline_sections={} chunks_claimed={}\n",
+            num(pool, "workers"),
+            num(pool, "jobs"),
+            num(pool, "inline_sections"),
+            num(pool, "chunks_claimed"),
+        ));
+        if let Some(qw) = pool.get("queue_wait_ns") {
+            out.push_str(&format!(
+                "queue wait: n={} p50={} p99={}\n",
+                num(qw, "count"),
+                fmt_ns(num(qw, "p50")),
+                fmt_ns(num(qw, "p99")),
+            ));
+        }
+        if let Some(busy) = pool.get("busy").and_then(Json::as_arr) {
+            if !busy.is_empty() && wall_ns > 0.0 {
+                out.push_str(&format!(
+                    "{:<12} {:>12} {:>7} {:>12}\n",
+                    "thread", "busy", "busy%", "idle"
+                ));
+                for b in busy {
+                    let ns = num(b, "busy_ns");
+                    out.push_str(&format!(
+                        "{:<12} {:>12} {:>6.1}% {:>12}\n",
+                        b.get("thread").and_then(Json::as_str).unwrap_or("?"),
+                        fmt_ns(ns),
+                        100.0 * ns / wall_ns,
+                        fmt_ns((wall_ns - ns).max(0.0)),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- channel traffic ---------------------------------------------------
+    if let Some(ch) = records.iter().rev().find(|r| kind(r) == "channel") {
+        let sends = num(ch, "sends");
+        if sends > 0.0 {
+            out.push_str(&format!(
+                "\n== channel traffic ==\nsends={} recvs={}",
+                sends,
+                num(ch, "recvs")
+            ));
+            if let Some(rw) = ch.get("recv_wait_ns") {
+                out.push_str(&format!(
+                    " | recv blocked: n={} p50={} p99={}",
+                    num(rw, "count"),
+                    fmt_ns(num(rw, "p50")),
+                    fmt_ns(num(rw, "p99")),
+                ));
+            }
+            out.push('\n');
+        }
+    }
+
+    // ---- events ------------------------------------------------------------
+    let mut event_counts: HashMap<&str, u64> = HashMap::new();
+    for r in records {
+        if kind(r) == "event" {
+            *event_counts
+                .entry(r.get("event").and_then(Json::as_str).unwrap_or("?"))
+                .or_default() += 1;
+        }
+    }
+    if !event_counts.is_empty() {
+        out.push_str("\n== events ==\n");
+        let mut rows: Vec<(&str, u64)> = event_counts.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, n) in rows {
+            out.push_str(&format!("{name:<32} {n:>7}\n"));
+        }
+        // The incumbent trajectory, if the trace carries one.
+        let incumbents: Vec<&Json> = records
+            .iter()
+            .filter(|r| {
+                kind(r) == "event"
+                    && r.get("event").and_then(Json::as_str) == Some("search.incumbent")
+            })
+            .collect();
+        if let Some(last) = incumbents.last() {
+            out.push_str(&format!(
+                "search: {} incumbent update(s), best score {:.6} at trial {}\n",
+                incumbents.len(),
+                num(last, "score"),
+                num(last, "trial"),
+            ));
+        }
+    }
+
+    // ---- metrics -----------------------------------------------------------
+    let counters: Vec<&Json> = records.iter().filter(|r| kind(r) == "counter").collect();
+    let hists: Vec<&Json> = records.iter().filter(|r| kind(r) == "hist").collect();
+    if !counters.is_empty() || !hists.is_empty() {
+        out.push_str("\n== metrics ==\n");
+        for c in counters {
+            out.push_str(&format!(
+                "{:<32} {:>12}\n",
+                c.get("name").and_then(Json::as_str).unwrap_or("?"),
+                num(c, "value"),
+            ));
+        }
+        for h in hists {
+            out.push_str(&format!(
+                "{:<32} n={} p50={} p99={}\n",
+                h.get("name").and_then(Json::as_str).unwrap_or("?"),
+                num(h, "count"),
+                num(h, "p50"),
+                num(h, "p99"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> String {
+        [
+            r#"{"kind":"thread","id":0,"name":"main"}"#,
+            r#"{"kind":"span","name":"pipeline.fit","id":1,"parent":0,"t0":0,"t1":1000,"thread":0}"#,
+            r#"{"kind":"span","name":"forest.fit","id":2,"parent":1,"t0":100,"t1":900,"thread":0}"#,
+            r#"{"kind":"span","name":"forest.fit","id":3,"parent":0,"t0":1000,"t1":1400,"thread":0}"#,
+            r#"{"kind":"event","event":"search.incumbent","t":950,"thread":0,"trial":3,"score":0.875}"#,
+            r#"{"kind":"counter","name":"blocking.pairs_emitted","value":1234}"#,
+            r#"{"kind":"pool","jobs":7,"inline_sections":2,"chunks_claimed":40,"workers":3,"queue_wait_ns":{"count":21,"buckets":[],"p50":512,"p99":4096},"busy":[{"thread":"worker-0","busy_ns":700}]}"#,
+            r#"{"kind":"channel","sends":16,"recvs":16,"recv_wait_ns":{"count":4,"buckets":[],"p50":1024,"p99":8192}}"#,
+            r#"{"kind":"meta","t":1500,"threads":4,"available_parallelism":8}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parses_jsonl_and_reports_line_numbers_on_errors() {
+        let records = parse_trace(&trace()).unwrap();
+        assert_eq!(records.len(), 9);
+        let err = parse_trace("{\"ok\":1}\n\nnot json").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn report_aggregates_stages_with_self_time() {
+        let records = parse_trace(&trace()).unwrap();
+        let report = render_report(&records);
+        // forest.fit: two calls, total 1200, all self time.
+        assert!(report.contains("forest.fit"), "{report}");
+        // pipeline.fit: 1000 total but only 200 self (forest.fit nested).
+        let pipeline_row = report
+            .lines()
+            .find(|l| l.starts_with("pipeline.fit"))
+            .expect("pipeline row");
+        assert!(pipeline_row.contains("200 ns"), "{pipeline_row}");
+        assert!(report.contains("== pool utilization =="), "{report}");
+        assert!(
+            report.contains("workers=7") || report.contains("workers=3"),
+            "{report}"
+        );
+        assert!(report.contains("search: 1 incumbent update(s)"), "{report}");
+        assert!(report.contains("blocking.pairs_emitted"), "{report}");
+        assert!(report.contains("sends=16"), "{report}");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 us");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.20 s");
+    }
+}

@@ -1,0 +1,158 @@
+//! Hierarchical spans with per-thread shard buffers.
+//!
+//! A [`SpanGuard`] stamps a monotonic begin time on construction and pushes
+//! a finished record on drop into the *current thread's* shard — an
+//! `Arc<Mutex<Vec<SpanRec>>>` that only this thread ever locks on the hot
+//! path (the global registry holds the other reference, touched only at
+//! flush time and on the rare shard overflow drain). Parent/child nesting
+//! is tracked with a thread-local cell holding the innermost open span id.
+//!
+//! Span ids are allocated from a global counter and are observational only:
+//! nothing reads them back into computation, so their (scheduling-
+//! dependent) allocation order cannot perturb determinism.
+
+use crate::write_record;
+use em_rt::stats::now_ns;
+use em_rt::Json;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Records buffered per thread before an eager drain to the sink. Bounds
+/// memory for span-heavy runs without a flush call.
+const SHARD_DRAIN_LEN: usize = 4096;
+
+struct SpanRec {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    t0: u64,
+    t1: u64,
+}
+
+type Shard = Arc<Mutex<Vec<SpanRec>>>;
+
+struct ThreadEntry {
+    tid: u64,
+    name: String,
+    shard: Shard,
+}
+
+static REGISTRY: Mutex<Vec<ThreadEntry>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// 0 is reserved as "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LOCAL: (u64, Shard) = register_thread();
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn register_thread() -> (u64, Shard) {
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let shard: Shard = Arc::new(Mutex::new(Vec::new()));
+    let name = std::thread::current()
+        .name()
+        .unwrap_or("unnamed")
+        .to_string();
+    REGISTRY.lock().unwrap().push(ThreadEntry {
+        tid,
+        name,
+        shard: Arc::clone(&shard),
+    });
+    (tid, shard)
+}
+
+/// Stable small integer identifying the calling thread in trace records
+/// (`"kind":"thread"` records map it to the thread's name at flush).
+pub fn thread_id() -> u64 {
+    LOCAL.with(|(tid, _)| *tid)
+}
+
+/// RAII span: times `[begin, drop)` and records nesting. Construct through
+/// the [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    name: &'static str,
+    id: u64,
+    prev: u64,
+    t0: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span (inactive and free when tracing is off).
+    pub fn begin(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard {
+                name,
+                id: 0,
+                prev: 0,
+                t0: 0,
+                active: false,
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_PARENT.with(|c| c.replace(id));
+        SpanGuard {
+            name,
+            id,
+            prev,
+            t0: now_ns(),
+            active: true,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let t1 = now_ns();
+        CURRENT_PARENT.with(|c| c.set(self.prev));
+        LOCAL.with(|(tid, shard)| {
+            let mut buf = shard.lock().unwrap();
+            buf.push(SpanRec {
+                name: self.name,
+                id: self.id,
+                parent: self.prev,
+                t0: self.t0,
+                t1,
+            });
+            if buf.len() >= SHARD_DRAIN_LEN {
+                let drained: Vec<SpanRec> = buf.drain(..).collect();
+                drop(buf);
+                write_span_records(*tid, &drained);
+            }
+        });
+    }
+}
+
+fn write_span_records(tid: u64, records: &[SpanRec]) {
+    for r in records {
+        write_record(&Json::obj([
+            ("kind", Json::from("span")),
+            ("name", Json::from(r.name)),
+            ("id", Json::from(r.id)),
+            ("parent", Json::from(r.parent)),
+            ("t0", Json::from(r.t0)),
+            ("t1", Json::from(r.t1)),
+            ("thread", Json::from(tid)),
+        ]));
+    }
+}
+
+/// Drain every thread's shard into the sink, preceded by `thread` records
+/// mapping ids to names. Called from [`flush`](crate::flush).
+pub(crate) fn flush_shards() {
+    let registry = REGISTRY.lock().unwrap();
+    for entry in registry.iter() {
+        write_record(&Json::obj([
+            ("kind", Json::from("thread")),
+            ("id", Json::from(entry.tid)),
+            ("name", Json::from(entry.name.as_str())),
+        ]));
+        let drained: Vec<SpanRec> = entry.shard.lock().unwrap().drain(..).collect();
+        write_span_records(entry.tid, &drained);
+    }
+}

@@ -1,9 +1,11 @@
-//! A minimal JSON value and writer — just enough for the benchmark and
-//! experiment binaries to emit machine-readable results without `serde`.
+//! A minimal JSON value, writer, and parser — just enough for the benchmark
+//! and experiment binaries to emit machine-readable results without `serde`,
+//! and for `obs_report` to read JSONL traces back.
 //!
 //! Construction is by hand (`Json::obj`, `Json::arr`, `From` impls);
 //! rendering escapes strings per RFC 8259 and prints numbers with enough
-//! precision to round-trip `f64`.
+//! precision to round-trip `f64`. [`Json::parse`] is a strict recursive
+//! descent over the same grammar.
 
 /// A JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +47,51 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, Some(indent), 0);
         out
+    }
+
+    /// Parse a JSON document. Rejects trailing garbage; numbers parse as
+    /// `f64` (the only numeric type this value carries).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -127,6 +174,148 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected `\"` at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid).
+                let rest = &bytes[*pos..];
+                let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
 impl From<bool> for Json {
     fn from(b: bool) -> Json {
         Json::Bool(b)
@@ -191,10 +380,7 @@ mod tests {
 
     #[test]
     fn escapes_strings() {
-        assert_eq!(
-            Json::from("a\"b\\c\nd").render(),
-            "\"a\\\"b\\\\c\\nd\""
-        );
+        assert_eq!(Json::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
     }
 
@@ -222,5 +408,48 @@ mod tests {
         let v = 0.1 + 0.2;
         let rendered = Json::from(v).render();
         assert_eq!(rendered.parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj([
+            ("name", Json::from("forest.fit \"quoted\"\n")),
+            ("t0", Json::from(123456789usize)),
+            ("score", Json::from(-0.5e-3)),
+            (
+                "tags",
+                Json::arr([Json::Null, Json::from(true), Json::from(false)]),
+            ),
+            ("nested", Json::obj([("empty_arr", Json::Arr(vec![]))])),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_pretty(2)).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = Json::parse(r#"{"s": "aA\n\t\\ é"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "aA\n\t\\ é");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("truex").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Json::parse(r#"{"kind":"span","t0":5,"xs":[1,2]}"#).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("t0").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("kind").is_none());
     }
 }

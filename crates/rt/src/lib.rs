@@ -18,8 +18,11 @@
 //!   for coordinator/worker protocols such as the async SMBO scheduler.
 //! * [`sync`] — `parking_lot`-flavored wrappers over `std::sync` (a
 //!   [`sync::Mutex`] whose `lock()` returns the guard directly).
-//! * [`json`] — a minimal JSON value/writer for benchmark and experiment
-//!   output, standing in for `serde`.
+//! * [`json`] — a minimal JSON value/writer/parser for benchmark and
+//!   experiment output, standing in for `serde`.
+//! * [`stats`] — lock-free self-instrumentation (pool queue-wait, per-worker
+//!   busy time, channel traffic) behind a relaxed-atomic enable flag, plus
+//!   the process-wide monotonic timebase `em-obs` builds its traces on.
 //!
 //! Everything is plain `std`; the workspace builds with no registry access.
 
@@ -27,6 +30,7 @@ pub mod channel;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod stats;
 pub mod sync;
 
 pub use channel::{channel, Receiver, Sender};

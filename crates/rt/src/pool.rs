@@ -21,6 +21,7 @@
 //! batch) simply runs inline on the calling thread, which is already one of
 //! the saturating workers.
 
+use crate::stats;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
@@ -73,6 +74,10 @@ struct PoolState {
     remaining: usize,
     /// Set when any participant panicked; the submitter re-panics.
     panicked: bool,
+    /// When the current job was published (stats timebase ns; 0 when stats
+    /// are off). Observed by workers to report queue-wait; never read by
+    /// scheduling logic.
+    publish_ns: u64,
 }
 
 struct Shared {
@@ -99,6 +104,7 @@ fn pool() -> &'static Pool {
                 epoch: 0,
                 remaining: 0,
                 panicked: false,
+                publish_ns: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -106,7 +112,7 @@ fn pool() -> &'static Pool {
         for i in 0..n_workers {
             std::thread::Builder::new()
                 .name(format!("em-rt-{i}"))
-                .spawn(move || worker_loop(shared))
+                .spawn(move || worker_loop(shared, i))
                 .expect("spawn em-rt worker");
         }
         Pool {
@@ -117,21 +123,31 @@ fn pool() -> &'static Pool {
     })
 }
 
-fn worker_loop(shared: &'static Shared) {
+fn worker_loop(shared: &'static Shared, index: usize) {
     let mut seen_epoch = 0usize;
     loop {
-        let job = {
+        let (job, publish_ns) = {
             let mut st = shared.state.lock().unwrap();
             while st.epoch == seen_epoch || st.job.is_none() {
                 st = shared.work.wait(st).unwrap();
             }
             seen_epoch = st.epoch;
-            st.job.expect("job present at fresh epoch")
+            (st.job.expect("job present at fresh epoch"), st.publish_ns)
+        };
+        let start_ns = if stats::enabled() {
+            let now = stats::now_ns();
+            stats::QUEUE_WAIT_NS.record(now.saturating_sub(publish_ns));
+            now
+        } else {
+            0
         };
         // Run the (lifetime-erased) job body; the submitter is blocked on
         // `done` until we decrement `remaining`, keeping the closure alive.
         let body = unsafe { &*job.f };
         let outcome = catch_unwind(AssertUnwindSafe(body));
+        if start_ns != 0 {
+            stats::add_busy_ns(Some(index), stats::now_ns().saturating_sub(start_ns));
+        }
         let mut st = shared.state.lock().unwrap();
         if outcome.is_err() {
             st.panicked = true;
@@ -155,14 +171,20 @@ impl Pool {
                 std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync)>(body)
             },
         };
+        let stats_on = stats::enabled();
         {
             let mut st = self.shared.state.lock().unwrap();
             st.job = Some(raw);
             st.epoch = st.epoch.wrapping_add(1);
             st.remaining = self.n_workers;
+            st.publish_ns = if stats_on { stats::now_ns() } else { 0 };
             self.shared.work.notify_all();
         }
+        let own_start = if stats_on { stats::now_ns() } else { 0 };
         let own = catch_unwind(AssertUnwindSafe(body));
+        if stats_on {
+            stats::add_busy_ns(None, stats::now_ns().saturating_sub(own_start));
+        }
         let mut st = self.shared.state.lock().unwrap();
         while st.remaining > 0 {
             st = self.shared.done.wait(st).unwrap();
@@ -209,23 +231,32 @@ pub fn parallel_for_chunked<F: Fn(usize) + Sync>(n: usize, jobs: usize, chunk: u
     }
     let jobs = effective_jobs(jobs).min(n);
     let p = pool();
+    let stats_on = stats::enabled();
     if jobs <= 1 || p.n_workers == 0 {
+        if stats_on {
+            stats::POOL_INLINE.fetch_add(1, Ordering::Relaxed);
+        }
         for i in 0..n {
             f(i);
         }
         return;
     }
-    if p
-        .busy
+    if p.busy
         .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
     {
         // Pool occupied: nested section (or a concurrent top-level one).
         // The machine is already saturated — run inline.
+        if stats_on {
+            stats::POOL_INLINE.fetch_add(1, Ordering::Relaxed);
+        }
         for i in 0..n {
             f(i);
         }
         return;
+    }
+    if stats_on {
+        stats::POOL_JOBS.fetch_add(1, Ordering::Relaxed);
     }
     let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
@@ -239,6 +270,9 @@ pub fn parallel_for_chunked<F: Fn(usize) + Sync>(n: usize, jobs: usize, chunk: u
             let start = next.fetch_add(chunk, Ordering::Relaxed);
             if start >= n {
                 break;
+            }
+            if stats_on {
+                stats::POOL_CHUNKS.fetch_add(1, Ordering::Relaxed);
             }
             let end = (start + chunk).min(n);
             for i in start..end {

@@ -14,7 +14,9 @@ impl<T> Mutex<T> {
 
     /// Acquire the lock, recovering from poisoning.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Consume the mutex, returning the inner value.
@@ -37,7 +39,9 @@ impl<T> RwLock<T> {
 
     /// Acquire a shared read guard.
     pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Acquire an exclusive write guard.

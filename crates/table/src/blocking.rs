@@ -16,6 +16,9 @@ use crate::pairs::RecordPair;
 use crate::table::Table;
 use std::collections::HashMap;
 
+/// Candidate pairs emitted by blocking (all blockers, traced runs only).
+static PAIRS_EMITTED: em_obs::Counter = em_obs::Counter::new("blocking.pairs_emitted");
+
 /// A blocker produces the candidate pairs the matcher will score.
 pub trait Blocker {
     /// Generate candidate pairs between tables `a` and `b`.
@@ -39,6 +42,16 @@ const SHARD_SIZE: usize = 256;
 /// sharded over the pool, and return the concatenation of all shard buffers
 /// in record order — exactly the serial output, for any `jobs`.
 fn sharded_probe<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
+where
+    F: Fn(usize, &mut Vec<RecordPair>) + Sync,
+{
+    let _span = em_obs::span!("blocking.candidates");
+    let out = sharded_probe_inner(n_left, jobs, probe);
+    PAIRS_EMITTED.add(out.len() as u64);
+    out
+}
+
+fn sharded_probe_inner<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
 where
     F: Fn(usize, &mut Vec<RecordPair>) + Sync,
 {

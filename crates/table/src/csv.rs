@@ -202,9 +202,13 @@ mod tests {
         let dir = std::env::temp_dir().join("em_table_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
-        std::fs::write(&path, "name,price
+        std::fs::write(
+            &path,
+            "name,price
 widget,9.5
-").unwrap();
+",
+        )
+        .unwrap();
         let t = crate::read_csv_file(&path).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.cell(0, 1), &Value::Number(9.5));

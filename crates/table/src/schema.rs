@@ -23,7 +23,11 @@ impl Schema {
             .collect();
         let mut seen = std::collections::BTreeSet::new();
         for a in &attrs {
-            assert!(seen.insert(a.name.clone()), "duplicate attribute {}", a.name);
+            assert!(
+                seen.insert(a.name.clone()),
+                "duplicate attribute {}",
+                a.name
+            );
         }
         Schema { attrs }
     }

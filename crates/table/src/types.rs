@@ -151,9 +151,15 @@ mod tests {
 
     #[test]
     fn string_buckets() {
-        assert_eq!(col(&[Value::Text("fenix".into())]), AttrType::SingleWordString);
         assert_eq!(
-            col(&[Value::Text("arts deli".into()), Value::Text("the palm".into())]),
+            col(&[Value::Text("fenix".into())]),
+            AttrType::SingleWordString
+        );
+        assert_eq!(
+            col(&[
+                Value::Text("arts deli".into()),
+                Value::Text("the palm".into())
+            ]),
             AttrType::ShortString
         );
         let medium = "one two three four five six seven";

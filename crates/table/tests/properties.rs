@@ -36,8 +36,7 @@ fn check_cases(cases: u64, f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) 
 /// CSV-safe-ish field content, including characters that need quoting
 /// (the old `[a-zA-Z0-9 ,"']{0,12}` strategy).
 fn field(rng: &mut StdRng) -> String {
-    const ALPHABET: &[u8] =
-        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,\"'";
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,\"'";
     let len = rng.random_range(0..=12usize);
     (0..len)
         .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
@@ -111,7 +110,9 @@ fn type_inference_is_permutation_invariant() {
 fn attr_blocker_candidates_have_equal_keys() {
     check(|rng| {
         let t = random_table(rng);
-        let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
+        let blocker = AttrEquivalenceBlocker {
+            attribute: "c0".into(),
+        };
         for pair in blocker.candidates(&t, &t) {
             let ka = t.record(pair.left).get(0).to_display_string();
             let kb = t.record(pair.right).get(0).to_display_string();
@@ -124,7 +125,9 @@ fn attr_blocker_candidates_have_equal_keys() {
 fn attr_blocker_includes_the_diagonal_for_non_null_keys() {
     check(|rng| {
         let t = random_table(rng);
-        let blocker = AttrEquivalenceBlocker { attribute: "c0".into() };
+        let blocker = AttrEquivalenceBlocker {
+            attribute: "c0".into(),
+        };
         let cands: std::collections::HashSet<(usize, usize)> = blocker
             .candidates(&t, &t)
             .into_iter()
@@ -173,7 +176,9 @@ fn parallel_blocking_matches_serial_exactly() {
             attribute: "key".into(),
             min_overlap: rng.random_range(1..=2usize),
         };
-        let equiv = AttrEquivalenceBlocker { attribute: "key".into() };
+        let equiv = AttrEquivalenceBlocker {
+            attribute: "key".into(),
+        };
         for blocker in [&overlap as &dyn Blocker, &equiv] {
             let serial = blocker.candidates_with_jobs(&a, &b, 1);
             for jobs in [2, 3, 8] {
@@ -191,7 +196,10 @@ fn parallel_blocking_neither_drops_nor_duplicates_pairs() {
         let rows_b = rng.random_range(1..=60usize);
         let a = random_blocking_table(rng, rows_a);
         let b = random_blocking_table(rng, rows_b);
-        let blocker = OverlapBlocker { attribute: "key".into(), min_overlap: 1 };
+        let blocker = OverlapBlocker {
+            attribute: "key".into(),
+            min_overlap: 1,
+        };
         let parallel = blocker.candidates_with_jobs(&a, &b, 8);
         // No pair duplicated across chunk boundaries...
         let unique: std::collections::HashSet<(usize, usize)> =
@@ -209,14 +217,29 @@ fn overlap_blocker_is_sound() {
     check(|rng| {
         let t = random_table(rng);
         let min_overlap = rng.random_range(1..3usize);
-        let blocker = OverlapBlocker { attribute: "c0".into(), min_overlap };
+        let blocker = OverlapBlocker {
+            attribute: "c0".into(),
+            min_overlap,
+        };
         for pair in blocker.candidates(&t, &t) {
-            let ka = t.record(pair.left).get(0).to_display_string().unwrap_or_default();
-            let kb = t.record(pair.right).get(0).to_display_string().unwrap_or_default();
-            let sa: std::collections::HashSet<String> =
-                ka.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
-            let sb: std::collections::HashSet<String> =
-                kb.split_whitespace().map(|w| w.to_ascii_lowercase()).collect();
+            let ka = t
+                .record(pair.left)
+                .get(0)
+                .to_display_string()
+                .unwrap_or_default();
+            let kb = t
+                .record(pair.right)
+                .get(0)
+                .to_display_string()
+                .unwrap_or_default();
+            let sa: std::collections::HashSet<String> = ka
+                .split_whitespace()
+                .map(|w| w.to_ascii_lowercase())
+                .collect();
+            let sb: std::collections::HashSet<String> = kb
+                .split_whitespace()
+                .map(|w| w.to_ascii_lowercase())
+                .collect();
             assert!(sa.intersection(&sb).count() >= min_overlap);
         }
     });

@@ -10,7 +10,7 @@
 //! ```
 
 use automl_em::{
-    ActiveConfig, AutoMlEm, AutoMlEmOptions, AutoMlEmActive, FeatureScheme, GroundTruthOracle,
+    ActiveConfig, AutoMlEm, AutoMlEmActive, AutoMlEmOptions, FeatureScheme, GroundTruthOracle,
     PreparedDataset,
 };
 use em_automl::Budget;
@@ -27,7 +27,10 @@ fn main() {
     let x_pool = prepared.features.select_rows(&pool_idx);
     let pool_truth: Vec<usize> = pool_idx.iter().map(|&i| prepared.labels[i]).collect();
 
-    for (label, st_batch) in [("plain active learning (st_batch = 0)", 0), ("AutoML-EM-Active (st_batch = 100)", 100)] {
+    for (label, st_batch) in [
+        ("plain active learning (st_batch = 0)", 0),
+        ("AutoML-EM-Active (st_batch = 100)", 100),
+    ] {
         println!("== {label} ==");
         let config = ActiveConfig {
             init_size: 100,

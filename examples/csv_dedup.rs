@@ -9,8 +9,8 @@
 //! ```
 
 use automl_em::{EmPipelineConfig, FeatureGenerator, FeatureScheme};
-use em_table::{infer_pair_types, parse_csv, Blocker, OverlapBlocker, RecordPair};
 use em_ml::Matrix;
+use em_table::{infer_pair_types, parse_csv, Blocker, OverlapBlocker, RecordPair};
 
 const TABLE_A: &str = "\
 name,address,city,type

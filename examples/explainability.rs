@@ -20,7 +20,10 @@ fn main() {
         seed: 5,
         ..Default::default()
     });
-    println!("fitted AutoML-EM on {} (test F1 = {test_f1:.3})\n", prepared.name);
+    println!(
+        "fitted AutoML-EM on {} (test F1 = {test_f1:.3})\n",
+        prepared.name
+    );
 
     // 1. Native impurity importances, mapped to named similarity features.
     let names = prepared.generator.feature_names();
@@ -36,7 +39,9 @@ fn main() {
 
     // 2. Model-agnostic permutation importances on the validation split.
     let (xv, yv) = prepared.valid();
-    let perm = result.fitted.permutation_importances(&xv, &yv, &names, 2, 5);
+    let perm = result
+        .fitted
+        .permutation_importances(&xv, &yv, &names, 2, 5);
     println!("\ntop features by permutation importance (F1 drop when shuffled):");
     for (name, score) in perm.top(5) {
         println!("  {score:>7.4}  {name}");

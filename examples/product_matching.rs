@@ -46,8 +46,7 @@ fn main() {
 
     println!("\n== matching: Magellan features + default random forest ==");
     let prep_magellan = PreparedDataset::prepare(&dataset, FeatureScheme::Magellan, 7);
-    let baseline_f1 =
-        prep_magellan.run_fixed_pipeline(&EmPipelineConfig::default_random_forest(7));
+    let baseline_f1 = prep_magellan.run_fixed_pipeline(&EmPipelineConfig::default_random_forest(7));
     println!(
         "Magellan scheme: {} features, default-RF test F1 = {baseline_f1:.3}",
         prep_magellan.generator.n_features()

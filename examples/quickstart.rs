@@ -58,4 +58,5 @@ fn main() {
         "first five match probabilities on held-out pairs: {:?}",
         &proba[..5.min(proba.len())]
     );
+    em_obs::flush();
 }

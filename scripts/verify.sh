@@ -7,6 +7,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Serialize every cargo invocation in this script against concurrent runs.
+# Parallel `cargo test`/`cargo build` processes sharing one `target/` race on
+# build artifacts (doctest binaries in particular), which shows up as flaky
+# "No such file or directory" doctest failures. An exclusive flock on a file
+# next to target/ makes the whole verification critical-section.
+mkdir -p target
+exec 9>target/.verify.lock
+if command -v flock >/dev/null 2>&1; then
+    flock 9
+fi
+
 echo "== checking that all workspace dependencies are path-only =="
 # Inside any [dependencies]-like section, a quoted version number (e.g.
 # `rand = "0.10"` or `version = "1"`) means a registry lookup; every entry
@@ -22,6 +33,12 @@ if ! awk '
     exit 1
 fi
 echo "ok: all dependencies are path-only"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace

@@ -6,8 +6,8 @@ use automl_em::{
     PreparedDataset,
 };
 use em_data::Benchmark;
-use em_ml::{f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier};
 use em_ml::preprocess::{ImputeStrategy, SimpleImputer};
+use em_ml::{f1_score, Classifier, ForestParams, Matrix, RandomForestClassifier};
 
 struct Pool {
     x: Matrix,
@@ -107,10 +107,8 @@ fn self_training_beats_plain_active_learning_downstream() {
         let pool = pool_for(Benchmark::AmazonGoogle, 0.2, 10 + seed);
         let mut oracle_ac = GroundTruthOracle::from_classes(&pool.truth);
         let mut oracle_st = GroundTruthOracle::from_classes(&pool.truth);
-        let ac_run =
-            AutoMlEmActive::new(config(150, 8, 0, 10, seed)).run(&pool.x, &mut oracle_ac);
-        let st_run =
-            AutoMlEmActive::new(config(150, 8, 80, 10, seed)).run(&pool.x, &mut oracle_st);
+        let ac_run = AutoMlEmActive::new(config(150, 8, 0, 10, seed)).run(&pool.x, &mut oracle_ac);
+        let st_run = AutoMlEmActive::new(config(150, 8, 80, 10, seed)).run(&pool.x, &mut oracle_st);
         assert_eq!(oracle_ac.queries(), oracle_st.queries(), "equal human cost");
         let f1_ac = downstream_f1(&pool, &ac_run.labeled, seed);
         let f1_st = downstream_f1(&pool, &st_run.labeled, seed);
