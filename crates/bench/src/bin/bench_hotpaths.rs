@@ -58,6 +58,36 @@ fn main() {
         blocker.candidates_with_jobs(&ds.table_a, &ds.table_b, threads)
     });
 
+    // -- feature generation: uncached &str path vs the interned cache ---------
+    // Table-II features over the full Fodors-Zagats candidate set. cold =
+    // profile build + memo fill every iteration (first featurization of a
+    // dataset); warm = the steady state every later batch sees (folds,
+    // search trials, the active loop) — pure memo lookups.
+    let fz = em_data::Benchmark::FodorsZagats.generate_scaled(0, 1.0);
+    let generator = automl_em::FeatureGenerator::plan_for_tables(
+        automl_em::FeatureScheme::AutoMlEm,
+        &fz.table_a,
+        &fz.table_b,
+    );
+    let fz_pairs: Vec<em_table::RecordPair> = fz.pairs.iter().map(|p| p.pair).collect();
+    eprintln!(
+        "featuregen workload: {} pairs x {} features",
+        fz_pairs.len(),
+        generator.n_features()
+    );
+    h.bench("featuregen_fodors_table2/uncached", || {
+        generator.generate_with_jobs(&fz.table_a, &fz.table_b, &fz_pairs, threads)
+    });
+    h.bench("featuregen_fodors_table2/cached_cold", || {
+        let mut cache = generator.cached(&fz.table_a, &fz.table_b);
+        cache.generate_with_jobs(&fz.table_a, &fz.table_b, &fz_pairs, threads)
+    });
+    let mut warm = generator.cached(&fz.table_a, &fz.table_b);
+    let _ = warm.generate_with_jobs(&fz.table_a, &fz.table_b, &fz_pairs, threads);
+    h.bench("featuregen_fodors_table2/cached_warm", || {
+        warm.generate_with_jobs(&fz.table_a, &fz.table_b, &fz_pairs, threads)
+    });
+
     // -- 5-fold cross-validation of the default forest pipeline --------------
     let (x, y) = dataset(600, 12, 1);
     let config = automl_em::EmPipelineConfig::default_random_forest(0);
@@ -137,6 +167,20 @@ fn main() {
             "OverlapBlocker min_overlap=2 over ~2.9k x 2.9k DBLP-Scholar tables",
         ),
         (
+            "featuregen_fodors_table2",
+            "uncached",
+            "cached_cold",
+            "Table-II features, full Fodors-Zagats candidate set, first \
+             featurization (profile build + memo fill included)",
+        ),
+        (
+            "featuregen_fodors_table2",
+            "uncached",
+            "cached_warm",
+            "Table-II features, full Fodors-Zagats candidate set, warm memo \
+             (the steady state of folds / search trials / the active loop)",
+        ),
+        (
             "cross_val_f1_5fold_600x12",
             "serial",
             "pool",
@@ -191,7 +235,10 @@ fn main() {
                  construction (see crates/core/tests/determinism.rs); the \
                  async SMBO row compares the channel-fed worker runner \
                  against the fork-join batch runner on an identical \
-                 trajectory. Speedups > 1 assume a multi-core host; \
+                 trajectory; the featuregen rows compare the uncached &str \
+                 path against the interned FeatureCache (EM_FEATCACHE \
+                 toggles the same paths inside PreparedDataset::prepare). \
+                 Speedups > 1 assume a multi-core host; \
                  host_available_parallelism records what this run had.",
             ),
         ),

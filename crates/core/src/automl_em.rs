@@ -193,7 +193,12 @@ impl PreparedDataset {
         let generator =
             FeatureGenerator::plan_for_tables(scheme, &dataset.table_a, &dataset.table_b);
         let pairs: Vec<RecordPair> = dataset.pairs.iter().map(|p| p.pair).collect();
-        let features = generator.generate(&dataset.table_a, &dataset.table_b, &pairs);
+        let features = if crate::featcache::enabled() {
+            let mut cache = generator.cached(&dataset.table_a, &dataset.table_b);
+            cache.generate(&dataset.table_a, &dataset.table_b, &pairs)
+        } else {
+            generator.generate(&dataset.table_a, &dataset.table_b, &pairs)
+        };
         let labels = dataset.labels();
         let split = paper_split(&labels, seed);
         PreparedDataset {

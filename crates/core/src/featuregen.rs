@@ -262,10 +262,20 @@ impl FeatureGenerator {
         });
         out
     }
+
+    /// Bind this generator to a table pair as a [`crate::FeatureCache`]:
+    /// value profiles are precomputed once and attribute-level similarity
+    /// vectors are memoized across [`crate::FeatureCache::generate`] calls.
+    /// Output is bit-identical to [`Self::generate`]; this `&str`-based
+    /// generator remains the thin uncached path.
+    pub fn cached(&self, a: &Table, b: &Table) -> crate::FeatureCache {
+        crate::FeatureCache::new(self.clone(), a, b)
+    }
 }
 
-/// Evaluate one feature, propagating missing values as NaN.
-fn compute_feature(kind: &FeatureKind, va: &Value, vb: &Value) -> f64 {
+/// Evaluate one feature, propagating missing values as NaN. Shared with
+/// the cached path (`featcache`), which uses it for the non-string kinds.
+pub(crate) fn compute_feature(kind: &FeatureKind, va: &Value, vb: &Value) -> f64 {
     match kind {
         FeatureKind::String(sim) => match (va.to_display_string(), vb.to_display_string()) {
             (Some(a), Some(b)) => sim.apply(&a, &b),

@@ -36,6 +36,7 @@
 pub mod active;
 pub mod automl_em;
 pub mod explain;
+pub mod featcache;
 pub mod featuregen;
 pub mod oracle;
 pub mod pipeline;
@@ -46,6 +47,7 @@ pub use active::{
 };
 pub use automl_em::{AutoMlEm, AutoMlEmOptions, AutoMlEmResult, PreparedDataset, SearchChoice};
 pub use explain::FeatureImportanceReport;
+pub use featcache::FeatureCache;
 pub use featuregen::{
     all_string_similarities, magellan_string_similarities, numeric_similarities, FeatureGenerator,
     FeatureKind, FeatureScheme, FeatureSpec,

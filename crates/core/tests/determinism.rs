@@ -9,7 +9,9 @@
 //! 3. stratified k-fold `cross_val_f1`,
 //! 4. permutation feature importances,
 //! 5. `em-data` benchmark synthesis,
-//! 6. the async SMBO search trajectory (serial fallback vs worker threads).
+//! 6. the async SMBO search trajectory (serial fallback vs worker threads),
+//! 7. cached feature generation (`FeatureCache`): profile building and memo
+//!    filling at any thread count, bit-identical to the uncached path.
 //!
 //! This harness gets its own process (integration-test binary), so it can
 //! size the global pool without interfering with other tests. `verify.sh`
@@ -17,7 +19,7 @@
 //! `EM_THREADS=8`; inside the `EM_THREADS=8` run these tests compare
 //! 1-thread against 8-thread execution in-process.
 
-use automl_em::{EmPipelineConfig, FeatureGenerator, FeatureScheme};
+use automl_em::{EmPipelineConfig, FeatureCache, FeatureGenerator, FeatureScheme};
 use em_ml::{Classifier, ForestParams, Matrix, RandomForestClassifier};
 use em_table::{Blocker, OverlapBlocker, RecordPair};
 use std::sync::{Mutex, MutexGuard};
@@ -101,6 +103,92 @@ fn feature_matrix_and_forest_are_thread_count_invariant() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
     assert_eq!(rf1.vote_fraction(&serial), rfn.vote_fraction(&serial));
+}
+
+#[test]
+fn cached_featuregen_is_thread_count_invariant() {
+    let _guard = serialize();
+    ensure_pool();
+
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(7, 0.2);
+    let generator =
+        FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+    let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    assert!(
+        pairs.len() >= 64,
+        "need enough pairs to trigger the parallel path"
+    );
+
+    let bitwise_eq = |a: &Matrix, b: &Matrix| {
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.ncols(), b.ncols());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    };
+
+    // Serial build + serial memo fill vs pooled build + pooled fill: the
+    // interner ids, memo contents, and output matrix must all agree bit for
+    // bit, and both must match the uncached `&str` path.
+    let uncached = generator.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, 1);
+    let mut serial = FeatureCache::with_jobs(generator.clone(), &ds.table_a, &ds.table_b, 1);
+    let mut pooled = FeatureCache::with_jobs(
+        generator.clone(),
+        &ds.table_a,
+        &ds.table_b,
+        em_rt::threads(),
+    );
+    assert_eq!(serial.interned_tokens(), pooled.interned_tokens());
+    let from_serial = serial.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, 1);
+    let from_pooled = pooled.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, em_rt::threads());
+    bitwise_eq(&uncached, &from_serial);
+    bitwise_eq(&uncached, &from_pooled);
+    assert_eq!(serial.memo_len(), pooled.memo_len());
+
+    // Re-running against a warm memo changes nothing.
+    let warm = pooled.generate_with_jobs(&ds.table_a, &ds.table_b, &pairs, em_rt::threads());
+    bitwise_eq(&uncached, &warm);
+}
+
+#[test]
+fn featcache_counters_reach_the_trace() {
+    let _guard = serialize();
+    ensure_pool();
+    // With tracing on, the cache's em-obs counters (profile builds, memo
+    // hits/misses, interner size) must land in the flushed trace — and a
+    // second batch over the same pairs must be pure memo hits.
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(3, 0.2);
+    let generator =
+        FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+    let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    let trace_path =
+        std::env::temp_dir().join(format!("em-featcache-trace-{}.jsonl", std::process::id()));
+    em_obs::set_mode(em_obs::TraceMode::File(
+        trace_path.to_string_lossy().into_owned(),
+    ));
+    let mut cache = FeatureCache::new(generator, &ds.table_a, &ds.table_b);
+    let _ = cache.generate(&ds.table_a, &ds.table_b, &pairs);
+    let _ = cache.generate(&ds.table_a, &ds.table_b, &pairs);
+    em_obs::flush();
+    em_obs::set_mode(em_obs::TraceMode::Off);
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&trace_path);
+    let records = em_obs::report::parse_trace(&text).expect("trace parses");
+    let counter = |name: &str| -> u64 {
+        records
+            .iter()
+            .filter(|r| r.get("kind").and_then(em_rt::Json::as_str) == Some("counter"))
+            .filter(|r| r.get("name").and_then(em_rt::Json::as_str) == Some(name))
+            .filter_map(|r| r.get("value").and_then(em_rt::Json::as_f64))
+            .map(|v| v as u64)
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(counter("featcache.profile_builds") > 0);
+    assert!(counter("featcache.interner_tokens") > 0);
+    assert!(counter("featcache.memo_misses") > 0);
+    // The second batch repeats every key, so hits must at least cover it.
+    assert!(counter("featcache.memo_hits") > 0);
 }
 
 #[test]

@@ -214,6 +214,39 @@ pub fn render_report(records: &[Json]) -> String {
         }
     }
 
+    // ---- feature cache -----------------------------------------------------
+    // Counters are cumulative process statics and may be flushed more than
+    // once; the largest observed value is the final one.
+    let counter_val = |name: &str| -> Option<f64> {
+        records
+            .iter()
+            .filter(|r| kind(r) == "counter" && r.get("name").and_then(Json::as_str) == Some(name))
+            .map(|r| num(r, "value"))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    };
+    if let (Some(hits), Some(misses)) = (
+        counter_val("featcache.memo_hits"),
+        counter_val("featcache.memo_misses"),
+    ) {
+        out.push_str("\n== feature cache ==\n");
+        out.push_str(&format!(
+            "profiles built={} interned tokens={}\n",
+            counter_val("featcache.profile_builds").unwrap_or(0.0),
+            counter_val("featcache.interner_tokens").unwrap_or(0.0),
+        ));
+        let total = hits + misses;
+        let rate = if total > 0.0 {
+            100.0 * hits / total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "memo lookups={total} hits={hits} misses={misses} hit rate={rate:.1}%\n"
+        ));
+    }
+
     // ---- metrics -----------------------------------------------------------
     let counters: Vec<&Json> = records.iter().filter(|r| kind(r) == "counter").collect();
     let hists: Vec<&Json> = records.iter().filter(|r| kind(r) == "hist").collect();
@@ -251,6 +284,11 @@ mod tests {
             r#"{"kind":"span","name":"forest.fit","id":3,"parent":0,"t0":1000,"t1":1400,"thread":0}"#,
             r#"{"kind":"event","event":"search.incumbent","t":950,"thread":0,"trial":3,"score":0.875}"#,
             r#"{"kind":"counter","name":"blocking.pairs_emitted","value":1234}"#,
+            r#"{"kind":"counter","name":"featcache.profile_builds","value":500}"#,
+            r#"{"kind":"counter","name":"featcache.interner_tokens","value":2048}"#,
+            r#"{"kind":"counter","name":"featcache.memo_hits","value":300}"#,
+            r#"{"kind":"counter","name":"featcache.memo_hits","value":900}"#,
+            r#"{"kind":"counter","name":"featcache.memo_misses","value":100}"#,
             r#"{"kind":"pool","jobs":7,"inline_sections":2,"chunks_claimed":40,"workers":3,"queue_wait_ns":{"count":21,"buckets":[],"p50":512,"p99":4096},"busy":[{"thread":"worker-0","busy_ns":700}]}"#,
             r#"{"kind":"channel","sends":16,"recvs":16,"recv_wait_ns":{"count":4,"buckets":[],"p50":1024,"p99":8192}}"#,
             r#"{"kind":"meta","t":1500,"threads":4,"available_parallelism":8}"#,
@@ -261,7 +299,7 @@ mod tests {
     #[test]
     fn parses_jsonl_and_reports_line_numbers_on_errors() {
         let records = parse_trace(&trace()).unwrap();
-        assert_eq!(records.len(), 9);
+        assert_eq!(records.len(), 14);
         let err = parse_trace("{\"ok\":1}\n\nnot json").unwrap_err();
         assert!(err.starts_with("line 3:"), "{err}");
     }
@@ -286,6 +324,17 @@ mod tests {
         assert!(report.contains("search: 1 incumbent update(s)"), "{report}");
         assert!(report.contains("blocking.pairs_emitted"), "{report}");
         assert!(report.contains("sends=16"), "{report}");
+        // Feature-cache section: repeated flushes keep the max (900, not
+        // 300 or 1200), and the hit rate is computed from hits/misses.
+        assert!(report.contains("== feature cache =="), "{report}");
+        assert!(
+            report.contains("profiles built=500 interned tokens=2048"),
+            "{report}"
+        );
+        assert!(
+            report.contains("memo lookups=1000 hits=900 misses=100 hit rate=90.0%"),
+            "{report}"
+        );
     }
 
     #[test]

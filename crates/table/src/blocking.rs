@@ -45,21 +45,45 @@ fn sharded_probe<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
 where
     F: Fn(usize, &mut Vec<RecordPair>) + Sync,
 {
+    sharded_probe_scratch(n_left, jobs, || (), |i, (), out| probe(i, out))
+}
+
+/// [`sharded_probe`] with per-shard scratch state: `make_scratch` runs once
+/// per shard (once total on the serial path) so probes can reuse buffers
+/// without allocating per record. Scratch must not influence output values
+/// — it exists purely so the hot loop is allocation-free.
+fn sharded_probe_scratch<S, M, F>(
+    n_left: usize,
+    jobs: usize,
+    make_scratch: M,
+    probe: F,
+) -> Vec<RecordPair>
+where
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut S, &mut Vec<RecordPair>) + Sync,
+{
     let _span = em_obs::span!("blocking.candidates");
-    let out = sharded_probe_inner(n_left, jobs, probe);
+    let out = sharded_probe_inner(n_left, jobs, make_scratch, probe);
     PAIRS_EMITTED.add(out.len() as u64);
     out
 }
 
-fn sharded_probe_inner<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
+fn sharded_probe_inner<S, M, F>(
+    n_left: usize,
+    jobs: usize,
+    make_scratch: M,
+    probe: F,
+) -> Vec<RecordPair>
 where
-    F: Fn(usize, &mut Vec<RecordPair>) + Sync,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut S, &mut Vec<RecordPair>) + Sync,
 {
     let n_shards = n_left.div_ceil(SHARD_SIZE);
     if n_shards <= 1 || jobs == 1 {
         let mut out = Vec::new();
+        let mut scratch = make_scratch();
         for i in 0..n_left {
-            probe(i, &mut out);
+            probe(i, &mut scratch, &mut out);
         }
         return out;
     }
@@ -69,9 +93,10 @@ where
         // Safety: each shard index is handed out exactly once, so this is
         // the only thread touching slot `s`.
         let buf = unsafe { &mut writer.slice_mut(s, 1)[0] };
+        let mut scratch = make_scratch();
         let end = ((s + 1) * SHARD_SIZE).min(n_left);
         for i in s * SHARD_SIZE..end {
-            probe(i, buf);
+            probe(i, &mut scratch, buf);
         }
     });
     let total = shards.iter().map(Vec::len).sum();
@@ -123,6 +148,13 @@ impl Blocker for AttrEquivalenceBlocker {
 
 /// Pairs records sharing at least `min_overlap` lowercase word tokens on one
 /// attribute — the standard "overlap blocker".
+///
+/// The inverted index is keyed by interned `u32` token ids
+/// ([`em_text::TokenInterner`]) rather than token strings: the right table
+/// interns its tokens while building postings, and probing resolves each
+/// left token to an id without allocating (unknown tokens miss the interner
+/// and can match nothing). Per-shard scratch buffers make the probe loop
+/// allocation-free in steady state.
 #[derive(Debug, Clone)]
 pub struct OverlapBlocker {
     /// Name of the blocking attribute.
@@ -131,10 +163,22 @@ pub struct OverlapBlocker {
     pub min_overlap: usize,
 }
 
-fn word_tokens(s: &str) -> Vec<String> {
-    s.split_whitespace()
-        .map(|w| w.to_ascii_lowercase())
-        .collect()
+/// Reusable per-shard probe buffers for [`OverlapBlocker`].
+#[derive(Default)]
+struct OverlapScratch {
+    /// Lowercased token being resolved against the interner.
+    buf: String,
+    /// Deduped token ids of the probe record.
+    ids: Vec<u32>,
+    /// Right-record ids gathered from postings (with duplicates), sorted so
+    /// overlap counts fall out of a run-length scan.
+    hits: Vec<usize>,
+}
+
+/// Lowercase `word` into `buf` (ASCII, matching `str::to_ascii_lowercase`).
+fn lowercase_into(word: &str, buf: &mut String) {
+    buf.clear();
+    buf.extend(word.chars().map(|c| c.to_ascii_lowercase()));
 }
 
 impl Blocker for OverlapBlocker {
@@ -151,40 +195,58 @@ impl Blocker for OverlapBlocker {
             .schema()
             .index_of(&self.attribute)
             .unwrap_or_else(|| panic!("attribute {} missing in right table", self.attribute));
-        // Inverted index: token -> right-record ids containing it.
-        let mut inverted: HashMap<String, Vec<usize>> = HashMap::new();
+        // Inverted index: interned token id -> right-record ids containing
+        // it. Postings are naturally sorted by record id.
+        let mut interner = em_text::TokenInterner::new();
+        let mut postings: Vec<Vec<usize>> = Vec::new();
+        let mut buf = String::new();
+        let mut ids: Vec<u32> = Vec::new();
         for rec in b.records() {
             if let Some(s) = rec.get(col_b).to_display_string() {
-                let mut toks = word_tokens(&s);
-                toks.sort_unstable();
-                toks.dedup();
-                for t in toks {
-                    inverted.entry(t).or_default().push(rec.index());
+                ids.clear();
+                for w in s.split_whitespace() {
+                    lowercase_into(w, &mut buf);
+                    ids.push(interner.intern(&buf));
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                postings.resize(interner.len(), Vec::new());
+                for &id in &ids {
+                    postings[id as usize].push(rec.index());
                 }
             }
         }
-        sharded_probe(a.len(), jobs, |i, out| {
+        sharded_probe_scratch(a.len(), jobs, OverlapScratch::default, |i, scr, out| {
             let Some(s) = a.record(i).get(col_a).to_display_string() else {
                 return;
             };
-            let mut overlap_count: HashMap<usize, usize> = HashMap::new();
-            let mut toks = word_tokens(&s);
-            toks.sort_unstable();
-            toks.dedup();
-            for t in &toks {
-                if let Some(rights) = inverted.get(t) {
-                    for &r in rights {
-                        *overlap_count.entry(r).or_insert(0) += 1;
-                    }
+            scr.ids.clear();
+            for w in s.split_whitespace() {
+                lowercase_into(w, &mut scr.buf);
+                if let Some(id) = interner.get(&scr.buf) {
+                    scr.ids.push(id);
                 }
             }
-            let mut hits: Vec<usize> = overlap_count
-                .iter()
-                .filter(|(_, &c)| c >= self.min_overlap)
-                .map(|(&r, _)| r)
-                .collect();
-            hits.sort_unstable();
-            out.extend(hits.into_iter().map(|r| RecordPair::new(i, r)));
+            scr.ids.sort_unstable();
+            scr.ids.dedup();
+            scr.hits.clear();
+            for &id in &scr.ids {
+                scr.hits.extend_from_slice(&postings[id as usize]);
+            }
+            scr.hits.sort_unstable();
+            // Run-length scan: each right id appears once per shared token.
+            let mut k = 0;
+            while k < scr.hits.len() {
+                let r = scr.hits[k];
+                let mut j = k + 1;
+                while j < scr.hits.len() && scr.hits[j] == r {
+                    j += 1;
+                }
+                if j - k >= self.min_overlap {
+                    out.push(RecordPair::new(i, r));
+                }
+                k = j;
+            }
         })
     }
 }

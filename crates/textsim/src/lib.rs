@@ -26,6 +26,7 @@ mod edit;
 mod hybrid;
 mod jaro;
 mod numeric;
+mod profile;
 mod setsim;
 mod tokenize;
 
@@ -38,6 +39,11 @@ pub use jaro::{jaro, jaro_winkler};
 pub use numeric::{
     absolute_norm, bool_exact_match, numeric_exact_match, numeric_levenshtein_distance,
     numeric_levenshtein_similarity,
+};
+pub use profile::{
+    intersection_size_sorted, jaro_chars, jaro_winkler_chars, levenshtein_chars,
+    monge_elkan_profiles, needleman_wunsch_chars, smith_waterman_chars, ProfileDraft, SimScratch,
+    TokenInterner, TokenProfile, PROFILE_QGRAM,
 };
 pub use setsim::{cosine, dice, jaccard, overlap_coefficient};
 pub use tokenize::{qgrams, Tokenizer};

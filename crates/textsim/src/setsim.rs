@@ -1,15 +1,26 @@
 //! Token-set similarity functions (Table II rows 9-16): Jaccard, Dice,
 //! cosine, and overlap coefficient, each parameterized by a [`Tokenizer`].
+//!
+//! Token sets are sorted deduplicated `Vec<String>`s and the intersection
+//! is a merge join — no tree allocation per call. The interned-profile path
+//! ([`crate::TokenProfile`]) goes further and merge-joins `u32` id slices.
 
 use crate::tokenize::Tokenizer;
-use std::collections::BTreeSet;
 
-fn intersection_size(a: &BTreeSet<String>, b: &BTreeSet<String>) -> usize {
-    if a.len() <= b.len() {
-        a.iter().filter(|t| b.contains(*t)).count()
-    } else {
-        b.iter().filter(|t| a.contains(*t)).count()
+fn intersection_size(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
     }
+    n
 }
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|` over token sets.
@@ -20,8 +31,8 @@ fn intersection_size(a: &BTreeSet<String>, b: &BTreeSet<String>) -> usize {
 /// assert!((s - 2.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn jaccard(a: &str, b: &str, tok: Tokenizer) -> f64 {
-    let sa = tok.token_set(a);
-    let sb = tok.token_set(b);
+    let sa = tok.sorted_tokens(a);
+    let sb = tok.sorted_tokens(b);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -32,8 +43,8 @@ pub fn jaccard(a: &str, b: &str, tok: Tokenizer) -> f64 {
 
 /// Dice similarity `2|A ∩ B| / (|A| + |B|)` over token sets.
 pub fn dice(a: &str, b: &str, tok: Tokenizer) -> f64 {
-    let sa = tok.token_set(a);
-    let sb = tok.token_set(b);
+    let sa = tok.sorted_tokens(a);
+    let sb = tok.sorted_tokens(b);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -47,8 +58,8 @@ pub fn dice(a: &str, b: &str, tok: Tokenizer) -> f64 {
 /// (the Ochiai coefficient, which is what `py_stringmatching.Cosine`
 /// computes on token sets).
 pub fn cosine(a: &str, b: &str, tok: Tokenizer) -> f64 {
-    let sa = tok.token_set(a);
-    let sb = tok.token_set(b);
+    let sa = tok.sorted_tokens(a);
+    let sb = tok.sorted_tokens(b);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -60,8 +71,8 @@ pub fn cosine(a: &str, b: &str, tok: Tokenizer) -> f64 {
 
 /// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over token sets.
 pub fn overlap_coefficient(a: &str, b: &str, tok: Tokenizer) -> f64 {
-    let sa = tok.token_set(a);
-    let sb = tok.token_set(b);
+    let sa = tok.sorted_tokens(a);
+    let sb = tok.sorted_tokens(b);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -134,5 +145,21 @@ mod tests {
         // shared grams 7, union 12 -> 7/12
         assert!((jaccard("nichola", "nicholas", t) - 7.0 / 12.0).abs() < 1e-12);
         assert_eq!(jaccard("abc", "abc", t), 1.0);
+    }
+
+    #[test]
+    fn merge_join_matches_btreeset_intersection() {
+        // Duplicated tokens in the input must collapse before the join.
+        for (a, b) in [
+            ("a b a b c", "b c c d"),
+            ("x x x", "x"),
+            ("p q", ""),
+            ("m n o", "n o p q n"),
+        ] {
+            let sa = WS.sorted_tokens(a);
+            let sb = WS.sorted_tokens(b);
+            let naive = WS.token_set(a).intersection(&WS.token_set(b)).count();
+            assert_eq!(intersection_size(&sa, &sb), naive, "{a:?} vs {b:?}");
+        }
     }
 }

@@ -33,6 +33,16 @@ impl Tokenizer {
         self.tokenize(s).into_iter().collect()
     }
 
+    /// Tokenize `s` into a sorted, deduplicated token list — the same set
+    /// as [`Tokenizer::token_set`] but flat, so set intersections can run
+    /// as merge joins without tree allocation.
+    pub fn sorted_tokens(&self, s: &str) -> Vec<String> {
+        let mut toks = self.tokenize(s);
+        toks.sort_unstable();
+        toks.dedup();
+        toks
+    }
+
     /// Short lowercase name used when building feature names
     /// (e.g. `jaccard_space`, `cosine_3gram`).
     pub fn name(&self) -> String {

@@ -206,6 +206,107 @@ fn absolute_norm_bounds() {
     });
 }
 
+/// Strings mixing ASCII, multi-byte unicode (accents, CJK), and whitespace —
+/// profiles cache `Vec<char>`, so char-index vs byte-index confusions would
+/// surface here.
+fn unicode_string(rng: &mut StdRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'z', '0', '9', ' ', ' ', 'é', 'ü', 'ß', 'ñ', 'č', '東', '京', 'λ', 'Ω', '✓',
+    ];
+    let len = rng.random_range(0..=24usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+        .collect()
+}
+
+/// All 16 Table-II string similarities.
+fn table2_similarities() -> Vec<StringSimilarity> {
+    use StringSimilarity::*;
+    let mut sims = vec![
+        LevenshteinDistance,
+        LevenshteinSimilarity,
+        Jaro,
+        ExactMatch,
+        JaroWinkler,
+        NeedlemanWunsch,
+        SmithWaterman,
+        MongeElkan,
+    ];
+    for tok in [Tokenizer::Whitespace, Tokenizer::QGram(3)] {
+        sims.extend([
+            Jaccard(tok),
+            Dice(tok),
+            Cosine(tok),
+            OverlapCoefficient(tok),
+        ]);
+    }
+    sims
+}
+
+#[test]
+fn profile_similarities_bit_identical_to_string_path() {
+    let sims = table2_similarities();
+    check(|rng| {
+        let (a, b) = (unicode_string(rng), unicode_string(rng));
+        let mut interner = TokenInterner::new();
+        let pa = TokenProfile::build(&a, &mut interner);
+        let pb = TokenProfile::build(&b, &mut interner);
+        let mut scratch = SimScratch::new();
+        for sim in &sims {
+            let via_string = sim.apply(&a, &b);
+            let via_profile = sim.apply_profiles(&pa, &pb, &mut scratch);
+            assert_eq!(
+                via_string.to_bits(),
+                via_profile.to_bits(),
+                "{sim:?} diverged on {a:?} vs {b:?}: {via_string} != {via_profile}"
+            );
+        }
+    });
+}
+
+#[test]
+fn profile_similarities_bit_identical_on_ascii_words() {
+    let sims = table2_similarities();
+    check(|rng| {
+        let (a, b) = (word_string(rng), word_string(rng));
+        let mut interner = TokenInterner::new();
+        let pa = TokenProfile::build(&a, &mut interner);
+        let pb = TokenProfile::build(&b, &mut interner);
+        let mut scratch = SimScratch::new();
+        for sim in &sims {
+            assert_eq!(
+                sim.apply(&a, &b).to_bits(),
+                sim.apply_profiles(&pa, &pb, &mut scratch).to_bits(),
+                "{sim:?} diverged on {a:?} vs {b:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn merge_join_intersection_matches_naive() {
+    check(|rng| {
+        let (a, b) = (unicode_string(rng), unicode_string(rng));
+        for tok in [Tokenizer::Whitespace, Tokenizer::QGram(3)] {
+            let sa = tok.sorted_tokens(&a);
+            let sb = tok.sorted_tokens(&b);
+            let naive = sa.iter().filter(|t| sb.contains(t)).count();
+            let mut interner = TokenInterner::new();
+            let ia: Vec<u32> = {
+                let mut v: Vec<u32> = sa.iter().map(|t| interner.intern(t)).collect();
+                v.sort_unstable();
+                v
+            };
+            let ib: Vec<u32> = {
+                let mut v: Vec<u32> = sb.iter().map(|t| interner.intern(t)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(intersection_size_sorted(&ia, &ib), naive);
+        }
+    });
+}
+
 #[test]
 fn exact_match_is_binary() {
     check(|rng| {

@@ -49,4 +49,9 @@ EM_THREADS=1 cargo test -q --offline --workspace
 echo "== cargo test --offline (EM_THREADS=8) =="
 EM_THREADS=8 cargo test -q --offline --workspace
 
+echo "== determinism harness with the feature cache disabled (EM_FEATCACHE=off) =="
+# PreparedDataset::prepare must fall back to the uncached &str path and
+# still be bit-identical at any thread count.
+EM_FEATCACHE=off EM_THREADS=8 cargo test -q --offline -p automl-em --test determinism --test featcache_props
+
 echo "verify: OK"
