@@ -1,0 +1,161 @@
+//! Serving-path acceptance benchmark: stream a benchmark table through a
+//! loaded [`em_serve::Matcher`] and record throughput (candidate pairs
+//! scored per second) across batch sizes, plus p50/p99 end-to-end batch
+//! latency from the `serve.batch_ns` em-obs histogram on a canonical
+//! traced run. Writes `BENCH_serve.json` (override the path with the first
+//! CLI argument).
+//!
+//! Thread count comes from `EM_THREADS` when set, else defaults to 4.
+
+use automl_em::{EmPipelineConfig, FeatureGenerator, FeatureScheme};
+use em_bench::timing::fmt_ns;
+use em_rt::Json;
+use em_serve::{batch_latency_quantiles, BatchOutput, Matcher, ModelArtifact, StreamOptions};
+use em_table::Table;
+use std::time::Instant;
+
+fn batches_of(t: &Table, size: usize) -> Vec<Table> {
+    (0..t.len())
+        .step_by(size)
+        .map(|lo| t.slice_rows(lo..(lo + size).min(t.len())))
+        .collect()
+}
+
+/// One full stream over `batches` with a fresh matcher; returns
+/// (elapsed seconds, candidate pairs scored).
+fn run_stream(artifact_path: &str, catalog: &Table, attr: &str, batches: &[Table]) -> (f64, usize) {
+    let artifact = ModelArtifact::load(artifact_path).expect("load artifact");
+    let mut matcher = Matcher::new(artifact, catalog.clone(), attr, 1).expect("assemble matcher");
+    let (query_tx, query_rx) = em_rt::channel::<Table>();
+    let (result_tx, result_rx) = em_rt::channel::<BatchOutput>();
+    for b in batches {
+        query_tx.send(b.clone()).expect("stream open");
+    }
+    query_tx.close();
+    let t0 = Instant::now();
+    matcher.match_stream(query_rx, result_tx, StreamOptions::default());
+    let secs = t0.elapsed().as_secs_f64();
+    let pairs: usize = std::iter::from_fn(|| result_rx.recv())
+        .map(|o| o.matches.len())
+        .sum();
+    (secs, pairs)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("threads = {threads}, host cores = {cores}");
+
+    // Fit a pipeline directly (no search: the serving path is what's being
+    // measured) and package it the way a deployment would.
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(7, 1.0);
+    let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+    let pairs: Vec<em_table::RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    let x = g.generate(&ds.table_a, &ds.table_b, &pairs);
+    let y: Vec<usize> = ds.pairs.iter().map(|p| usize::from(p.label)).collect();
+    let fitted = EmPipelineConfig::default_random_forest(7).fit(&x, &y);
+    let artifact_path = std::env::temp_dir()
+        .join(format!("em-bench-serve-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    ModelArtifact::for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b, fitted)
+        .save(&artifact_path)
+        .expect("save artifact");
+    let attr = ds.table_a.schema().names()[0].to_string();
+    eprintln!(
+        "catalog = {} records, query stream = {} records (Fodors-Zagats)",
+        ds.table_b.len(),
+        ds.table_a.len()
+    );
+
+    // Throughput across batch sizes: median of 3 full streams each, fresh
+    // matcher per stream (cold feature cache — the conservative number).
+    let reps = 3usize;
+    let mut rows = Vec::new();
+    for &batch_size in &[8usize, 32, 128] {
+        let batches = batches_of(&ds.table_a, batch_size);
+        let mut runs: Vec<(f64, usize)> = (0..reps)
+            .map(|_| run_stream(&artifact_path, &ds.table_b, &attr, &batches))
+            .collect();
+        runs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let (secs, pairs) = runs[reps / 2];
+        let pairs_per_sec = pairs as f64 / secs;
+        eprintln!(
+            "batch_size {batch_size:>4}: {} batches, {pairs} pairs, {} \
+             ({pairs_per_sec:.0} pairs/s)",
+            batches.len(),
+            fmt_ns(secs * 1e9),
+        );
+        rows.push(Json::obj([
+            ("batch_size", Json::from(batch_size)),
+            ("batches", Json::from(batches.len())),
+            ("pairs", Json::from(pairs)),
+            ("median_secs", Json::from(secs)),
+            ("pairs_per_sec", Json::from(pairs_per_sec)),
+        ]));
+    }
+
+    // Latency quantiles: one canonical traced run (batch size 32) so the
+    // cumulative serve.batch_ns histogram holds exactly this workload.
+    let trace_path = std::env::temp_dir()
+        .join(format!("em-bench-serve-trace-{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    em_obs::set_mode(em_obs::TraceMode::File(trace_path.clone()));
+    let canonical = 32usize;
+    let batches = batches_of(&ds.table_a, canonical);
+    let (secs, pairs) = run_stream(&artifact_path, &ds.table_b, &attr, &batches);
+    em_obs::flush();
+    em_obs::set_mode(em_obs::TraceMode::Off);
+    let (p50, p99) = batch_latency_quantiles().expect("traced run records batch latencies");
+    eprintln!(
+        "traced batch_size {canonical}: p50 = {}, p99 = {} per batch \
+         ({:.0} pairs/s while tracing)",
+        fmt_ns(p50 as f64),
+        fmt_ns(p99 as f64),
+        pairs as f64 / secs,
+    );
+
+    let report = Json::obj([
+        ("suite", Json::from("bench_serve")),
+        ("threads", Json::from(threads)),
+        ("host_available_parallelism", Json::from(cores)),
+        ("dataset", Json::from("fodors_zagats/scale_1.0")),
+        ("catalog_records", Json::from(ds.table_b.len())),
+        ("query_records", Json::from(ds.table_a.len())),
+        (
+            "note",
+            Json::from(
+                "Throughput rows stream the full query table through a fresh \
+                 Matcher (cold cache) with default StreamOptions; median of 3 \
+                 runs, tracing off. The latency row re-runs the canonical \
+                 batch size with EM_TRACE-style file tracing enabled and \
+                 reads p50/p99 from the serve.batch_ns em-obs histogram \
+                 (coordinator pickup to ordered emission, per batch).",
+            ),
+        ),
+        ("throughput", Json::Arr(rows)),
+        (
+            "latency",
+            Json::obj([
+                ("batch_size", Json::from(canonical)),
+                ("batches", Json::from(batches.len())),
+                ("pairs", Json::from(pairs)),
+                ("traced_secs", Json::from(secs)),
+                ("p50_batch_ns", Json::from(p50)),
+                ("p99_batch_ns", Json::from(p99)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, report.render_pretty(2) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    let _ = std::fs::remove_file(&artifact_path);
+    let _ = std::fs::remove_file(&trace_path);
+}

@@ -1,30 +1,74 @@
-//! Render a human-readable report from an `EM_TRACE` JSONL trace file.
+//! Render a human-readable report from an `EM_TRACE` JSONL trace file, or
+//! convert it to Chrome trace-event JSON for chrome://tracing / Perfetto.
 //!
 //! Usage:
 //! ```text
 //! EM_TRACE=trace.jsonl cargo run --release --example quickstart
 //! cargo run --release --bin obs_report -- trace.jsonl
+//! cargo run --release --bin obs_report -- trace.jsonl --chrome-trace out.json
 //! ```
 //!
-//! The report shows the per-stage time breakdown (total, mean, self time),
-//! pool utilization (busy/idle per worker, queue-wait quantiles), channel
-//! traffic, search-trajectory events, and counters/histograms.
+//! The default report shows the per-stage time breakdown (total, mean, self
+//! time), pool utilization (busy/idle per worker, queue-wait quantiles),
+//! channel traffic, search-trajectory events, and counters/histograms. With
+//! `--chrome-trace <out.json>`, the trace is instead exported as Chrome
+//! trace-event JSON (spans as complete events, trajectory events as instant
+//! events) and the report is not printed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: obs_report <trace.jsonl>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut chrome_out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome-trace" => {
+                let Some(out) = args.get(i + 1) else {
+                    eprintln!("obs_report: --chrome-trace needs an output path");
+                    return ExitCode::from(2);
+                };
+                chrome_out = Some(out);
+                i += 2;
+            }
+            arg if path.is_none() => {
+                path = Some(arg);
+                i += 1;
+            }
+            arg => {
+                eprintln!("obs_report: unexpected argument {arg:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: obs_report <trace.jsonl> [--chrome-trace <out.json>]");
         return ExitCode::from(2);
     };
-    let text = match std::fs::read_to_string(&path) {
+    if std::path::Path::new(path).is_dir() {
+        eprintln!(
+            "obs_report: {path} is a directory, not a trace file — was \
+             EM_TRACE pointed at a writable file path? (em-obs disables \
+             tracing when its sink cannot be opened)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("obs_report: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if text.trim().is_empty() {
+        eprintln!(
+            "obs_report: {path} is empty — no trace records were flushed. \
+             Was EM_TRACE pointed at a writable file path, and did the \
+             traced process call em_obs::flush() (or exit cleanly)?"
+        );
+        return ExitCode::FAILURE;
+    }
     let records = match em_obs::report::parse_trace(&text) {
         Ok(r) => r,
         Err(e) => {
@@ -32,6 +76,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", em_obs::report::render_report(&records));
+    if let Some(out) = chrome_out {
+        let json = em_obs::report::chrome_trace(&records);
+        if let Err(e) = std::fs::write(out, json + "\n") {
+            eprintln!("obs_report: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out} ({} trace records)", records.len());
+    } else {
+        print!("{}", em_obs::report::render_report(&records));
+    }
     ExitCode::SUCCESS
 }

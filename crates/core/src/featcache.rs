@@ -42,6 +42,9 @@ static MEMO_HITS: em_obs::Counter = em_obs::Counter::new("featcache.memo_hits");
 static MEMO_MISSES: em_obs::Counter = em_obs::Counter::new("featcache.memo_misses");
 /// Distinct tokens interned across all caches (traced runs only).
 static INTERNER_TOKENS: em_obs::Counter = em_obs::Counter::new("featcache.interner_tokens");
+/// Memo entries evicted by the serving-path entry cap (see
+/// [`FeatureCache::set_memo_cap`]; zero unless a cap is set).
+static EVICTIONS: em_obs::Counter = em_obs::Counter::new("featcache.evictions");
 
 thread_local! {
     /// Per-worker similarity scratch: the pool's threads are persistent, so
@@ -61,13 +64,27 @@ fn memo_key(va: u32, vb: u32) -> u64 {
     (u64::from(va)) << 32 | u64::from(vb)
 }
 
+/// One memoized similarity vector, tagged with the epoch (batch ordinal) of
+/// its last use so the serving-path cap can evict coarsely by age.
+struct MemoEntry {
+    /// Last [`FeatureCache::generate`] call that touched this entry.
+    epoch: u64,
+    /// One `f64` per planned similarity, in spec order.
+    vals: Box<[f64]>,
+}
+
 /// Cached state for one string attribute: value-id maps for both tables,
 /// one profile per distinct value, and the similarity-vector memo.
 struct AttrCache {
+    /// Index of this attribute in both schemas.
+    attr_index: usize,
     /// The string similarities planned for this attribute, in spec order.
     sims: Vec<StringSimilarity>,
     /// Output matrix column of each entry in `sims`.
     cols: Vec<usize>,
+    /// Distinct value -> dense id (shared across both tables). Retained so
+    /// the left table can be rebound to fresh query batches when serving.
+    value_ids: HashMap<String, u32>,
     /// Left-table row -> value id (`None` = null cell).
     a_rows: Vec<Option<u32>>,
     /// Right-table row -> value id.
@@ -75,14 +92,15 @@ struct AttrCache {
     /// Value id -> profile (ids shared across both tables).
     profiles: Vec<TokenProfile>,
     /// `(value id, value id)` -> similarity vector (one `f64` per sim).
-    memo: HashMap<u64, Box<[f64]>>,
+    memo: HashMap<u64, MemoEntry>,
 }
 
 impl AttrCache {
     /// Ensure the memo holds every key the batch needs: serial collect of
     /// distinct missing keys (first-appearance order), parallel compute,
-    /// serial insert.
-    fn fill_memo(&mut self, pairs: &[RecordPair], jobs: usize) {
+    /// serial insert. Entries touched by the batch (hit or inserted) are
+    /// stamped with `epoch` so cap eviction never removes them mid-batch.
+    fn fill_memo(&mut self, pairs: &[RecordPair], jobs: usize, epoch: u64) {
         let mut missing: Vec<u64> = Vec::new();
         let mut missing_set: HashSet<u64> = HashSet::new();
         let (mut hits, mut misses) = (0u64, 0u64);
@@ -91,7 +109,10 @@ impl AttrCache {
                 continue;
             };
             let key = memo_key(va, vb);
-            if self.memo.contains_key(&key) || !missing_set.insert(key) {
+            if let Some(entry) = self.memo.get_mut(&key) {
+                entry.epoch = epoch;
+                hits += 1;
+            } else if !missing_set.insert(key) {
                 hits += 1;
             } else {
                 misses += 1;
@@ -122,8 +143,13 @@ impl AttrCache {
             });
         });
         for (m, &key) in missing.iter().enumerate() {
-            self.memo
-                .insert(key, flat[m * k..(m + 1) * k].to_vec().into_boxed_slice());
+            self.memo.insert(
+                key,
+                MemoEntry {
+                    epoch,
+                    vals: flat[m * k..(m + 1) * k].to_vec().into_boxed_slice(),
+                },
+            );
         }
     }
 }
@@ -136,6 +162,12 @@ pub struct FeatureCache {
     interner: TokenInterner,
     n_left: usize,
     n_right: usize,
+    /// Entry cap for the similarity memo (`None` = unbounded; see
+    /// [`Self::set_memo_cap`]).
+    memo_cap: Option<usize>,
+    /// Batch ordinal, bumped once per [`Self::generate`] call; stamps memo
+    /// entries for coarse oldest-epoch eviction.
+    epoch: u64,
 }
 
 impl FeatureCache {
@@ -202,8 +234,10 @@ impl FeatureCache {
                     .collect();
                 PROFILE_BUILDS.add(profiles.len() as u64);
                 AttrCache {
+                    attr_index,
                     sims,
                     cols,
+                    value_ids,
                     a_rows,
                     b_rows,
                     profiles,
@@ -218,6 +252,86 @@ impl FeatureCache {
             interner,
             n_left: a.len(),
             n_right: b.len(),
+            memo_cap: None,
+            epoch: 0,
+        }
+    }
+
+    /// Rebind the *left* side of the cache to a fresh table (the serving
+    /// path: the right side is a fixed catalog, the left side is each
+    /// incoming query batch). Previously-unseen values are profiled and
+    /// interned in row order — a serial pass, so the cache state after a
+    /// given sequence of batches is identical at any `EM_THREADS`. Existing
+    /// profiles and memo entries stay valid because both are keyed by value
+    /// ids, which never change once assigned.
+    pub fn rebind_left(&mut self, a: &Table) {
+        let _span = em_obs::span!("featcache.rebind_left");
+        let mut new_profiles = 0u64;
+        for ac in &mut self.attrs {
+            ac.a_rows = a
+                .records()
+                .map(|rec| {
+                    rec.get(ac.attr_index).to_display_string().map(|s| {
+                        if let Some(&id) = ac.value_ids.get(&s) {
+                            id
+                        } else {
+                            let id = ac.profiles.len() as u32;
+                            let draft = ProfileDraft::new(&s);
+                            ac.profiles
+                                .push(TokenProfile::from_draft(draft, &mut self.interner));
+                            ac.value_ids.insert(s, id);
+                            new_profiles += 1;
+                            id
+                        }
+                    })
+                })
+                .collect();
+        }
+        PROFILE_BUILDS.add(new_profiles);
+        self.n_left = a.len();
+    }
+
+    /// Cap the total number of memoized similarity vectors (across all
+    /// attributes). `None` (the default) means unbounded — the right choice
+    /// for training and search, where the value universe is fixed. Serving
+    /// paths that stream unbounded query values should set a cap; when the
+    /// memo exceeds it after a batch, whole *epochs* (batch ordinals of last
+    /// use) are evicted oldest-first until the cap holds, counting into
+    /// `featcache.evictions`. Eviction is a serial pass, so cache state
+    /// stays deterministic.
+    pub fn set_memo_cap(&mut self, cap: Option<usize>) {
+        self.memo_cap = cap;
+    }
+
+    /// Total memo entries evicted so far by the entry cap, process-wide
+    /// (counts only while tracing is enabled, like every `em-obs` counter).
+    pub fn evictions() -> u64 {
+        EVICTIONS.value()
+    }
+
+    /// Evict whole epochs, oldest first, until the memo fits the cap. The
+    /// current epoch is never evicted (its entries were just used or
+    /// inserted by the in-progress batch).
+    fn evict_to_cap(&mut self) {
+        let Some(cap) = self.memo_cap else { return };
+        let mut total: usize = self.attrs.iter().map(|ac| ac.memo.len()).sum();
+        while total > cap {
+            let oldest = self
+                .attrs
+                .iter()
+                .flat_map(|ac| ac.memo.values())
+                .map(|e| e.epoch)
+                .filter(|&ep| ep < self.epoch)
+                .min();
+            let Some(oldest) = oldest else { break };
+            let mut dropped = 0usize;
+            for ac in &mut self.attrs {
+                let before = ac.memo.len();
+                ac.memo.retain(|_, e| e.epoch != oldest);
+                dropped += before - ac.memo.len();
+            }
+            EVICTIONS.add(dropped as u64);
+            total -= dropped;
         }
     }
 
@@ -263,9 +377,12 @@ impl FeatureCache {
         if n == 0 || d == 0 {
             return out;
         }
+        self.epoch += 1;
+        let epoch = self.epoch;
         for ac in &mut self.attrs {
-            ac.fill_memo(pairs, jobs);
+            ac.fill_memo(pairs, jobs, epoch);
         }
+        self.evict_to_cap();
         let attrs = &self.attrs;
         let specs = self.generator.specs();
         let writer = em_rt::SliceWriter::new(out.as_mut_slice());
@@ -278,7 +395,7 @@ impl FeatureCache {
             for ac in attrs {
                 match (ac.a_rows[p.left], ac.b_rows[p.right]) {
                     (Some(va), Some(vb)) => {
-                        let vec = &ac.memo[&memo_key(va, vb)];
+                        let vec = &ac.memo[&memo_key(va, vb)].vals;
                         for (&c, &v) in ac.cols.iter().zip(vec.iter()) {
                             row[c] = v;
                         }
@@ -364,6 +481,60 @@ mod tests {
         // Re-featurizing a subset adds no new memo entries.
         let _ = cache.generate(&ds.table_a, &ds.table_b, &pairs[..pairs.len() / 2]);
         assert_eq!(cache.memo_len(), before);
+    }
+
+    #[test]
+    fn rebind_left_matches_uncached_on_fresh_batches() {
+        let ds = em_data::Benchmark::FodorsZagats.generate_scaled(3, 0.25);
+        let g =
+            FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        // Catalog = table_b; queries arrive as slices of table_a.
+        let empty = Table::new(ds.table_a.schema().clone());
+        let mut cache = FeatureCache::new(g.clone(), &empty, &ds.table_b);
+        let half = ds.table_a.len() / 2;
+        for (lo, hi) in [(0, half), (half, ds.table_a.len()), (0, half)] {
+            let batch = ds.table_a.slice_rows(lo..hi);
+            let pairs: Vec<RecordPair> = (0..batch.len())
+                .flat_map(|i| (0..ds.table_b.len()).map(move |j| RecordPair::new(i, j)))
+                .collect();
+            cache.rebind_left(&batch);
+            let cached = cache.generate(&batch, &ds.table_b, &pairs);
+            let uncached = g.generate(&batch, &ds.table_b, &pairs);
+            bitwise_eq(&uncached, &cached);
+        }
+    }
+
+    #[test]
+    fn memo_cap_evicts_old_epochs_and_stays_correct() {
+        let ds = em_data::Benchmark::FodorsZagats.generate_scaled(4, 0.25);
+        let g =
+            FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+        let uncached = g.generate(&ds.table_a, &ds.table_b, &pairs);
+        let mut cache = FeatureCache::new(g, &ds.table_a, &ds.table_b);
+        let _ = cache.generate(&ds.table_a, &ds.table_b, &pairs);
+        let full = cache.memo_len();
+        assert!(full > 8, "test needs a non-trivial memo");
+        // A cap below the working set forces eviction between batches, but
+        // never of entries the in-progress batch needs — results stay exact.
+        cache.set_memo_cap(Some(full / 2));
+        let mid = pairs.len() / 2;
+        let first = cache.generate(&ds.table_a, &ds.table_b, &pairs[..mid]);
+        let second = cache.generate(&ds.table_a, &ds.table_b, &pairs[mid..]);
+        for r in 0..pairs.len() {
+            let got = if r < mid {
+                first.row(r)
+            } else {
+                second.row(r - mid)
+            };
+            for (x, y) in got.iter().zip(uncached.row(r)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(
+            cache.memo_len() <= full,
+            "cap should prevent unbounded growth"
+        );
     }
 
     #[test]

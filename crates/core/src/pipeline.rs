@@ -7,6 +7,7 @@ use em_ml::decomp::{FeatureAgglomeration, Pca};
 use em_ml::featsel::{
     select_percentile, select_rates, variance_threshold, FittedSelector, RateMode, ScoreFunc,
 };
+use em_ml::jsonio;
 use em_ml::preprocess::{
     sample_weights, BalancingStrategy, FittedScaler, ImputeStrategy, ScalerKind, SimpleImputer,
 };
@@ -16,6 +17,7 @@ use em_ml::{
     KNeighborsClassifier, KnnParams, KnnWeights, LinearSvm, LinearSvmParams, LogisticRegression,
     LogisticRegressionParams, Matrix, MaxFeatures, RandomForestClassifier, TreeParams,
 };
+use em_rt::Json;
 
 /// Feature-preprocessing component choice (paper Fig. 4 middle column).
 #[derive(Debug, Clone, PartialEq)]
@@ -499,6 +501,40 @@ impl Classifier for SingleTreeClassifier {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         self.tree.as_ref().map(DecisionTree::feature_importances)
     }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl SingleTreeClassifier {
+    /// Serialize the fitted tree classifier for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("params", self.params.to_json()),
+            (
+                "tree",
+                match &self.tree {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("n_classes", Json::from(self.n_classes)),
+        ])
+    }
+
+    /// Inverse of [`SingleTreeClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let tree = match jsonio::field(j, "tree")? {
+            Json::Null => None,
+            t => Some(DecisionTree::from_json(t)?),
+        };
+        Ok(SingleTreeClassifier {
+            params: TreeParams::from_json(jsonio::field(j, "params")?)?,
+            tree,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
+    }
 }
 
 /// A fully fitted pipeline: transforms plus trained model.
@@ -528,6 +564,22 @@ impl FittedEmPipeline {
     pub fn predict_match_proba(&self, x: &Matrix) -> Vec<f64> {
         let p = self.model.predict_proba(&self.transform(x));
         (0..p.nrows()).map(|r| p.get(r, 1)).collect()
+    }
+
+    /// Matching probability plus hard decision per pair, transforming `x`
+    /// once. Decisions come from the model's own `predict` (not from
+    /// thresholding the probability), so they are exactly
+    /// [`Self::predict`]'s output — the serving path relies on that
+    /// equality.
+    pub fn predict_with_scores(&self, x: &Matrix) -> Vec<(f64, bool)> {
+        let xt = self.transform(x);
+        let proba = self.model.predict_proba(&xt);
+        self.model
+            .predict(&xt)
+            .into_iter()
+            .enumerate()
+            .map(|(r, c)| (proba.get(r, 1), c == 1))
+            .collect()
     }
 
     /// F1 on the positive class against gold labels.
@@ -577,6 +629,370 @@ impl FittedEmPipeline {
     /// features (post-transform), if it has any.
     pub fn model_feature_importances(&self) -> Option<Vec<f64>> {
         self.model.feature_importances()
+    }
+}
+
+fn score_to_json(score: ScoreFunc) -> Json {
+    Json::from(match score {
+        ScoreFunc::FClassif => "f_classif",
+        ScoreFunc::Chi2 => "chi2",
+    })
+}
+
+fn score_from_json(j: &Json) -> Result<ScoreFunc, String> {
+    match jsonio::as_str(j)? {
+        "f_classif" => Ok(ScoreFunc::FClassif),
+        "chi2" => Ok(ScoreFunc::Chi2),
+        other => Err(format!("unknown score func {other:?}")),
+    }
+}
+
+impl PreprocessorChoice {
+    /// Serialize to the artifact encoding (a tagged object).
+    pub fn to_json(&self) -> Json {
+        match self {
+            PreprocessorChoice::None => Json::obj([("choice", Json::from("none"))]),
+            PreprocessorChoice::SelectPercentile { score, percentile } => Json::obj([
+                ("choice", Json::from("select_percentile")),
+                ("score", score_to_json(*score)),
+                ("percentile", jsonio::num(*percentile)),
+            ]),
+            PreprocessorChoice::SelectRates { score, mode, alpha } => Json::obj([
+                ("choice", Json::from("select_rates")),
+                ("score", score_to_json(*score)),
+                (
+                    "mode",
+                    Json::from(match mode {
+                        RateMode::Fpr => "fpr",
+                        RateMode::Fdr => "fdr",
+                        RateMode::Fwe => "fwe",
+                    }),
+                ),
+                ("alpha", jsonio::num(*alpha)),
+            ]),
+            PreprocessorChoice::VarianceThreshold { threshold } => Json::obj([
+                ("choice", Json::from("variance_threshold")),
+                ("threshold", jsonio::num(*threshold)),
+            ]),
+            PreprocessorChoice::Pca {
+                components_fraction,
+            } => Json::obj([
+                ("choice", Json::from("pca")),
+                ("components_fraction", jsonio::num(*components_fraction)),
+            ]),
+            PreprocessorChoice::FeatureAgglomeration { clusters_fraction } => Json::obj([
+                ("choice", Json::from("feature_agglomeration")),
+                ("clusters_fraction", jsonio::num(*clusters_fraction)),
+            ]),
+        }
+    }
+
+    /// Inverse of [`PreprocessorChoice::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        match jsonio::as_str(jsonio::field(j, "choice")?)? {
+            "none" => Ok(PreprocessorChoice::None),
+            "select_percentile" => Ok(PreprocessorChoice::SelectPercentile {
+                score: score_from_json(jsonio::field(j, "score")?)?,
+                percentile: jsonio::as_f64(jsonio::field(j, "percentile")?)?,
+            }),
+            "select_rates" => Ok(PreprocessorChoice::SelectRates {
+                score: score_from_json(jsonio::field(j, "score")?)?,
+                mode: match jsonio::as_str(jsonio::field(j, "mode")?)? {
+                    "fpr" => RateMode::Fpr,
+                    "fdr" => RateMode::Fdr,
+                    "fwe" => RateMode::Fwe,
+                    other => return Err(format!("unknown rate mode {other:?}")),
+                },
+                alpha: jsonio::as_f64(jsonio::field(j, "alpha")?)?,
+            }),
+            "variance_threshold" => Ok(PreprocessorChoice::VarianceThreshold {
+                threshold: jsonio::as_f64(jsonio::field(j, "threshold")?)?,
+            }),
+            "pca" => Ok(PreprocessorChoice::Pca {
+                components_fraction: jsonio::as_f64(jsonio::field(j, "components_fraction")?)?,
+            }),
+            "feature_agglomeration" => Ok(PreprocessorChoice::FeatureAgglomeration {
+                clusters_fraction: jsonio::as_f64(jsonio::field(j, "clusters_fraction")?)?,
+            }),
+            other => Err(format!("unknown preprocessor choice {other:?}")),
+        }
+    }
+}
+
+impl ClassifierChoice {
+    /// Serialize to the artifact encoding (a tagged object). The tag also
+    /// selects which concrete model type `FittedEmPipeline::from_json`
+    /// deserializes the stored weights into.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ClassifierChoice::RandomForest {
+                n_estimators,
+                criterion,
+                max_features,
+                min_samples_split,
+                min_samples_leaf,
+                bootstrap,
+            } => Json::obj([
+                ("choice", Json::from("random_forest")),
+                ("n_estimators", Json::from(*n_estimators)),
+                ("criterion", Json::from(criterion.as_str())),
+                ("max_features", jsonio::num(*max_features)),
+                ("min_samples_split", Json::from(*min_samples_split)),
+                ("min_samples_leaf", Json::from(*min_samples_leaf)),
+                ("bootstrap", Json::from(*bootstrap)),
+            ]),
+            ClassifierChoice::ExtraTrees {
+                n_estimators,
+                criterion,
+                max_features,
+                min_samples_leaf,
+            } => Json::obj([
+                ("choice", Json::from("extra_trees")),
+                ("n_estimators", Json::from(*n_estimators)),
+                ("criterion", Json::from(criterion.as_str())),
+                ("max_features", jsonio::num(*max_features)),
+                ("min_samples_leaf", Json::from(*min_samples_leaf)),
+            ]),
+            ClassifierChoice::DecisionTree {
+                criterion,
+                max_depth,
+                min_samples_split,
+                min_samples_leaf,
+            } => Json::obj([
+                ("choice", Json::from("decision_tree")),
+                ("criterion", Json::from(criterion.as_str())),
+                ("max_depth", Json::from(*max_depth)),
+                ("min_samples_split", Json::from(*min_samples_split)),
+                ("min_samples_leaf", Json::from(*min_samples_leaf)),
+            ]),
+            ClassifierChoice::AdaBoost {
+                n_estimators,
+                learning_rate,
+                max_depth,
+            } => Json::obj([
+                ("choice", Json::from("adaboost")),
+                ("n_estimators", Json::from(*n_estimators)),
+                ("learning_rate", jsonio::num(*learning_rate)),
+                ("max_depth", Json::from(*max_depth)),
+            ]),
+            ClassifierChoice::GradientBoosting {
+                n_estimators,
+                learning_rate,
+                max_depth,
+                min_samples_leaf,
+                subsample,
+            } => Json::obj([
+                ("choice", Json::from("gradient_boosting")),
+                ("n_estimators", Json::from(*n_estimators)),
+                ("learning_rate", jsonio::num(*learning_rate)),
+                ("max_depth", Json::from(*max_depth)),
+                ("min_samples_leaf", Json::from(*min_samples_leaf)),
+                ("subsample", jsonio::num(*subsample)),
+            ]),
+            ClassifierChoice::LogisticRegression { alpha } => Json::obj([
+                ("choice", Json::from("logistic_regression")),
+                ("alpha", jsonio::num(*alpha)),
+            ]),
+            ClassifierChoice::LinearSvm { lambda } => Json::obj([
+                ("choice", Json::from("linear_svm")),
+                ("lambda", jsonio::num(*lambda)),
+            ]),
+            ClassifierChoice::Knn { k, weights } => Json::obj([
+                ("choice", Json::from("knn")),
+                ("k", Json::from(*k)),
+                (
+                    "weights",
+                    Json::from(match weights {
+                        KnnWeights::Uniform => "uniform",
+                        KnnWeights::Distance => "distance",
+                    }),
+                ),
+            ]),
+            ClassifierChoice::GaussianNb { var_smoothing } => Json::obj([
+                ("choice", Json::from("gaussian_nb")),
+                ("var_smoothing", jsonio::num(*var_smoothing)),
+            ]),
+        }
+    }
+
+    /// Inverse of [`ClassifierChoice::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let crit = |key: &str| -> Result<Criterion, String> {
+            Criterion::parse(jsonio::as_str(jsonio::field(j, key)?)?)
+        };
+        match jsonio::as_str(jsonio::field(j, "choice")?)? {
+            "random_forest" => Ok(ClassifierChoice::RandomForest {
+                n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+                criterion: crit("criterion")?,
+                max_features: jsonio::as_f64(jsonio::field(j, "max_features")?)?,
+                min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
+                min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+                bootstrap: jsonio::as_bool(jsonio::field(j, "bootstrap")?)?,
+            }),
+            "extra_trees" => Ok(ClassifierChoice::ExtraTrees {
+                n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+                criterion: crit("criterion")?,
+                max_features: jsonio::as_f64(jsonio::field(j, "max_features")?)?,
+                min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+            }),
+            "decision_tree" => Ok(ClassifierChoice::DecisionTree {
+                criterion: crit("criterion")?,
+                max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+                min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
+                min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+            }),
+            "adaboost" => Ok(ClassifierChoice::AdaBoost {
+                n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+                learning_rate: jsonio::as_f64(jsonio::field(j, "learning_rate")?)?,
+                max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+            }),
+            "gradient_boosting" => Ok(ClassifierChoice::GradientBoosting {
+                n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+                learning_rate: jsonio::as_f64(jsonio::field(j, "learning_rate")?)?,
+                max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+                min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+                subsample: jsonio::as_f64(jsonio::field(j, "subsample")?)?,
+            }),
+            "logistic_regression" => Ok(ClassifierChoice::LogisticRegression {
+                alpha: jsonio::as_f64(jsonio::field(j, "alpha")?)?,
+            }),
+            "linear_svm" => Ok(ClassifierChoice::LinearSvm {
+                lambda: jsonio::as_f64(jsonio::field(j, "lambda")?)?,
+            }),
+            "knn" => Ok(ClassifierChoice::Knn {
+                k: jsonio::as_usize(jsonio::field(j, "k")?)?,
+                weights: match jsonio::as_str(jsonio::field(j, "weights")?)? {
+                    "uniform" => KnnWeights::Uniform,
+                    "distance" => KnnWeights::Distance,
+                    other => return Err(format!("unknown knn weights {other:?}")),
+                },
+            }),
+            "gaussian_nb" => Ok(ClassifierChoice::GaussianNb {
+                var_smoothing: jsonio::as_f64(jsonio::field(j, "var_smoothing")?)?,
+            }),
+            other => Err(format!("unknown classifier choice {other:?}")),
+        }
+    }
+}
+
+impl EmPipelineConfig {
+    /// Serialize the declarative configuration to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "balancing",
+                Json::from(match self.balancing {
+                    BalancingStrategy::None => "none",
+                    BalancingStrategy::Weighting => "weighting",
+                }),
+            ),
+            ("imputation", self.imputation.to_json()),
+            ("rescaling", self.rescaling.to_json()),
+            ("preprocessor", self.preprocessor.to_json()),
+            ("classifier", self.classifier.to_json()),
+            ("seed", jsonio::u64_str(self.seed)),
+        ])
+    }
+
+    /// Inverse of [`EmPipelineConfig::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(EmPipelineConfig {
+            balancing: match jsonio::as_str(jsonio::field(j, "balancing")?)? {
+                "none" => BalancingStrategy::None,
+                "weighting" => BalancingStrategy::Weighting,
+                other => return Err(format!("unknown balancing {other:?}")),
+            },
+            imputation: ImputeStrategy::from_json(jsonio::field(j, "imputation")?)?,
+            rescaling: ScalerKind::from_json(jsonio::field(j, "rescaling")?)?,
+            preprocessor: PreprocessorChoice::from_json(jsonio::field(j, "preprocessor")?)?,
+            classifier: ClassifierChoice::from_json(jsonio::field(j, "classifier")?)?,
+            seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+        })
+    }
+}
+
+impl FittedTransform {
+    /// Serialize the fitted stage to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FittedTransform::None => Json::obj([("kind", Json::from("none"))]),
+            FittedTransform::Select(s) => {
+                Json::obj([("kind", Json::from("select")), ("selector", s.to_json())])
+            }
+            FittedTransform::Pca(p) => {
+                Json::obj([("kind", Json::from("pca")), ("pca", p.to_json())])
+            }
+            FittedTransform::Agglomeration(a) => Json::obj([
+                ("kind", Json::from("agglomeration")),
+                ("agglom", a.to_json()),
+            ]),
+        }
+    }
+
+    /// Inverse of [`FittedTransform::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        match jsonio::as_str(jsonio::field(j, "kind")?)? {
+            "none" => Ok(FittedTransform::None),
+            "select" => Ok(FittedTransform::Select(FittedSelector::from_json(
+                jsonio::field(j, "selector")?,
+            )?)),
+            "pca" => Ok(FittedTransform::Pca(Pca::from_json(jsonio::field(
+                j, "pca",
+            )?)?)),
+            "agglomeration" => Ok(FittedTransform::Agglomeration(
+                FeatureAgglomeration::from_json(jsonio::field(j, "agglom")?)?,
+            )),
+            other => Err(format!("unknown transform kind {other:?}")),
+        }
+    }
+}
+
+/// Deserialize a fitted classifier, dispatching on the configuration's
+/// classifier choice (the same 1:1 mapping [`build_classifier`] uses).
+fn load_classifier(choice: &ClassifierChoice, j: &Json) -> Result<Box<dyn Classifier>, String> {
+    Ok(match choice {
+        ClassifierChoice::RandomForest { .. } => Box::new(RandomForestClassifier::from_json(j)?),
+        ClassifierChoice::ExtraTrees { .. } => Box::new(ExtraTreesClassifier::from_json(j)?),
+        ClassifierChoice::DecisionTree { .. } => Box::new(SingleTreeClassifier::from_json(j)?),
+        ClassifierChoice::AdaBoost { .. } => Box::new(AdaBoostClassifier::from_json(j)?),
+        ClassifierChoice::GradientBoosting { .. } => {
+            Box::new(GradientBoostingClassifier::from_json(j)?)
+        }
+        ClassifierChoice::LogisticRegression { .. } => Box::new(LogisticRegression::from_json(j)?),
+        ClassifierChoice::LinearSvm { .. } => Box::new(LinearSvm::from_json(j)?),
+        ClassifierChoice::Knn { .. } => Box::new(KNeighborsClassifier::from_json(j)?),
+        ClassifierChoice::GaussianNb { .. } => Box::new(GaussianNb::from_json(j)?),
+    })
+}
+
+impl FittedEmPipeline {
+    /// Serialize the complete fitted pipeline — configuration, fitted
+    /// preprocessing stages, and model weights — for the `em-serve` model
+    /// artifact. `from_json` reconstructs a pipeline whose `predict` is
+    /// bit-identical to this one's.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", self.config.to_json()),
+            ("imputer", self.imputer.to_json()),
+            ("scaler", self.scaler.to_json()),
+            ("transform", self.transform.to_json()),
+            ("model", self.model.save_json()),
+        ])
+    }
+
+    /// Inverse of [`FittedEmPipeline::to_json`]. The model weights are
+    /// loaded into the concrete type named by the configuration's
+    /// classifier choice.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let config = EmPipelineConfig::from_json(jsonio::field(j, "config")?)?;
+        let model = load_classifier(&config.classifier, jsonio::field(j, "model")?)?;
+        Ok(FittedEmPipeline {
+            imputer: SimpleImputer::from_json(jsonio::field(j, "imputer")?)?,
+            scaler: FittedScaler::from_json(jsonio::field(j, "scaler")?)?,
+            transform: FittedTransform::from_json(jsonio::field(j, "transform")?)?,
+            model,
+            config,
+        })
     }
 }
 

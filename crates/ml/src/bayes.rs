@@ -1,8 +1,10 @@
 //! Gaussian naive Bayes — one of the "all-model" search-space members
 //! (paper Fig. 4 lists Naive Bayes among Magellan's candidate models).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::Classifier;
+use em_rt::Json;
 
 /// Gaussian-NB hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +134,56 @@ impl Classifier for GaussianNb {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl GaussianNb {
+    /// Serialize the fitted model for the model artifact. Log-priors can be
+    /// `-inf` (a class absent from the training data), which the shared
+    /// helpers encode as the string `"-inf"`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "params",
+                Json::obj([("var_smoothing", jsonio::num(self.params.var_smoothing))]),
+            ),
+            ("class_log_prior", jsonio::nums(&self.class_log_prior)),
+            (
+                "means",
+                Json::arr(self.means.iter().map(|m| jsonio::nums(m))),
+            ),
+            (
+                "variances",
+                Json::arr(self.variances.iter().map(|v| jsonio::nums(v))),
+            ),
+            ("n_classes", Json::from(self.n_classes)),
+        ])
+    }
+
+    /// Inverse of [`GaussianNb::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let p = jsonio::field(j, "params")?;
+        let rows = |key: &str| -> Result<Vec<Vec<f64>>, String> {
+            jsonio::field(j, key)?
+                .as_arr()
+                .ok_or_else(|| format!("{key} must be an array"))?
+                .iter()
+                .map(jsonio::f64_vec)
+                .collect()
+        };
+        Ok(GaussianNb {
+            params: GaussianNbParams {
+                var_smoothing: jsonio::as_f64(jsonio::field(p, "var_smoothing")?)?,
+            },
+            class_log_prior: jsonio::f64_vec(jsonio::field(j, "class_log_prior")?)?,
+            means: rows("means")?,
+            variances: rows("variances")?,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 

@@ -2,9 +2,11 @@
 //! with logistic loss — two of the "all-model" search-space members the
 //! paper's Figure 10 compares against the random-forest-only space.
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::tree::{Criterion, DecisionTree, MaxFeatures, Splitter, TreeParams};
 use crate::Classifier;
+use em_rt::Json;
 
 /// AdaBoost hyperparameters (sklearn `AdaBoostClassifier` with tree stumps).
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +139,69 @@ impl Classifier for AdaBoostClassifier {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl AdaBoostParams {
+    /// Serialize the hyperparameters to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_estimators", Json::from(self.n_estimators)),
+            ("learning_rate", jsonio::num(self.learning_rate)),
+            ("max_depth", Json::from(self.max_depth)),
+            ("seed", jsonio::u64_str(self.seed)),
+        ])
+    }
+
+    /// Inverse of [`AdaBoostParams::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(AdaBoostParams {
+            n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+            learning_rate: jsonio::as_f64(jsonio::field(j, "learning_rate")?)?,
+            max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+            seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+        })
+    }
+}
+
+impl AdaBoostClassifier {
+    /// Serialize the fitted booster (stage trees + stage weights) for the
+    /// model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("params", self.params.to_json()),
+            ("n_classes", Json::from(self.n_classes)),
+            (
+                "stages",
+                Json::arr(self.stages.iter().map(|(tree, alpha)| {
+                    Json::obj([("alpha", jsonio::num(*alpha)), ("tree", tree.to_json())])
+                })),
+            ),
+        ])
+    }
+
+    /// Inverse of [`AdaBoostClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let stages = jsonio::field(j, "stages")?
+            .as_arr()
+            .ok_or_else(|| "stages must be an array".to_string())?
+            .iter()
+            .map(|s| {
+                Ok((
+                    DecisionTree::from_json(jsonio::field(s, "tree")?)?,
+                    jsonio::as_f64(jsonio::field(s, "alpha")?)?,
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(AdaBoostClassifier {
+            params: AdaBoostParams::from_json(jsonio::field(j, "params")?)?,
+            stages,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 
@@ -300,6 +365,67 @@ impl Classifier for GradientBoostingClassifier {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl GradientBoostingParams {
+    /// Serialize the hyperparameters to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_estimators", Json::from(self.n_estimators)),
+            ("learning_rate", jsonio::num(self.learning_rate)),
+            ("max_depth", Json::from(self.max_depth)),
+            ("min_samples_leaf", Json::from(self.min_samples_leaf)),
+            ("subsample", jsonio::num(self.subsample)),
+            ("seed", jsonio::u64_str(self.seed)),
+        ])
+    }
+
+    /// Inverse of [`GradientBoostingParams::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(GradientBoostingParams {
+            n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+            learning_rate: jsonio::as_f64(jsonio::field(j, "learning_rate")?)?,
+            max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+            min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+            subsample: jsonio::as_f64(jsonio::field(j, "subsample")?)?,
+            seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+        })
+    }
+}
+
+impl GradientBoostingClassifier {
+    /// Serialize the fitted booster (init score + stage trees) for the
+    /// model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("params", self.params.to_json()),
+            ("init_score", jsonio::num(self.init_score)),
+            ("n_classes", Json::from(self.n_classes)),
+            (
+                "trees",
+                Json::arr(self.trees.iter().map(DecisionTree::to_json)),
+            ),
+        ])
+    }
+
+    /// Inverse of [`GradientBoostingClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(GradientBoostingClassifier {
+            params: GradientBoostingParams::from_json(jsonio::field(j, "params")?)?,
+            init_score: jsonio::as_f64(jsonio::field(j, "init_score")?)?,
+            trees: jsonio::field(j, "trees")?
+                .as_arr()
+                .ok_or_else(|| "trees must be an array".to_string())?
+                .iter()
+                .map(DecisionTree::from_json)
+                .collect::<Result<_, _>>()?,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 

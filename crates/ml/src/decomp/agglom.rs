@@ -3,7 +3,9 @@
 //! to its mean — a feature-preprocessing option of the search space
 //! (paper Fig. 4).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
+use em_rt::Json;
 
 /// A fitted feature-agglomeration transform.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +111,25 @@ impl FeatureAgglomeration {
     /// Output dimensionality.
     pub fn n_clusters(&self) -> usize {
         self.n_clusters
+    }
+
+    /// Serialize the fitted transform for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "labels",
+                Json::arr(self.labels.iter().map(|&l| Json::from(l))),
+            ),
+            ("n_clusters", Json::from(self.n_clusters)),
+        ])
+    }
+
+    /// Inverse of [`FeatureAgglomeration::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(FeatureAgglomeration {
+            labels: jsonio::usize_vec(jsonio::field(j, "labels")?)?,
+            n_clusters: jsonio::as_usize(jsonio::field(j, "n_clusters")?)?,
+        })
     }
 }
 

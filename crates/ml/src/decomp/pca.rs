@@ -2,7 +2,9 @@
 //! `pca(...)` feature-preprocessing option of the AutoML search space
 //! (paper Fig. 4).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
+use em_rt::Json;
 
 /// A fitted PCA transform.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +102,32 @@ impl Pca {
     /// rank-deficient data).
     pub fn n_components(&self) -> usize {
         self.components.len()
+    }
+
+    /// Serialize the fitted transform for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("means", jsonio::nums(&self.means)),
+            (
+                "components",
+                Json::arr(self.components.iter().map(|c| jsonio::nums(c))),
+            ),
+            ("explained_variance", jsonio::nums(&self.explained_variance)),
+        ])
+    }
+
+    /// Inverse of [`Pca::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(Pca {
+            means: jsonio::f64_vec(jsonio::field(j, "means")?)?,
+            components: jsonio::field(j, "components")?
+                .as_arr()
+                .ok_or_else(|| "components must be an array".to_string())?
+                .iter()
+                .map(jsonio::f64_vec)
+                .collect::<Result<_, _>>()?,
+            explained_variance: jsonio::f64_vec(jsonio::field(j, "explained_variance")?)?,
+        })
     }
 }
 

@@ -4,7 +4,9 @@
 
 use crate::featsel::anova::f_classif;
 use crate::featsel::chi2::chi2;
+use crate::jsonio;
 use crate::matrix::Matrix;
+use em_rt::Json;
 
 /// Univariate scoring function for feature selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +62,25 @@ impl FittedSelector {
             "column count changed since fit"
         );
         x.select_columns(&self.selected)
+    }
+
+    /// Serialize the fitted selector for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "selected",
+                Json::arr(self.selected.iter().map(|&i| Json::from(i))),
+            ),
+            ("n_input_features", Json::from(self.n_input_features)),
+        ])
+    }
+
+    /// Inverse of [`FittedSelector::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(FittedSelector {
+            selected: jsonio::usize_vec(jsonio::field(j, "selected")?)?,
+            n_input_features: jsonio::as_usize(jsonio::field(j, "n_input_features")?)?,
+        })
     }
 }
 

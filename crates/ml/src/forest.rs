@@ -5,9 +5,11 @@
 //! confidence the paper's Figure 7 uses to separate active-learning picks
 //! (low agreement) from self-training picks (high agreement).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::tree::{Criterion, DecisionTree, MaxFeatures, Splitter, TreeParams};
 use crate::Classifier;
+use em_rt::Json;
 use em_rt::StdRng;
 
 /// Hyperparameters shared by the forest models. Field names and defaults
@@ -264,6 +266,10 @@ impl Classifier for RandomForestClassifier {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         Some(RandomForestClassifier::feature_importances(self))
     }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
 }
 
 /// Extra-trees classifier: no bootstrap by default, random split thresholds.
@@ -338,6 +344,103 @@ impl Classifier for ExtraTreesClassifier {
             out.iter_mut().for_each(|v| *v /= total);
         }
         Some(out)
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl ForestParams {
+    /// Serialize the hyperparameters to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_estimators", Json::from(self.n_estimators)),
+            ("criterion", Json::from(self.criterion.as_str())),
+            ("max_depth", jsonio::opt_usize(self.max_depth)),
+            ("min_samples_split", Json::from(self.min_samples_split)),
+            ("min_samples_leaf", Json::from(self.min_samples_leaf)),
+            ("max_features", self.max_features.to_json()),
+            ("bootstrap", Json::from(self.bootstrap)),
+            (
+                "min_impurity_decrease",
+                jsonio::num(self.min_impurity_decrease),
+            ),
+            ("seed", jsonio::u64_str(self.seed)),
+            ("n_jobs", Json::from(self.n_jobs)),
+        ])
+    }
+
+    /// Inverse of [`ForestParams::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ForestParams {
+            n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
+            criterion: Criterion::parse(jsonio::as_str(jsonio::field(j, "criterion")?)?)?,
+            max_depth: jsonio::as_opt_usize(jsonio::field(j, "max_depth")?)?,
+            min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
+            min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+            max_features: MaxFeatures::from_json(jsonio::field(j, "max_features")?)?,
+            bootstrap: jsonio::as_bool(jsonio::field(j, "bootstrap")?)?,
+            min_impurity_decrease: jsonio::as_f64(jsonio::field(j, "min_impurity_decrease")?)?,
+            seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+            n_jobs: jsonio::as_usize(jsonio::field(j, "n_jobs")?)?,
+        })
+    }
+}
+
+/// Shared (de)serialization for the two tree-ensemble classifiers (they
+/// differ only in splitter/bootstrap, which live inside the params/trees).
+fn ensemble_to_json(params: &ForestParams, trees: &[DecisionTree], n_classes: usize) -> Json {
+    Json::obj([
+        ("params", params.to_json()),
+        ("n_classes", Json::from(n_classes)),
+        ("trees", Json::arr(trees.iter().map(DecisionTree::to_json))),
+    ])
+}
+
+fn ensemble_from_json(j: &Json) -> Result<(ForestParams, Vec<DecisionTree>, usize), String> {
+    let params = ForestParams::from_json(jsonio::field(j, "params")?)?;
+    let n_classes = jsonio::as_usize(jsonio::field(j, "n_classes")?)?;
+    let trees = jsonio::field(j, "trees")?
+        .as_arr()
+        .ok_or_else(|| "trees must be an array".to_string())?
+        .iter()
+        .map(DecisionTree::from_json)
+        .collect::<Result<_, _>>()?;
+    Ok((params, trees, n_classes))
+}
+
+impl RandomForestClassifier {
+    /// Serialize the fitted forest for the model artifact.
+    pub fn to_json(&self) -> Json {
+        ensemble_to_json(&self.params, &self.trees, self.n_classes)
+    }
+
+    /// Inverse of [`RandomForestClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let (params, trees, n_classes) = ensemble_from_json(j)?;
+        Ok(RandomForestClassifier {
+            params,
+            trees,
+            n_classes,
+        })
+    }
+}
+
+impl ExtraTreesClassifier {
+    /// Serialize the fitted ensemble for the model artifact.
+    pub fn to_json(&self) -> Json {
+        ensemble_to_json(&self.params, &self.trees, self.n_classes)
+    }
+
+    /// Inverse of [`ExtraTreesClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let (params, trees, n_classes) = ensemble_from_json(j)?;
+        Ok(ExtraTreesClassifier {
+            params,
+            trees,
+            n_classes,
+        })
     }
 }
 

@@ -1,8 +1,10 @@
 //! k-nearest-neighbors classifier (brute force, Euclidean distance) — one of
 //! the "all-model" search-space members (paper Fig. 4's `KNeighborsClassifier`).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::Classifier;
+use em_rt::Json;
 
 /// Neighbor weighting scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +110,68 @@ impl Classifier for KNeighborsClassifier {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl KNeighborsClassifier {
+    /// Serialize the fitted model for the model artifact. k-NN is a lazy
+    /// learner, so the artifact carries the full training matrix.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "params",
+                Json::obj([
+                    ("k", Json::from(self.params.k)),
+                    (
+                        "weights",
+                        Json::from(match self.params.weights {
+                            KnnWeights::Uniform => "uniform",
+                            KnnWeights::Distance => "distance",
+                        }),
+                    ),
+                ]),
+            ),
+            (
+                "x_train",
+                match &self.x_train {
+                    Some(m) => jsonio::matrix_to_json(m),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "y_train",
+                Json::arr(self.y_train.iter().map(|&c| Json::from(c))),
+            ),
+            ("sample_weight", jsonio::nums(&self.sample_weight)),
+            ("n_classes", Json::from(self.n_classes)),
+        ])
+    }
+
+    /// Inverse of [`KNeighborsClassifier::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let p = jsonio::field(j, "params")?;
+        let x_train = match jsonio::field(j, "x_train")? {
+            Json::Null => None,
+            m => Some(jsonio::matrix_from_json(m)?),
+        };
+        Ok(KNeighborsClassifier {
+            params: KnnParams {
+                k: jsonio::as_usize(jsonio::field(p, "k")?)?,
+                weights: match jsonio::as_str(jsonio::field(p, "weights")?)? {
+                    "uniform" => KnnWeights::Uniform,
+                    "distance" => KnnWeights::Distance,
+                    other => return Err(format!("unknown knn weights {other:?}")),
+                },
+            },
+            x_train,
+            y_train: jsonio::usize_vec(jsonio::field(j, "y_train")?)?,
+            sample_weight: jsonio::f64_vec(jsonio::field(j, "sample_weight")?)?,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 

@@ -24,6 +24,7 @@ pub mod boost;
 pub mod decomp;
 pub mod featsel;
 pub mod forest;
+pub mod jsonio;
 pub mod knn;
 pub mod linear;
 pub mod matrix;
@@ -89,6 +90,12 @@ pub trait Classifier: Send + Sync {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// Serialize the fitted model (hyperparameters + learned weights) to a
+    /// JSON value for the `em-serve` model artifact. The value is accepted
+    /// by the concrete type's `from_json`; which concrete type to load is
+    /// recorded separately (the pipeline's classifier choice).
+    fn save_json(&self) -> em_rt::Json;
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //! and a linear SVM trained with the Pegasos SGD scheme. Both are members of
 //! the "all-model" AutoML search space (paper Fig. 4).
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::Classifier;
+use em_rt::Json;
 use em_rt::SliceRandom;
 use em_rt::StdRng;
 
@@ -116,6 +118,44 @@ impl Classifier for LogisticRegression {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl LogisticRegression {
+    /// Serialize the fitted model (weights + bias) for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "params",
+                Json::obj([
+                    ("alpha", jsonio::num(self.params.alpha)),
+                    ("learning_rate", jsonio::num(self.params.learning_rate)),
+                    ("max_iter", Json::from(self.params.max_iter)),
+                ]),
+            ),
+            ("weights", jsonio::nums(&self.weights)),
+            ("bias", jsonio::num(self.bias)),
+            ("n_classes", Json::from(self.n_classes)),
+        ])
+    }
+
+    /// Inverse of [`LogisticRegression::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let p = jsonio::field(j, "params")?;
+        Ok(LogisticRegression {
+            params: LogisticRegressionParams {
+                alpha: jsonio::as_f64(jsonio::field(p, "alpha")?)?,
+                learning_rate: jsonio::as_f64(jsonio::field(p, "learning_rate")?)?,
+                max_iter: jsonio::as_usize(jsonio::field(p, "max_iter")?)?,
+            },
+            weights: jsonio::f64_vec(jsonio::field(j, "weights")?)?,
+            bias: jsonio::as_f64(jsonio::field(j, "bias")?)?,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 
@@ -232,6 +272,44 @@ impl Classifier for LinearSvm {
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    fn save_json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl LinearSvm {
+    /// Serialize the fitted model (weights + bias) for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "params",
+                Json::obj([
+                    ("lambda", jsonio::num(self.params.lambda)),
+                    ("epochs", Json::from(self.params.epochs)),
+                    ("seed", jsonio::u64_str(self.params.seed)),
+                ]),
+            ),
+            ("weights", jsonio::nums(&self.weights)),
+            ("bias", jsonio::num(self.bias)),
+            ("n_classes", Json::from(self.n_classes)),
+        ])
+    }
+
+    /// Inverse of [`LinearSvm::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let p = jsonio::field(j, "params")?;
+        Ok(LinearSvm {
+            params: LinearSvmParams {
+                lambda: jsonio::as_f64(jsonio::field(p, "lambda")?)?,
+                epochs: jsonio::as_usize(jsonio::field(p, "epochs")?)?,
+                seed: jsonio::as_u64(jsonio::field(p, "seed")?)?,
+            },
+            weights: jsonio::f64_vec(jsonio::field(j, "weights")?)?,
+            bias: jsonio::as_f64(jsonio::field(j, "bias")?)?,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+        })
     }
 }
 

@@ -3,7 +3,9 @@
 //! EM feature vectors contain NaN whenever either record's attribute value
 //! was missing, so every pipeline starts with an imputer.
 
+use crate::jsonio;
 use crate::matrix::Matrix;
+use em_rt::Json;
 
 /// Imputation strategy, mirroring sklearn's `SimpleImputer`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +80,51 @@ impl SimpleImputer {
     /// The learned per-column fill values.
     pub fn statistics(&self) -> &[f64] {
         &self.statistics
+    }
+
+    /// Serialize the fitted imputer for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.to_json()),
+            ("statistics", jsonio::nums(&self.statistics)),
+        ])
+    }
+
+    /// Inverse of [`SimpleImputer::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(SimpleImputer {
+            strategy: ImputeStrategy::from_json(jsonio::field(j, "strategy")?)?,
+            statistics: jsonio::f64_vec(jsonio::field(j, "statistics")?)?,
+        })
+    }
+}
+
+impl ImputeStrategy {
+    /// Serialize to the artifact encoding (a tag string, or `{constant}`
+    /// for the parameterized variant).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            ImputeStrategy::Mean => Json::from("mean"),
+            ImputeStrategy::Median => Json::from("median"),
+            ImputeStrategy::MostFrequent => Json::from("most_frequent"),
+            ImputeStrategy::Constant(v) => Json::obj([("constant", jsonio::num(v))]),
+        }
+    }
+
+    /// Inverse of [`ImputeStrategy::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        if let Some(tag) = j.as_str() {
+            return match tag {
+                "mean" => Ok(ImputeStrategy::Mean),
+                "median" => Ok(ImputeStrategy::Median),
+                "most_frequent" => Ok(ImputeStrategy::MostFrequent),
+                other => Err(format!("unknown impute strategy {other:?}")),
+            };
+        }
+        if let Some(v) = j.get("constant") {
+            return Ok(ImputeStrategy::Constant(jsonio::as_f64(v)?));
+        }
+        Err("unknown impute strategy encoding".to_string())
     }
 }
 

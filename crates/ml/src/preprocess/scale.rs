@@ -4,8 +4,10 @@
 //! min-max, and the quantile-based `RobustScaler` whose `q_min` parameter is
 //! tuned in Figure 3c.
 
+use crate::jsonio;
 use crate::matrix::Matrix;
 use crate::stats::{mean, quantile};
+use em_rt::Json;
 
 /// A fitted scaler: per-column `(center, scale)` applied as
 /// `(x - center) / scale`.
@@ -120,6 +122,59 @@ impl FittedScaler {
     /// The scaler variant.
     pub fn kind(&self) -> ScalerKind {
         self.kind
+    }
+
+    /// Serialize the fitted scaler for the model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("centers", jsonio::nums(&self.centers)),
+            ("scales", jsonio::nums(&self.scales)),
+        ])
+    }
+
+    /// Inverse of [`FittedScaler::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(FittedScaler {
+            kind: ScalerKind::from_json(jsonio::field(j, "kind")?)?,
+            centers: jsonio::f64_vec(jsonio::field(j, "centers")?)?,
+            scales: jsonio::f64_vec(jsonio::field(j, "scales")?)?,
+        })
+    }
+}
+
+impl ScalerKind {
+    /// Serialize to the artifact encoding (a tag string, or `{robust}` for
+    /// the parameterized variant).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            ScalerKind::Standard => Json::from("standard"),
+            ScalerKind::MinMax => Json::from("minmax"),
+            ScalerKind::None => Json::from("none"),
+            ScalerKind::Robust { q_min, q_max } => Json::obj([(
+                "robust",
+                Json::obj([("q_min", jsonio::num(q_min)), ("q_max", jsonio::num(q_max))]),
+            )]),
+        }
+    }
+
+    /// Inverse of [`ScalerKind::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        if let Some(tag) = j.as_str() {
+            return match tag {
+                "standard" => Ok(ScalerKind::Standard),
+                "minmax" => Ok(ScalerKind::MinMax),
+                "none" => Ok(ScalerKind::None),
+                other => Err(format!("unknown scaler kind {other:?}")),
+            };
+        }
+        if let Some(r) = j.get("robust") {
+            return Ok(ScalerKind::Robust {
+                q_min: jsonio::as_f64(jsonio::field(r, "q_min")?)?,
+                q_max: jsonio::as_f64(jsonio::field(r, "q_max")?)?,
+            });
+        }
+        Err("unknown scaler kind encoding".to_string())
     }
 }
 

@@ -6,7 +6,9 @@
 //! MSE for regression, per-node random feature subsampling (`max_features`),
 //! and the extra-trees "random threshold" splitter.
 
+use crate::jsonio;
 use crate::matrix::Matrix;
+use em_rt::Json;
 use em_rt::SliceRandom;
 use em_rt::StdRng;
 
@@ -569,6 +571,176 @@ impl DecisionTree {
             return vec![0.0; self.n_features];
         }
         self.importances.iter().map(|v| v / total).collect()
+    }
+}
+
+impl Criterion {
+    /// Stable artifact name of the criterion.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Criterion::Gini => "gini",
+            Criterion::Entropy => "entropy",
+            Criterion::Mse => "mse",
+        }
+    }
+
+    /// Inverse of [`Criterion::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "gini" => Ok(Criterion::Gini),
+            "entropy" => Ok(Criterion::Entropy),
+            "mse" => Ok(Criterion::Mse),
+            other => Err(format!("unknown criterion {other:?}")),
+        }
+    }
+}
+
+impl MaxFeatures {
+    /// Serialize to the artifact encoding (a tag string, or `{fraction}` /
+    /// `{count}` objects for the parameterized variants).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            MaxFeatures::All => Json::from("all"),
+            MaxFeatures::Sqrt => Json::from("sqrt"),
+            MaxFeatures::Log2 => Json::from("log2"),
+            MaxFeatures::Fraction(f) => Json::obj([("fraction", jsonio::num(f))]),
+            MaxFeatures::Count(c) => Json::obj([("count", Json::from(c))]),
+        }
+    }
+
+    /// Inverse of [`MaxFeatures::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        if let Some(s) = j.as_str() {
+            return match s {
+                "all" => Ok(MaxFeatures::All),
+                "sqrt" => Ok(MaxFeatures::Sqrt),
+                "log2" => Ok(MaxFeatures::Log2),
+                other => Err(format!("unknown max_features {other:?}")),
+            };
+        }
+        if let Some(f) = j.get("fraction") {
+            return Ok(MaxFeatures::Fraction(jsonio::as_f64(f)?));
+        }
+        if let Some(c) = j.get("count") {
+            return Ok(MaxFeatures::Count(jsonio::as_usize(c)?));
+        }
+        Err("unknown max_features encoding".to_string())
+    }
+}
+
+impl TreeParams {
+    /// Serialize the hyperparameters to the artifact encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("criterion", Json::from(self.criterion.as_str())),
+            ("max_depth", jsonio::opt_usize(self.max_depth)),
+            ("min_samples_split", Json::from(self.min_samples_split)),
+            ("min_samples_leaf", Json::from(self.min_samples_leaf)),
+            ("max_features", self.max_features.to_json()),
+            (
+                "splitter",
+                Json::from(match self.splitter {
+                    Splitter::Best => "best",
+                    Splitter::Random => "random",
+                }),
+            ),
+            (
+                "min_impurity_decrease",
+                jsonio::num(self.min_impurity_decrease),
+            ),
+            ("seed", jsonio::u64_str(self.seed)),
+        ])
+    }
+
+    /// Inverse of [`TreeParams::to_json`].
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(TreeParams {
+            criterion: Criterion::parse(jsonio::as_str(jsonio::field(j, "criterion")?)?)?,
+            max_depth: jsonio::as_opt_usize(jsonio::field(j, "max_depth")?)?,
+            min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
+            min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
+            max_features: MaxFeatures::from_json(jsonio::field(j, "max_features")?)?,
+            splitter: match jsonio::as_str(jsonio::field(j, "splitter")?)? {
+                "best" => Splitter::Best,
+                "random" => Splitter::Random,
+                other => return Err(format!("unknown splitter {other:?}")),
+            },
+            min_impurity_decrease: jsonio::as_f64(jsonio::field(j, "min_impurity_decrease")?)?,
+            seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+        })
+    }
+}
+
+fn node_to_json(node: &Node) -> Json {
+    match node {
+        Node::Leaf { dist } => Json::obj([("dist", jsonio::nums(dist))]),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => Json::obj([
+            ("f", Json::from(*feature)),
+            ("t", jsonio::num(*threshold)),
+            ("l", Json::from(*left)),
+            ("r", Json::from(*right)),
+        ]),
+    }
+}
+
+fn node_from_json(j: &Json) -> Result<Node, String> {
+    if let Some(dist) = j.get("dist") {
+        return Ok(Node::Leaf {
+            dist: jsonio::f64_vec(dist)?,
+        });
+    }
+    Ok(Node::Split {
+        feature: jsonio::as_usize(jsonio::field(j, "f")?)?,
+        threshold: jsonio::as_f64(jsonio::field(j, "t")?)?,
+        left: jsonio::as_usize(jsonio::field(j, "l")?)?,
+        right: jsonio::as_usize(jsonio::field(j, "r")?)?,
+    })
+}
+
+impl DecisionTree {
+    /// Serialize the fitted tree (params, node array, importances) for the
+    /// model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("params", self.params.to_json()),
+            ("n_classes", Json::from(self.n_classes)),
+            ("n_features", Json::from(self.n_features)),
+            ("importances", jsonio::nums(&self.importances)),
+            ("nodes", Json::arr(self.nodes.iter().map(node_to_json))),
+        ])
+    }
+
+    /// Inverse of [`DecisionTree::to_json`]. Child indices are validated so
+    /// a corrupt artifact fails here rather than panicking at predict time.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let nodes: Vec<Node> = jsonio::field(j, "nodes")?
+            .as_arr()
+            .ok_or_else(|| "nodes must be an array".to_string())?
+            .iter()
+            .map(node_from_json)
+            .collect::<Result<_, _>>()?;
+        for node in &nodes {
+            if let Node::Split { left, right, .. } = node {
+                if *left >= nodes.len() || *right >= nodes.len() {
+                    return Err("tree node child index out of range".to_string());
+                }
+            }
+        }
+        if nodes.is_empty() {
+            return Err("tree has no nodes".to_string());
+        }
+        Ok(DecisionTree {
+            params: TreeParams::from_json(jsonio::field(j, "params")?)?,
+            nodes,
+            n_classes: jsonio::as_usize(jsonio::field(j, "n_classes")?)?,
+            n_features: jsonio::as_usize(jsonio::field(j, "n_features")?)?,
+            importances: jsonio::f64_vec(jsonio::field(j, "importances")?)?,
+        })
     }
 }
 

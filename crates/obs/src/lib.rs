@@ -103,6 +103,10 @@ fn apply_mode(mode: TraceMode) {
     *sink = match &mode {
         TraceMode::Off => None,
         TraceMode::Stderr => Some(SinkTarget::Stderr),
+        TraceMode::File(path) if std::path::Path::new(path).is_dir() => {
+            eprintln!("em-obs: EM_TRACE path {path} is a directory, not a file; tracing disabled");
+            None
+        }
         TraceMode::File(path) => match File::create(path) {
             Ok(f) => Some(SinkTarget::File(BufWriter::new(f))),
             Err(e) => {

@@ -96,6 +96,12 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.inner.count()
     }
+
+    /// Approximate quantile (bucket upper bound), `None` while empty. Lets
+    /// harnesses (e.g. `bench_serve`) read p50/p99 without a flush cycle.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.inner.quantile(q)
+    }
 }
 
 /// Serialize every registered metric. Called from [`flush`](crate::flush).

@@ -245,6 +245,9 @@ pub fn render_report(records: &[Json]) -> String {
         out.push_str(&format!(
             "memo lookups={total} hits={hits} misses={misses} hit rate={rate:.1}%\n"
         ));
+        if let Some(evicted) = counter_val("featcache.evictions") {
+            out.push_str(&format!("memo entries evicted={evicted}\n"));
+        }
     }
 
     // ---- metrics -----------------------------------------------------------
@@ -270,6 +273,66 @@ pub fn render_report(records: &[Json]) -> String {
         }
     }
     out
+}
+
+/// Convert parsed trace records into Chrome trace-event JSON (the
+/// `chrome://tracing` / Perfetto "JSON Array Format"): spans become complete
+/// (`ph:"X"`) events, trace events become instants (`ph:"i"`), and `thread`
+/// records become `thread_name` metadata. Timestamps are microseconds, as
+/// the format requires; summary records (`pool`, `channel`, `meta`,
+/// counters, histograms) have no timeline position and are skipped.
+pub fn chrome_trace(records: &[Json]) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    for r in records {
+        match kind(r) {
+            "thread" => {
+                let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+                events.push(Json::obj([
+                    ("ph", Json::from("M")),
+                    ("name", Json::from("thread_name")),
+                    ("pid", Json::from(1u64)),
+                    ("tid", Json::from(num(r, "id"))),
+                    ("args", Json::obj([("name", Json::from(name))])),
+                ]));
+            }
+            "span" => {
+                let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+                events.push(Json::obj([
+                    ("ph", Json::from("X")),
+                    ("name", Json::from(name)),
+                    ("cat", Json::from("span")),
+                    ("pid", Json::from(1u64)),
+                    ("tid", Json::from(num(r, "thread"))),
+                    ("ts", Json::from(num(r, "t0") / 1e3)),
+                    ("dur", Json::from((num(r, "t1") - num(r, "t0")) / 1e3)),
+                ]));
+            }
+            "event" => {
+                let name = r.get("event").and_then(Json::as_str).unwrap_or("?");
+                // Carry every extra field along as args for the trace UI.
+                let mut args: Vec<(String, Json)> = Vec::new();
+                if let Json::Obj(fields) = r {
+                    for (k, v) in fields {
+                        if !matches!(k.as_str(), "kind" | "event" | "t" | "thread") {
+                            args.push((k.clone(), v.clone()));
+                        }
+                    }
+                }
+                events.push(Json::obj([
+                    ("ph", Json::from("i")),
+                    ("name", Json::from(name)),
+                    ("cat", Json::from("event")),
+                    ("s", Json::from("t")),
+                    ("pid", Json::from(1u64)),
+                    ("tid", Json::from(num(r, "thread"))),
+                    ("ts", Json::from(num(r, "t") / 1e3)),
+                    ("args", Json::Obj(args)),
+                ]));
+            }
+            _ => {}
+        }
+    }
+    Json::obj([("traceEvents", Json::arr(events))]).render()
 }
 
 #[cfg(test)]

@@ -1,0 +1,53 @@
+//! Golden-file test for the Chrome trace-event exporter: a fixed JSONL
+//! trace must convert to byte-identical trace-event JSON. The golden file
+//! is `tests/golden/chrome_trace.json`; regenerate it by running this test
+//! with `EM_UPDATE_GOLDEN=1` and committing the rewritten file.
+
+use em_obs::report::{chrome_trace, parse_trace};
+
+const INPUT: &str = include_str!("golden/chrome_trace_input.jsonl");
+const GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let records = parse_trace(INPUT).expect("fixture parses");
+    let got = chrome_trace(&records);
+    if std::env::var("EM_UPDATE_GOLDEN").is_ok() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/chrome_trace.json"
+        );
+        std::fs::write(path, &got).expect("rewrite golden");
+        return;
+    }
+    assert_eq!(
+        got,
+        GOLDEN.trim_end(),
+        "chrome_trace output drifted from tests/golden/chrome_trace.json \
+         (run with EM_UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_shape() {
+    let records = parse_trace(INPUT).expect("fixture parses");
+    let out = chrome_trace(&records);
+    let parsed = em_rt::Json::parse(&out).expect("exporter emits valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(em_rt::Json::as_arr)
+        .expect("traceEvents array");
+    // One metadata record, two spans, one instant; summary records skipped.
+    assert_eq!(events.len(), 4);
+    let phases: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("ph").and_then(em_rt::Json::as_str).unwrap())
+        .collect();
+    assert_eq!(phases, ["M", "X", "X", "i"]);
+    // Nanosecond inputs land as microseconds.
+    assert_eq!(events[1].get("ts").and_then(em_rt::Json::as_f64), Some(1.0));
+    assert_eq!(
+        events[1].get("dur").and_then(em_rt::Json::as_f64),
+        Some(2.5)
+    );
+}

@@ -1,0 +1,178 @@
+//! Versioned model artifacts: everything a matcher needs to run away from
+//! the training process, in one JSON document.
+//!
+//! An artifact captures the *plan inputs* of feature generation (scheme,
+//! attribute names, inferred attribute types) rather than the planned specs
+//! themselves: [`automl_em::FeatureGenerator::plan`] is deterministic, so
+//! replaying the plan at load time reproduces the exact training-time
+//! feature layout while keeping the document small and readable. The fitted
+//! pipeline (imputer statistics, scaler parameters, selected features,
+//! model weights) serializes through the `to_json`/`from_json` hooks on
+//! [`automl_em::FittedEmPipeline`], which round-trip every `f64`
+//! bit-exactly (non-finite values included — see `em_ml::jsonio`).
+//!
+//! The document is versioned: `format` names the artifact kind and
+//! `version` gates compatibility. Loading rejects unknown formats and
+//! versions with a clear error instead of misinterpreting fields.
+
+use automl_em::{FeatureGenerator, FeatureScheme, FittedEmPipeline};
+use em_ml::jsonio;
+use em_rt::Json;
+use em_table::{infer_pair_types, AttrType, Schema, Table};
+
+/// Artifact format tag (the `format` field of the document).
+pub const ARTIFACT_FORMAT: &str = "em-serve.artifact";
+/// Current artifact schema version (the `version` field).
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// A deployable matcher: feature plan inputs plus a fitted pipeline.
+pub struct ModelArtifact {
+    /// Feature scheme the pipeline was trained with.
+    pub scheme: FeatureScheme,
+    /// Attribute names, in schema order (both tables share the schema).
+    pub attributes: Vec<String>,
+    /// Per-attribute types inferred from the training table pair.
+    pub attr_types: Vec<AttrType>,
+    /// The fitted preprocessing stages and model.
+    pub pipeline: FittedEmPipeline,
+}
+
+fn scheme_to_json(s: FeatureScheme) -> Json {
+    Json::from(match s {
+        FeatureScheme::Magellan => "magellan",
+        FeatureScheme::AutoMlEm => "automl_em",
+    })
+}
+
+fn scheme_from_json(j: &Json) -> Result<FeatureScheme, String> {
+    match jsonio::as_str(j)? {
+        "magellan" => Ok(FeatureScheme::Magellan),
+        "automl_em" => Ok(FeatureScheme::AutoMlEm),
+        other => Err(format!("unknown feature scheme {other:?}")),
+    }
+}
+
+fn attr_type_to_json(t: AttrType) -> Json {
+    Json::from(match t {
+        AttrType::Boolean => "boolean",
+        AttrType::Numeric => "numeric",
+        AttrType::SingleWordString => "single_word_string",
+        AttrType::ShortString => "short_string",
+        AttrType::MediumString => "medium_string",
+        AttrType::LongString => "long_string",
+    })
+}
+
+fn attr_type_from_json(j: &Json) -> Result<AttrType, String> {
+    match jsonio::as_str(j)? {
+        "boolean" => Ok(AttrType::Boolean),
+        "numeric" => Ok(AttrType::Numeric),
+        "single_word_string" => Ok(AttrType::SingleWordString),
+        "short_string" => Ok(AttrType::ShortString),
+        "medium_string" => Ok(AttrType::MediumString),
+        "long_string" => Ok(AttrType::LongString),
+        other => Err(format!("unknown attribute type {other:?}")),
+    }
+}
+
+impl ModelArtifact {
+    /// Package a fitted pipeline with the feature plan inferred from the
+    /// training table pair — the same inference
+    /// [`FeatureGenerator::plan_for_tables`] performs, so the regenerated
+    /// plan matches the matrix the pipeline was fitted on.
+    pub fn for_tables(
+        scheme: FeatureScheme,
+        a: &Table,
+        b: &Table,
+        pipeline: FittedEmPipeline,
+    ) -> Self {
+        ModelArtifact {
+            scheme,
+            attributes: a.schema().names().iter().map(|s| s.to_string()).collect(),
+            attr_types: infer_pair_types(a, b),
+            pipeline,
+        }
+    }
+
+    /// Replay the feature plan this artifact was trained with.
+    pub fn generator(&self) -> FeatureGenerator {
+        let schema = Schema::new(self.attributes.iter().cloned());
+        FeatureGenerator::plan(self.scheme, &schema, &self.attr_types)
+    }
+
+    /// Serialize to the versioned artifact document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::from(ARTIFACT_FORMAT)),
+            ("version", Json::from(ARTIFACT_VERSION)),
+            ("scheme", scheme_to_json(self.scheme)),
+            (
+                "attributes",
+                Json::arr(self.attributes.iter().map(|s| Json::from(s.as_str()))),
+            ),
+            (
+                "attr_types",
+                Json::arr(self.attr_types.iter().map(|&t| attr_type_to_json(t))),
+            ),
+            ("pipeline", self.pipeline.to_json()),
+        ])
+    }
+
+    /// Parse an artifact document, rejecting unknown formats/versions.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let format = jsonio::as_str(jsonio::field(j, "format")?)?;
+        if format != ARTIFACT_FORMAT {
+            return Err(format!(
+                "not an em-serve artifact: format is {format:?}, expected {ARTIFACT_FORMAT:?}"
+            ));
+        }
+        let version = jsonio::as_u64(jsonio::field(j, "version")?)?;
+        if version != ARTIFACT_VERSION {
+            return Err(format!(
+                "unsupported artifact version {version} (this build reads version {ARTIFACT_VERSION})"
+            ));
+        }
+        let scheme = scheme_from_json(jsonio::field(j, "scheme")?)?;
+        let attributes = jsonio::field(j, "attributes")?
+            .as_arr()
+            .ok_or("attributes: expected array")?
+            .iter()
+            .map(|v| jsonio::as_str(v).map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let attr_types = jsonio::field(j, "attr_types")?
+            .as_arr()
+            .ok_or("attr_types: expected array")?
+            .iter()
+            .map(attr_type_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if attributes.len() != attr_types.len() {
+            return Err(format!(
+                "artifact lists {} attributes but {} attribute types",
+                attributes.len(),
+                attr_types.len()
+            ));
+        }
+        let pipeline = FittedEmPipeline::from_json(jsonio::field(j, "pipeline")?)?;
+        Ok(ModelArtifact {
+            scheme,
+            attributes,
+            attr_types,
+            pipeline,
+        })
+    }
+
+    /// Write the artifact to `path` as pretty-printed JSON.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let mut doc = self.to_json().render_pretty(2);
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| format!("cannot write artifact {path}: {e}"))
+    }
+
+    /// Read an artifact previously written by [`Self::save`].
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read artifact {path}: {e}"))?;
+        let j = Json::parse(&text).map_err(|e| format!("artifact {path}: {e}"))?;
+        Self::from_json(&j).map_err(|e| format!("artifact {path}: {e}"))
+    }
+}

@@ -1,0 +1,420 @@
+//! Incremental blocking index: a persistent interned-postings overlap index
+//! over a catalog table.
+//!
+//! [`em_table::OverlapBlocker`] rebuilds its inverted index on every
+//! `candidates` call — correct for one-shot experiments, wasteful for a
+//! service whose catalog is long-lived and changes one record at a time.
+//! [`IncrementalIndex`] keeps the same structure (interned `u32` token ids
+//! from an [`em_text::TokenInterner`], postings sorted by record id) but
+//! supports [`upsert`](IncrementalIndex::upsert) /
+//! [`remove`](IncrementalIndex::remove) of individual catalog records and
+//! repeated probes by incoming query batches.
+//!
+//! **Invariants** (checked by `debug_assert` where cheap, relied on by the
+//! probe loop everywhere):
+//!
+//! 1. `postings[t]` is strictly sorted ascending — upsert inserts by binary
+//!    search, so probes can count overlaps with a run-length scan exactly
+//!    like `OverlapBlocker`.
+//! 2. `record_tokens[r]` holds the sorted, deduped token ids record `r`
+//!    currently contributes — the exact set upsert/remove must retract, so
+//!    an upsert is always a clean swap and never leaks postings.
+//! 3. Token ids are dense `0..interner.len()` and never reassigned; the
+//!    interner only grows. Removing a record may leave an empty postings
+//!    row, which matches nothing.
+//!
+//! Candidate generation for a query batch runs through
+//! [`em_table::sharded_probe_scratch`] — the same deterministic sharding
+//! discipline as the batch blockers, so candidate order is a pure function
+//! of the query table and catalog state at any `EM_THREADS`.
+
+use em_ml::jsonio;
+use em_rt::Json;
+use em_table::{sharded_probe_scratch, RecordPair, Table};
+use em_text::TokenInterner;
+
+/// Catalog records currently live in the index (traced runs only).
+static UPSERTS: em_obs::Counter = em_obs::Counter::new("serve.index_upserts");
+/// Catalog records removed from the index (traced runs only).
+static REMOVALS: em_obs::Counter = em_obs::Counter::new("serve.index_removals");
+
+/// Reusable per-shard probe buffers (mirrors `OverlapBlocker`'s scratch).
+#[derive(Default)]
+struct ProbeScratch {
+    /// Lowercased token being resolved against the interner.
+    buf: String,
+    /// Deduped token ids of the probe record.
+    ids: Vec<u32>,
+    /// Catalog ids gathered from postings (with duplicates), sorted so
+    /// overlap counts fall out of a run-length scan.
+    hits: Vec<u32>,
+}
+
+/// Lowercase `word` into `buf` (ASCII, matching `str::to_ascii_lowercase`).
+fn lowercase_into(word: &str, buf: &mut String) {
+    buf.clear();
+    buf.extend(word.chars().map(|c| c.to_ascii_lowercase()));
+}
+
+/// An updatable overlap-blocking index over one attribute of a catalog.
+pub struct IncrementalIndex {
+    attribute: String,
+    min_overlap: usize,
+    interner: TokenInterner,
+    /// Token id -> catalog record ids containing it, sorted ascending.
+    postings: Vec<Vec<u32>>,
+    /// Catalog record id -> its current sorted deduped token ids (`None` =
+    /// never inserted, removed, or null-valued: contributes no candidates).
+    record_tokens: Vec<Option<Vec<u32>>>,
+}
+
+impl IncrementalIndex {
+    /// An empty index blocking on `attribute` with the given overlap
+    /// threshold (`min_overlap >= 1`).
+    pub fn new(attribute: impl Into<String>, min_overlap: usize) -> Self {
+        IncrementalIndex {
+            attribute: attribute.into(),
+            min_overlap: min_overlap.max(1),
+            interner: TokenInterner::new(),
+            postings: Vec::new(),
+            record_tokens: Vec::new(),
+        }
+    }
+
+    /// Build an index over every record of `catalog`.
+    ///
+    /// # Errors
+    /// Fails when `attribute` is missing from the catalog schema.
+    pub fn build(
+        attribute: impl Into<String>,
+        min_overlap: usize,
+        catalog: &Table,
+    ) -> Result<Self, String> {
+        let mut index = Self::new(attribute, min_overlap);
+        let col = catalog
+            .schema()
+            .index_of(&index.attribute)
+            .ok_or_else(|| format!("attribute {:?} missing in catalog", index.attribute))?;
+        for rec in catalog.records() {
+            let value = rec.get(col).to_display_string();
+            index.upsert(rec.index(), value.as_deref());
+        }
+        Ok(index)
+    }
+
+    /// The blocking attribute name.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// Minimum shared-token count for a candidate.
+    pub fn min_overlap(&self) -> usize {
+        self.min_overlap
+    }
+
+    /// Catalog records currently contributing postings.
+    pub fn len(&self) -> usize {
+        self.record_tokens.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// True when no record contributes postings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct tokens interned so far (monotone; removals keep tokens).
+    pub fn interned_tokens(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Insert or replace catalog record `row`'s blocking value. `None` (or
+    /// an upsert of a null cell) retracts the record: it can no longer
+    /// appear as a candidate. Old postings are retracted exactly, so
+    /// repeated upserts never accumulate stale entries.
+    pub fn upsert(&mut self, row: usize, value: Option<&str>) {
+        if row >= self.record_tokens.len() {
+            self.record_tokens.resize_with(row + 1, || None);
+        }
+        if let Some(old) = self.record_tokens[row].take() {
+            for id in old {
+                let list = &mut self.postings[id as usize];
+                if let Ok(pos) = list.binary_search(&(row as u32)) {
+                    list.remove(pos);
+                }
+            }
+        }
+        let Some(s) = value else {
+            REMOVALS.incr();
+            return;
+        };
+        let mut buf = String::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for w in s.split_whitespace() {
+            lowercase_into(w, &mut buf);
+            ids.push(self.interner.intern(&buf));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        self.postings.resize_with(self.interner.len(), Vec::new);
+        for &id in &ids {
+            let list = &mut self.postings[id as usize];
+            if let Err(pos) = list.binary_search(&(row as u32)) {
+                list.insert(pos, row as u32);
+            }
+        }
+        self.record_tokens[row] = Some(ids);
+        UPSERTS.incr();
+    }
+
+    /// Retract catalog record `row` (no-op when absent).
+    pub fn remove(&mut self, row: usize) {
+        if row < self.record_tokens.len() && self.record_tokens[row].is_some() {
+            self.upsert(row, None);
+        }
+    }
+
+    /// Candidate pairs `(query row, catalog row)` for a query batch: every
+    /// pair sharing at least `min_overlap` lowercase word tokens on the
+    /// blocking attribute. Probes run sharded on the `em-rt` pool (`jobs =
+    /// 0` uses the pool width); output order is deterministic at any
+    /// thread count. Panics when the blocking attribute is missing from
+    /// the query schema, like the batch blockers.
+    pub fn candidates(&self, queries: &Table, jobs: usize) -> Vec<RecordPair> {
+        let col = queries
+            .schema()
+            .index_of(&self.attribute)
+            .unwrap_or_else(|| panic!("attribute {} missing in query table", self.attribute));
+        sharded_probe_scratch(queries.len(), jobs, ProbeScratch::default, |i, scr, out| {
+            let Some(s) = queries.record(i).get(col).to_display_string() else {
+                return;
+            };
+            scr.ids.clear();
+            for w in s.split_whitespace() {
+                lowercase_into(w, &mut scr.buf);
+                if let Some(id) = self.interner.get(&scr.buf) {
+                    scr.ids.push(id);
+                }
+            }
+            scr.ids.sort_unstable();
+            scr.ids.dedup();
+            scr.hits.clear();
+            for &id in &scr.ids {
+                scr.hits.extend_from_slice(&self.postings[id as usize]);
+            }
+            scr.hits.sort_unstable();
+            // Run-length scan: each catalog id appears once per shared token.
+            let mut k = 0;
+            while k < scr.hits.len() {
+                let r = scr.hits[k];
+                let mut j = k + 1;
+                while j < scr.hits.len() && scr.hits[j] == r {
+                    j += 1;
+                }
+                if j - k >= self.min_overlap {
+                    out.push(RecordPair::new(i, r as usize));
+                }
+                k = j;
+            }
+        })
+    }
+
+    /// Serialize the index (tokens in id order plus per-record token sets;
+    /// postings are derived state and rebuilt on load).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("attribute", Json::from(self.attribute.as_str())),
+            ("min_overlap", Json::from(self.min_overlap)),
+            (
+                "tokens",
+                Json::arr(
+                    self.interner
+                        .export()
+                        .into_iter()
+                        .map(|(t, _)| Json::from(t)),
+                ),
+            ),
+            (
+                "records",
+                Json::arr(self.record_tokens.iter().map(|t| match t {
+                    None => Json::Null,
+                    Some(ids) => Json::arr(ids.iter().map(|&id| Json::from(u64::from(id)))),
+                })),
+            ),
+        ])
+    }
+
+    /// Rebuild an index from [`Self::to_json`] output. Postings are
+    /// reconstructed by replaying records in id order, which restores the
+    /// sorted-postings invariant exactly.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let attribute = jsonio::as_str(jsonio::field(j, "attribute")?)?.to_string();
+        let min_overlap = jsonio::as_usize(jsonio::field(j, "min_overlap")?)?;
+        let tokens = jsonio::field(j, "tokens")?
+            .as_arr()
+            .ok_or("tokens: expected array")?
+            .iter()
+            .map(|t| jsonio::as_str(t).map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let interner = TokenInterner::from_tokens(tokens)?;
+        let n_tokens = interner.len();
+        let mut index = IncrementalIndex {
+            attribute,
+            min_overlap: min_overlap.max(1),
+            interner,
+            postings: Vec::new(),
+            record_tokens: Vec::new(),
+        };
+        index.postings.resize_with(n_tokens, Vec::new);
+        let records = jsonio::field(j, "records")?
+            .as_arr()
+            .ok_or("records: expected array")?;
+        for (row, rec) in records.iter().enumerate() {
+            let tokens = match rec {
+                Json::Null => None,
+                other => {
+                    let ids = other
+                        .as_arr()
+                        .ok_or("records: expected array of token ids")?
+                        .iter()
+                        .map(|v| {
+                            let id = jsonio::as_u64(v)?;
+                            if id as usize >= n_tokens {
+                                return Err(format!(
+                                    "record {row}: token id {id} out of range ({n_tokens} tokens)"
+                                ));
+                            }
+                            Ok(id as u32)
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?;
+                    for w in ids.windows(2) {
+                        if w[0] >= w[1] {
+                            return Err(format!("record {row}: token ids not strictly sorted"));
+                        }
+                    }
+                    Some(ids)
+                }
+            };
+            if let Some(ids) = &tokens {
+                for &id in ids {
+                    index.postings[id as usize].push(row as u32);
+                }
+            }
+            index.record_tokens.push(tokens);
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::{parse_csv, Blocker, OverlapBlocker};
+
+    fn catalog() -> Table {
+        parse_csv(
+            "name,city\n\
+             arnie mortons of chicago,los angeles\n\
+             fenix at the argyle,west hollywood\n\
+             grill on the alley,beverly hills\n\
+             ,anywhere\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_overlap_blocker_on_static_catalog() {
+        let b = catalog();
+        let a = parse_csv(
+            "name,city\n\
+             fenix,west hollywood\n\
+             the grill,beverly hills\n\
+             arnie mortons,chicago\n",
+        )
+        .unwrap();
+        for min_overlap in [1, 2] {
+            let blocker = OverlapBlocker {
+                attribute: "name".into(),
+                min_overlap,
+            };
+            let index = IncrementalIndex::build("name", min_overlap, &b).unwrap();
+            assert_eq!(index.candidates(&a, 0), blocker.candidates(&a, &b));
+        }
+    }
+
+    #[test]
+    fn upsert_and_remove_update_candidates() {
+        let b = catalog();
+        let queries = parse_csv("name,city\nfenix at the argyle,hollywood\n").unwrap();
+        let mut index = IncrementalIndex::build("name", 2, &b).unwrap();
+        assert_eq!(index.candidates(&queries, 0), vec![RecordPair::new(0, 1)]);
+        // Replace record 1's name: the old candidates disappear.
+        index.upsert(1, Some("completely different"));
+        assert!(index.candidates(&queries, 0).is_empty());
+        // Put it back (re-upsert), then remove it outright.
+        index.upsert(1, Some("fenix at the argyle"));
+        assert_eq!(index.candidates(&queries, 0), vec![RecordPair::new(0, 1)]);
+        index.remove(1);
+        assert!(index.candidates(&queries, 0).is_empty());
+        assert_eq!(index.len(), 2); // records 0 and 2; 3 was null all along
+                                    // A brand-new record id extends the catalog.
+        index.upsert(9, Some("the argyle fenix"));
+        assert_eq!(index.candidates(&queries, 0), vec![RecordPair::new(0, 9)]);
+    }
+
+    #[test]
+    fn incremental_build_equals_batch_build() {
+        let b = catalog();
+        let queries = parse_csv("name,city\ngrill alley,beverly hills\n").unwrap();
+        let batch = IncrementalIndex::build("name", 1, &b).unwrap();
+        let mut inc = IncrementalIndex::new("name", 1);
+        // Insert in reverse, with churn: same final candidates.
+        for row in (0..b.len()).rev() {
+            inc.upsert(row, Some("placeholder value"));
+        }
+        for rec in b.records() {
+            let col = b.schema().index_of("name").unwrap();
+            let v = rec.get(col).to_display_string();
+            inc.upsert(rec.index(), v.as_deref());
+        }
+        assert_eq!(inc.candidates(&queries, 0), batch.candidates(&queries, 0));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_candidates() {
+        let b = catalog();
+        let queries = parse_csv(
+            "name,city\n\
+             fenix at the argyle,hollywood\n\
+             grill on the alley,beverly hills\n",
+        )
+        .unwrap();
+        let mut index = IncrementalIndex::build("name", 1, &b).unwrap();
+        index.remove(2);
+        index.upsert(7, Some("late arrival grill"));
+        let doc = index.to_json().render();
+        let loaded = IncrementalIndex::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(loaded.attribute(), "name");
+        assert_eq!(loaded.min_overlap(), 1);
+        assert_eq!(loaded.len(), index.len());
+        assert_eq!(loaded.interned_tokens(), index.interned_tokens());
+        assert_eq!(
+            loaded.candidates(&queries, 0),
+            index.candidates(&queries, 0)
+        );
+        // And the reloaded index is still updatable.
+        let mut loaded = loaded;
+        loaded.upsert(7, None);
+        assert!(!loaded
+            .candidates(&queries, 0)
+            .contains(&RecordPair::new(1, 7)));
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_documents() {
+        let index = IncrementalIndex::build("name", 1, &catalog()).unwrap();
+        let good = index.to_json().render();
+        // Token id out of range.
+        let bad = good.replace("\"records\":[[", "\"records\":[[9999,");
+        assert!(IncrementalIndex::from_json(&Json::parse(&bad).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # em-serve — serving a searched AutoML-EM matcher
+//!
+//! The paper's pipeline search ends with a fitted model; this crate turns
+//! that result into a deployable matching service, in three pieces:
+//!
+//! * [`ModelArtifact`] — a versioned JSON document capturing the feature
+//!   plan and every fitted parameter (imputer statistics, scaler centers,
+//!   selected features, model weights). Save/load round-trips are
+//!   bit-exact: a loaded pipeline predicts identically to the one that was
+//!   saved, on every input.
+//! * [`IncrementalIndex`] — a persistent interned-postings overlap index
+//!   over a catalog table, supporting per-record `upsert`/`remove` and
+//!   sharded candidate probes that agree exactly with
+//!   [`em_table::OverlapBlocker`] on a static catalog.
+//! * [`Matcher`] — block → featurize (through the shared
+//!   [`automl_em::FeatureCache`]) → predict, either per batch
+//!   ([`Matcher::match_batch`]) or over a channel-fed stream
+//!   ([`Matcher::match_stream`]) with bounded in-flight batches and
+//!   deterministic, input-ordered output at any `EM_THREADS`.
+//!
+//! ```
+//! use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};
+//! use em_automl::Budget;
+//! use em_data::Benchmark;
+//! use em_serve::{Matcher, ModelArtifact};
+//!
+//! let ds = em_data::Benchmark::FodorsZagats.generate_scaled(5, 0.25);
+//! let prepared = PreparedDataset::prepare(&ds, FeatureScheme::AutoMlEm, 5);
+//! let options = AutoMlEmOptions { budget: Budget::Evaluations(2), ..Default::default() };
+//! let (_, _, result) = prepared.run_automl(options);
+//!
+//! let artifact = ModelArtifact::for_tables(
+//!     FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b, result.fitted);
+//! let mut matcher = Matcher::new(artifact, ds.table_b.clone(), "name", 1).unwrap();
+//! let queries = ds.table_a.slice_rows(0..4);
+//! let scored = matcher.match_batch(&queries);
+//! assert!(scored.iter().all(|m| (0.0..=1.0).contains(&m.score)));
+//! ```
+
+pub mod artifact;
+pub mod index;
+pub mod matcher;
+
+pub use artifact::{ModelArtifact, ARTIFACT_FORMAT, ARTIFACT_VERSION};
+pub use index::IncrementalIndex;
+pub use matcher::{batch_latency_quantiles, BatchOutput, MatchRecord, Matcher, StreamOptions};

@@ -1,0 +1,326 @@
+//! The matcher: block → featurize → predict over a fixed catalog, for
+//! one-shot batches ([`Matcher::match_batch`]) or a stream of batches
+//! ([`Matcher::match_stream`]).
+//!
+//! ## Streaming design
+//!
+//! `match_stream` pulls query tables from an [`em_rt::channel`] and runs a
+//! three-stage pipeline, mirroring the async-SMBO coordinator/worker shape
+//! in `em-automl`:
+//!
+//! * **Coordinator** (the calling thread) — receives batches in arrival
+//!   order, probes the [`IncrementalIndex`], rebinds the shared
+//!   [`FeatureCache`] to the batch and featurizes (both internally parallel
+//!   on the `em-rt` pool), then ships `(seq, pairs, features)` to the
+//!   predict workers. Featurization mutates the cache, so it stays on one
+//!   thread — which is also what makes cache evolution independent of
+//!   worker scheduling.
+//! * **Predict workers** — dedicated threads racing over the job channel;
+//!   each scores whole batches through the fitted pipeline. Per-batch
+//!   prediction is a pure function of the feature matrix, so racing is
+//!   safe.
+//! * **Emitter** — reorders finished batches by sequence number and sends
+//!   [`BatchOutput`]s strictly in input order.
+//!
+//! **Backpressure**: the coordinator spends one credit per batch and the
+//! emitter returns a credit per *emitted* batch, so at most
+//! [`StreamOptions::max_in_flight`] batches occupy memory between
+//! featurization and emission — a slow consumer stalls the coordinator
+//! rather than growing the unbounded channels.
+//!
+//! **Determinism**: candidate probing, featurization, and prediction are
+//! each bit-deterministic at any thread count (pool discipline as per
+//! `em-rt`), batches enter the cache in arrival order, and emission is
+//! sequence-ordered — so the full output stream is bit-identical whether
+//! `EM_THREADS` is 1 or 64, with tracing on or off.
+
+use crate::artifact::ModelArtifact;
+use crate::index::IncrementalIndex;
+use automl_em::{FeatureCache, FittedEmPipeline};
+use em_ml::Matrix;
+use em_rt::{Receiver, Sender};
+use em_table::{RecordPair, Table};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Query batches processed by `match_stream`/`match_batch`.
+static BATCHES: em_obs::Counter = em_obs::Counter::new("serve.batches");
+/// Candidate pairs scored by the model.
+static PAIRS_SCORED: em_obs::Counter = em_obs::Counter::new("serve.pairs_scored");
+/// Pairs the model declared matches.
+static MATCHES: em_obs::Counter = em_obs::Counter::new("serve.matches");
+/// End-to-end per-batch latency (coordinator pickup to emission), ns.
+static BATCH_NS: em_obs::Histogram = em_obs::Histogram::new("serve.batch_ns");
+
+/// p50/p99 of the end-to-end batch latency histogram, in nanoseconds
+/// (`None` until a traced `match_stream` run has recorded batches).
+pub fn batch_latency_quantiles() -> Option<(u64, u64)> {
+    Some((BATCH_NS.quantile(0.5)?, BATCH_NS.quantile(0.99)?))
+}
+
+/// One scored candidate: `pair.left` is the row in the query batch,
+/// `pair.right` the catalog row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchRecord {
+    /// (query row, catalog row).
+    pub pair: RecordPair,
+    /// Matching probability from the pipeline.
+    pub score: f64,
+    /// Hard decision, exactly `FittedEmPipeline::predict`'s output.
+    pub is_match: bool,
+}
+
+/// The scored results of one query batch, tagged with its input ordinal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutput {
+    /// 0-based arrival position of the batch in the input stream.
+    pub seq: usize,
+    /// Rows in the query batch (for consumers sizing per-batch work).
+    pub n_queries: usize,
+    /// Scored candidates, in candidate-generation order.
+    pub matches: Vec<MatchRecord>,
+}
+
+/// Tuning knobs for [`Matcher::match_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Maximum batches between featurization and emission (credit-based
+    /// backpressure; min 1).
+    pub max_in_flight: usize,
+    /// Dedicated predict-worker threads (0 = pool width minus one, min 1).
+    pub predict_workers: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            max_in_flight: 4,
+            predict_workers: 0,
+        }
+    }
+}
+
+/// A work item flowing coordinator -> predict workers.
+struct PredictJob {
+    seq: usize,
+    n_queries: usize,
+    pairs: Vec<RecordPair>,
+    features: Matrix,
+    started: Instant,
+}
+
+/// A deployable matcher: fitted pipeline + catalog + incremental index +
+/// feature cache, assembled from a [`ModelArtifact`].
+pub struct Matcher {
+    pipeline: FittedEmPipeline,
+    catalog: Table,
+    index: IncrementalIndex,
+    cache: FeatureCache,
+}
+
+impl Matcher {
+    /// Assemble a matcher: replay the artifact's feature plan, build the
+    /// blocking index over `catalog`, and bind the feature cache to it
+    /// (profiling every catalog value once, up front).
+    ///
+    /// # Errors
+    /// Fails when the catalog schema does not match the artifact's
+    /// attribute list, or the blocking attribute is missing.
+    pub fn new(
+        artifact: ModelArtifact,
+        catalog: Table,
+        blocking_attribute: &str,
+        min_overlap: usize,
+    ) -> Result<Self, String> {
+        let catalog_names: Vec<String> = catalog
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if catalog_names != artifact.attributes {
+            return Err(format!(
+                "catalog schema {:?} does not match artifact attributes {:?}",
+                catalog_names, artifact.attributes
+            ));
+        }
+        let generator = artifact.generator();
+        let index = IncrementalIndex::build(blocking_attribute, min_overlap, &catalog)?;
+        let empty = Table::new(catalog.schema().clone());
+        let cache = FeatureCache::new(generator, &empty, &catalog);
+        Ok(Matcher {
+            pipeline: artifact.pipeline,
+            catalog,
+            index,
+            cache,
+        })
+    }
+
+    /// The catalog this matcher serves against.
+    pub fn catalog(&self) -> &Table {
+        &self.catalog
+    }
+
+    /// The blocking index (read access; see [`Self::retire`] for updates).
+    pub fn index(&self) -> &IncrementalIndex {
+        &self.index
+    }
+
+    /// Bound the feature cache's similarity memo (see
+    /// [`FeatureCache::set_memo_cap`]) — recommended for long-running
+    /// streams over unbounded query vocabularies.
+    pub fn set_memo_cap(&mut self, cap: Option<usize>) {
+        self.cache.set_memo_cap(cap);
+    }
+
+    /// Retire a catalog record: it stops appearing in candidates. (The
+    /// catalog table itself is immutable — profiles and memo entries for
+    /// the record stay cached and simply go unreferenced.)
+    pub fn retire(&mut self, catalog_row: usize) {
+        self.index.remove(catalog_row);
+    }
+
+    /// Block and score one query batch synchronously.
+    pub fn match_batch(&mut self, queries: &Table) -> Vec<MatchRecord> {
+        let _span = em_obs::span!("serve.batch");
+        let pairs = self.index.candidates(queries, 0);
+        let features = self.featurize(queries, &pairs);
+        let out = score_pairs(&self.pipeline, &pairs, &features);
+        BATCHES.incr();
+        out
+    }
+
+    /// Rebind the cache to the batch and build the feature matrix.
+    fn featurize(&mut self, queries: &Table, pairs: &[RecordPair]) -> Matrix {
+        self.cache.rebind_left(queries);
+        self.cache.generate(queries, &self.catalog, pairs)
+    }
+
+    /// Stream matching: pull query tables from `queries` until the channel
+    /// closes, emit one [`BatchOutput`] per batch on `results`, strictly in
+    /// input order. See the module docs for the pipeline shape and the
+    /// determinism/backpressure contracts. Blocks until the stream drains.
+    pub fn match_stream(
+        &mut self,
+        queries: Receiver<Table>,
+        results: Sender<BatchOutput>,
+        opts: StreamOptions,
+    ) {
+        let _span = em_obs::span!("serve.stream");
+        let max_in_flight = opts.max_in_flight.max(1);
+        let n_workers = if opts.predict_workers == 0 {
+            em_rt::threads().saturating_sub(1).max(1)
+        } else {
+            opts.predict_workers
+        };
+        let (job_tx, job_rx) = em_rt::channel::<PredictJob>();
+        let (done_tx, done_rx) = em_rt::channel::<(usize, BatchOutput, Instant)>();
+        let (credit_tx, credit_rx) = em_rt::channel::<()>();
+        for _ in 0..max_in_flight {
+            credit_tx.send(()).expect("credit receiver alive");
+        }
+        // Featurization needs `&mut self.cache`; everything else is shared.
+        // Split the borrows up front so the worker closures only capture
+        // immutable parts.
+        let pipeline = &self.pipeline;
+        let index = &self.index;
+        let catalog = &self.catalog;
+        let cache = Mutex::new(&mut self.cache);
+        std::thread::scope(|s| {
+            for _ in 0..n_workers {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                s.spawn(move || {
+                    while let Some(job) = job_rx.recv() {
+                        let _span = em_obs::span!("serve.predict");
+                        let matches = score_pairs(pipeline, &job.pairs, &job.features);
+                        let out = BatchOutput {
+                            seq: job.seq,
+                            n_queries: job.n_queries,
+                            matches,
+                        };
+                        if done_tx.send((job.seq, out, job.started)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            // Emitter: reorder by sequence number, return credits.
+            let emitter = s.spawn(move || {
+                let mut pending: std::collections::BTreeMap<usize, (BatchOutput, Instant)> =
+                    std::collections::BTreeMap::new();
+                let mut next = 0usize;
+                while let Some((seq, out, started)) = done_rx.recv() {
+                    pending.insert(seq, (out, started));
+                    while let Some(entry) = pending.remove(&next) {
+                        let (out, started) = entry;
+                        BATCH_NS.record(started.elapsed().as_nanos() as u64);
+                        // A dropped consumer just discards output; the
+                        // stream still drains for the producer's sake.
+                        let _ = results.send(out);
+                        let _ = credit_tx.send(());
+                        next += 1;
+                    }
+                }
+            });
+            // Coordinator (this thread): arrival order, one credit each.
+            {
+                let mut cache = cache.lock().unwrap();
+                let mut seq = 0usize;
+                while let Some(batch) = queries.recv() {
+                    if credit_rx.recv().is_none() {
+                        break; // emitter gone: consumer vanished entirely
+                    }
+                    let started = Instant::now();
+                    let _span = em_obs::span!("serve.batch");
+                    let pairs = index.candidates(&batch, 0);
+                    cache.rebind_left(&batch);
+                    let features = cache.generate(&batch, catalog, &pairs);
+                    BATCHES.incr();
+                    let job = PredictJob {
+                        seq,
+                        n_queries: batch.len(),
+                        pairs,
+                        features,
+                        started,
+                    };
+                    if job_tx.send(job).is_err() {
+                        break;
+                    }
+                    seq += 1;
+                }
+            }
+            // Close the job channel: workers drain and exit, their
+            // `done_tx` clones drop, the emitter drains and exits, and the
+            // scope joins everything.
+            job_tx.close();
+            drop(done_tx);
+            let _ = emitter.join();
+        });
+    }
+}
+
+/// Score candidate pairs: probability plus argmax decision, one transform
+/// pass ([`FittedEmPipeline::predict_with_scores`]).
+fn score_pairs(
+    pipeline: &FittedEmPipeline,
+    pairs: &[RecordPair],
+    features: &Matrix,
+) -> Vec<MatchRecord> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let scored = pipeline.predict_with_scores(features);
+    PAIRS_SCORED.add(pairs.len() as u64);
+    let out: Vec<MatchRecord> = pairs
+        .iter()
+        .zip(scored)
+        .map(|(&pair, (score, is_match))| MatchRecord {
+            pair,
+            score,
+            is_match,
+        })
+        .collect();
+    MATCHES.add(out.iter().filter(|m| m.is_match).count() as u64);
+    out
+}

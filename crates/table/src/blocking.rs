@@ -41,7 +41,11 @@ const SHARD_SIZE: usize = 256;
 /// Probe every left record in `0..n_left` through `probe(record, out)`,
 /// sharded over the pool, and return the concatenation of all shard buffers
 /// in record order — exactly the serial output, for any `jobs`.
-fn sharded_probe<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
+///
+/// Public so index-backed candidate generation outside this crate (the
+/// `em-serve` incremental blocking index) shares the same deterministic
+/// sharding discipline as the built-in blockers.
+pub fn sharded_probe<F>(n_left: usize, jobs: usize, probe: F) -> Vec<RecordPair>
 where
     F: Fn(usize, &mut Vec<RecordPair>) + Sync,
 {
@@ -52,7 +56,7 @@ where
 /// per shard (once total on the serial path) so probes can reuse buffers
 /// without allocating per record. Scratch must not influence output values
 /// — it exists purely so the hot loop is allocation-free.
-fn sharded_probe_scratch<S, M, F>(
+pub fn sharded_probe_scratch<S, M, F>(
     n_left: usize,
     jobs: usize,
     make_scratch: M,

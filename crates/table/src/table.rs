@@ -58,6 +58,16 @@ impl Table {
         Ok(self.rows.len() - 1)
     }
 
+    /// A new table holding clones of the rows in `range`, with the same
+    /// schema. Serving paths use this to carve query batches out of a
+    /// larger table. Panics when the range is out of bounds.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows[range].to_vec(),
+        }
+    }
+
     /// Borrow the record at `index`. Panics when out of range.
     pub fn record(&self, index: usize) -> Record<'_> {
         Record {

@@ -75,6 +75,34 @@ impl TokenInterner {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Export the vocabulary as `(token, id)` pairs sorted by id — the
+    /// persistence hook for index artifacts (`em-serve`). Ids are dense in
+    /// `0..len()`, so re-interning the tokens in id order reproduces this
+    /// interner exactly.
+    pub fn export(&self) -> Vec<(&str, u32)> {
+        let mut entries: Vec<(&str, u32)> = self
+            .map
+            .iter()
+            .map(|(tok, &id)| (tok.as_str(), id))
+            .collect();
+        entries.sort_unstable_by_key(|&(_, id)| id);
+        entries
+    }
+
+    /// Rebuild an interner from tokens listed in id order (the shape
+    /// [`TokenInterner::export`] produces). Fails if any token repeats.
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut interner = TokenInterner::new();
+        for token in tokens {
+            let before = interner.len();
+            let id = interner.intern(&token);
+            if (id as usize) != before {
+                return Err(format!("duplicate token {token:?} in interner import"));
+            }
+        }
+        Ok(interner)
+    }
 }
 
 /// The parallel-safe half of profile construction: everything about one

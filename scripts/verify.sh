@@ -54,4 +54,12 @@ echo "== determinism harness with the feature cache disabled (EM_FEATCACHE=off) 
 # still be bit-identical at any thread count.
 EM_FEATCACHE=off EM_THREADS=8 cargo test -q --offline -p automl-em --test determinism --test featcache_props
 
+echo "== serve smoke test (search -> save/load artifact -> stream -> in-memory parity) =="
+# serve_demo searches a small pipeline, round-trips it through a model
+# artifact, streams the full 110-record query table through
+# Matcher::match_stream, and asserts the streamed output is bit-identical
+# to the in-memory predict path (so streamed F1 == in-memory F1 by
+# construction); it also prints precision/recall/F1 against the gold pairs.
+EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin serve_demo
+
 echo "verify: OK"
