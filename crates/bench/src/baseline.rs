@@ -36,6 +36,7 @@ pub fn fit_trees_scope_baseline(
                     min_samples_leaf: params.min_samples_leaf,
                     max_features: params.max_features,
                     splitter: Splitter::Best,
+                    n_bins: params.n_bins,
                     min_impurity_decrease: params.min_impurity_decrease,
                     seed: params
                         .seed

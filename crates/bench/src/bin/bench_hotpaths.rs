@@ -11,7 +11,7 @@
 
 use em_automl::{run_search_async, run_search_parallel, Budget, SmacSearch};
 use em_bench::timing::{fmt_ns, Harness};
-use em_ml::Matrix;
+use em_ml::{Classifier, ForestParams, Matrix, RandomForestClassifier, Splitter};
 use em_rt::{Json, StdRng};
 use em_table::{Blocker, OverlapBlocker};
 
@@ -96,6 +96,41 @@ fn main() {
     });
     h.bench("cross_val_f1_5fold_600x12/pool", || {
         config.cross_val_f1_with_jobs(&x, &y, 5, 0, threads)
+    });
+    // Same CV under the EM_BINNED=on override: every forest fit inside the
+    // default pipeline routes through the binned engine, no config changes.
+    std::env::set_var("EM_BINNED", "on");
+    h.bench("cross_val_f1_5fold_600x12/pool_binned", || {
+        config.cross_val_f1_with_jobs(&x, &y, 5, 0, threads)
+    });
+    std::env::remove_var("EM_BINNED");
+
+    // -- forest fit: exact scan vs binned splitter ----------------------------
+    // Same 600 x 12 workload as the CV rows. The 1-thread rows pin the pool
+    // to a single thread (no tree-level jobs, no subtree tasks) so they
+    // compare the split engines alone; the pool row adds per-tree and
+    // per-node parallelism on top of the binned engine.
+    let forest_fit = |splitter: Splitter, n_jobs: usize| {
+        let mut rf = RandomForestClassifier::new(ForestParams {
+            n_estimators: 30,
+            splitter,
+            seed: 9,
+            n_jobs,
+            ..ForestParams::default()
+        });
+        rf.fit(&x, &y, 2, None);
+        rf
+    };
+    em_rt::set_threads(1);
+    h.bench("forest_fit_600x12/exact_1thread", || {
+        forest_fit(Splitter::Best, 1)
+    });
+    h.bench("forest_fit_600x12/binned_1thread", || {
+        forest_fit(Splitter::Binned, 1)
+    });
+    em_rt::set_threads(threads);
+    h.bench("forest_fit_600x12/binned_pool", || {
+        forest_fit(Splitter::Binned, 0)
     });
 
     // -- permutation importances over 12 columns ------------------------------
@@ -185,6 +220,27 @@ fn main() {
             "serial",
             "pool",
             "5-fold stratified CV of the default RF pipeline on 600 x 12",
+        ),
+        (
+            "cross_val_f1_5fold_600x12",
+            "pool",
+            "pool_binned",
+            "the same 5-fold CV with EM_BINNED=on routing every forest fit \
+             through the binned engine",
+        ),
+        (
+            "forest_fit_600x12",
+            "exact_1thread",
+            "binned_1thread",
+            "RF fit, 30 trees on 600 x 12, single thread: exact scan vs \
+             binned histogram splitter (engine-only comparison)",
+        ),
+        (
+            "forest_fit_600x12",
+            "exact_1thread",
+            "binned_pool",
+            "RF fit, 30 trees on 600 x 12: binned splitter plus per-tree \
+             and per-node pool parallelism vs the 1-thread exact scan",
         ),
         (
             "permutation_importance_12cols",

@@ -17,6 +17,10 @@ pub struct AdaBoostParams {
     pub learning_rate: f64,
     /// Depth of each weak learner (1 = decision stumps).
     pub max_depth: usize,
+    /// Split engine for the weak learners (exact scan or binned histograms).
+    pub splitter: Splitter,
+    /// Bin budget per feature for [`Splitter::Binned`].
+    pub n_bins: usize,
     /// RNG seed (weak learners are deterministic; kept for API symmetry).
     pub seed: u64,
 }
@@ -27,6 +31,8 @@ impl Default for AdaBoostParams {
             n_estimators: 50,
             learning_rate: 1.0,
             max_depth: 1,
+            splitter: Splitter::Best,
+            n_bins: 256,
             seed: 0,
         }
     }
@@ -69,16 +75,28 @@ impl Classifier for AdaBoostClassifier {
         };
         normalize(&mut w);
         let k = n_classes as f64;
+        // Stages reweight samples but never change the rows, so one binning
+        // serves every weak learner.
+        let prebinned = (self.params.splitter.effective() == Splitter::Binned)
+            .then(|| crate::binned::bin_matrix(x, self.params.n_bins));
         for t in 0..self.params.n_estimators {
             let tree_params = TreeParams {
                 criterion: Criterion::Gini,
                 max_depth: Some(self.params.max_depth),
                 max_features: MaxFeatures::All,
-                splitter: Splitter::Best,
+                splitter: self.params.splitter,
+                n_bins: self.params.n_bins,
                 seed: self.params.seed.wrapping_add(t as u64),
                 ..TreeParams::default()
             };
-            let tree = DecisionTree::fit_classifier(x, y, n_classes, Some(&w), tree_params);
+            let tree = DecisionTree::fit_classifier_prebinned(
+                x,
+                y,
+                n_classes,
+                Some(&w),
+                tree_params,
+                prebinned.clone(),
+            );
             let pred = tree.predict(x);
             let err: f64 = pred
                 .iter()
@@ -153,6 +171,8 @@ impl AdaBoostParams {
             ("n_estimators", Json::from(self.n_estimators)),
             ("learning_rate", jsonio::num(self.learning_rate)),
             ("max_depth", Json::from(self.max_depth)),
+            ("splitter", Json::from(self.splitter.as_str())),
+            ("n_bins", Json::from(self.n_bins)),
             ("seed", jsonio::u64_str(self.seed)),
         ])
     }
@@ -163,6 +183,15 @@ impl AdaBoostParams {
             n_estimators: jsonio::as_usize(jsonio::field(j, "n_estimators")?)?,
             learning_rate: jsonio::as_f64(jsonio::field(j, "learning_rate")?)?,
             max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
+            // Absent in pre-binned artifacts; default to the exact engine.
+            splitter: match j.get("splitter") {
+                Some(v) => Splitter::parse(jsonio::as_str(v)?)?,
+                None => Splitter::Best,
+            },
+            n_bins: match j.get("n_bins") {
+                Some(v) => jsonio::as_usize(v)?,
+                None => 256,
+            },
             seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
         })
     }
@@ -225,6 +254,10 @@ pub struct GradientBoostingParams {
     pub min_samples_leaf: usize,
     /// Row subsampling fraction per round (1.0 = none).
     pub subsample: f64,
+    /// Split engine for the stage trees (exact scan or binned histograms).
+    pub splitter: Splitter,
+    /// Bin budget per feature for [`Splitter::Binned`].
+    pub n_bins: usize,
     /// RNG seed for subsampling.
     pub seed: u64,
 }
@@ -237,6 +270,8 @@ impl Default for GradientBoostingParams {
             max_depth: 3,
             min_samples_leaf: 1,
             subsample: 1.0,
+            splitter: Splitter::Best,
+            n_bins: 256,
             seed: 0,
         }
     }
@@ -298,6 +333,10 @@ impl Classifier for GradientBoostingClassifier {
         self.init_score = (p0 / (1.0 - p0)).ln();
         let mut f = vec![self.init_score; n];
         let mut rng = em_rt::StdRng::seed_from_u64(self.params.seed);
+        // Stages refit on new residuals over the same rows (or a subsample
+        // of them), so one binning of the base matrix serves every stage.
+        let prebinned = (self.params.splitter.effective() == Splitter::Binned)
+            .then(|| crate::binned::bin_matrix(x, self.params.n_bins));
         for t in 0..self.params.n_estimators {
             // Negative gradient of logistic loss: residual = y - p.
             let residual: Vec<f64> = f
@@ -324,10 +363,14 @@ impl Classifier for GradientBoostingClassifier {
                 max_depth: Some(self.params.max_depth),
                 min_samples_leaf: self.params.min_samples_leaf,
                 max_features: MaxFeatures::All,
+                splitter: self.params.splitter,
+                n_bins: self.params.n_bins,
                 seed: self.params.seed.wrapping_add(t as u64),
                 ..TreeParams::default()
             };
-            let mut tree = DecisionTree::fit_regressor(&xs, &rs, Some(&ws), tree_params);
+            let pb = prebinned.as_ref().map(|b| b.gather(&rows));
+            let mut tree =
+                DecisionTree::fit_regressor_prebinned(&xs, &rs, Some(&ws), tree_params, pb);
             // Newton step per leaf: gamma = sum(res) / sum(p (1 - p)).
             let mut leaf_num: std::collections::HashMap<usize, f64> =
                 std::collections::HashMap::new();
@@ -381,6 +424,8 @@ impl GradientBoostingParams {
             ("max_depth", Json::from(self.max_depth)),
             ("min_samples_leaf", Json::from(self.min_samples_leaf)),
             ("subsample", jsonio::num(self.subsample)),
+            ("splitter", Json::from(self.splitter.as_str())),
+            ("n_bins", Json::from(self.n_bins)),
             ("seed", jsonio::u64_str(self.seed)),
         ])
     }
@@ -393,6 +438,15 @@ impl GradientBoostingParams {
             max_depth: jsonio::as_usize(jsonio::field(j, "max_depth")?)?,
             min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
             subsample: jsonio::as_f64(jsonio::field(j, "subsample")?)?,
+            // Absent in pre-binned artifacts; default to the exact engine.
+            splitter: match j.get("splitter") {
+                Some(v) => Splitter::parse(jsonio::as_str(v)?)?,
+                None => Splitter::Best,
+            },
+            n_bins: match j.get("n_bins") {
+                Some(v) => jsonio::as_usize(v)?,
+                None => 256,
+            },
             seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
         })
     }

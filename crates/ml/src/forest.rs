@@ -28,6 +28,12 @@ pub struct ForestParams {
     pub min_samples_leaf: usize,
     /// Features considered per split.
     pub max_features: MaxFeatures,
+    /// Split engine per tree (exact scan, binned histograms, or random
+    /// thresholds — extra-trees forces `Random`).
+    pub splitter: Splitter,
+    /// Bin budget per feature for the binned splitter (see
+    /// [`TreeParams::n_bins`]).
+    pub n_bins: usize,
     /// Bootstrap-resample the training set per tree.
     pub bootstrap: bool,
     /// Minimum impurity decrease per split.
@@ -47,6 +53,8 @@ impl Default for ForestParams {
             min_samples_split: 2,
             min_samples_leaf: 1,
             max_features: MaxFeatures::Sqrt,
+            splitter: Splitter::Best,
+            n_bins: 256,
             bootstrap: true,
             min_impurity_decrease: 0.0,
             seed: 0,
@@ -64,11 +72,15 @@ fn fit_trees(
     n_classes: usize,
     sample_weight: Option<&[f64]>,
     params: &ForestParams,
-    splitter: Splitter,
 ) -> Vec<DecisionTree> {
     let _span = em_obs::span!("forest.fit");
     let n = x.nrows();
     let n_trees = params.n_estimators.max(1);
+    // Bin the base matrix once for the whole forest: bootstrap resamples
+    // only repeat base rows, so each tree gathers its code rows instead of
+    // re-sorting every feature.
+    let prebinned = (params.splitter.effective() == Splitter::Binned)
+        .then(|| crate::binned::bin_matrix(x, params.n_bins));
     let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
     let writer = em_rt::SliceWriter::new(&mut results);
     em_rt::parallel_for_chunked(n_trees, params.n_jobs, 1, |t| {
@@ -78,7 +90,8 @@ fn fit_trees(
             min_samples_split: params.min_samples_split,
             min_samples_leaf: params.min_samples_leaf,
             max_features: params.max_features,
-            splitter,
+            splitter: params.splitter,
+            n_bins: params.n_bins,
             min_impurity_decrease: params.min_impurity_decrease,
             seed: params
                 .seed
@@ -91,9 +104,24 @@ fn fit_trees(
             let xb = x.select_rows(&idx);
             let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
             let wb: Option<Vec<f64>> = sample_weight.map(|w| idx.iter().map(|&i| w[i]).collect());
-            DecisionTree::fit_classifier(&xb, &yb, n_classes, wb.as_deref(), tree_params)
+            let pb = prebinned.as_ref().map(|b| b.gather(&idx));
+            DecisionTree::fit_classifier_prebinned(
+                &xb,
+                &yb,
+                n_classes,
+                wb.as_deref(),
+                tree_params,
+                pb,
+            )
         } else {
-            DecisionTree::fit_classifier(x, y, n_classes, sample_weight, tree_params)
+            DecisionTree::fit_classifier_prebinned(
+                x,
+                y,
+                n_classes,
+                sample_weight,
+                tree_params,
+                prebinned.clone(),
+            )
         };
         // Safety: `parallel_for` hands out each index exactly once.
         unsafe { writer.write(t, Some(tree)) };
@@ -236,7 +264,7 @@ impl RandomForestClassifier {
 impl Classifier for RandomForestClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
         self.n_classes = n_classes;
-        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params, Splitter::Best);
+        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params);
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
@@ -284,8 +312,9 @@ pub struct ExtraTreesClassifier {
 impl ExtraTreesClassifier {
     /// Create an unfitted extra-trees ensemble.
     pub fn new(mut params: ForestParams) -> Self {
-        // sklearn's ExtraTrees default: no bootstrap.
+        // sklearn's ExtraTrees default: no bootstrap, random thresholds.
         params.bootstrap = false;
+        params.splitter = Splitter::Random;
         ExtraTreesClassifier {
             params,
             trees: Vec::new(),
@@ -297,14 +326,7 @@ impl ExtraTreesClassifier {
 impl Classifier for ExtraTreesClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize, sample_weight: Option<&[f64]>) {
         self.n_classes = n_classes;
-        self.trees = fit_trees(
-            x,
-            y,
-            n_classes,
-            sample_weight,
-            &self.params,
-            Splitter::Random,
-        );
+        self.trees = fit_trees(x, y, n_classes, sample_weight, &self.params);
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
@@ -361,6 +383,8 @@ impl ForestParams {
             ("min_samples_split", Json::from(self.min_samples_split)),
             ("min_samples_leaf", Json::from(self.min_samples_leaf)),
             ("max_features", self.max_features.to_json()),
+            ("splitter", Json::from(self.splitter.as_str())),
+            ("n_bins", Json::from(self.n_bins)),
             ("bootstrap", Json::from(self.bootstrap)),
             (
                 "min_impurity_decrease",
@@ -380,6 +404,16 @@ impl ForestParams {
             min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
             min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
             max_features: MaxFeatures::from_json(jsonio::field(j, "max_features")?)?,
+            // Both introduced after the first artifact format; older
+            // artifacts load with the values they were fitted with.
+            splitter: match j.get("splitter") {
+                Some(v) => Splitter::parse(jsonio::as_str(v)?)?,
+                None => Splitter::Best,
+            },
+            n_bins: match j.get("n_bins") {
+                Some(v) => jsonio::as_usize(v)?,
+                None => 256,
+            },
             bootstrap: jsonio::as_bool(jsonio::field(j, "bootstrap")?)?,
             min_impurity_decrease: jsonio::as_f64(jsonio::field(j, "min_impurity_decrease")?)?,
             seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
@@ -435,7 +469,10 @@ impl ExtraTreesClassifier {
 
     /// Inverse of [`ExtraTreesClassifier::to_json`].
     pub fn from_json(j: &Json) -> Result<Self, String> {
-        let (params, trees, n_classes) = ensemble_from_json(j)?;
+        let (mut params, trees, n_classes) = ensemble_from_json(j)?;
+        // Pre-splitter artifacts default to `Best`; extra-trees always
+        // means random thresholds (a refit must not change engines).
+        params.splitter = Splitter::Random;
         Ok(ExtraTreesClassifier {
             params,
             trees,
@@ -467,6 +504,8 @@ impl RandomForestRegressor {
         let _span = em_obs::span!("forest.fit_regressor");
         let n = x.nrows();
         let n_trees = self.params.n_estimators.max(1);
+        let prebinned = (self.params.splitter.effective() == Splitter::Binned)
+            .then(|| crate::binned::bin_matrix(x, self.params.n_bins));
         let mut results: Vec<Option<DecisionTree>> = vec![None; n_trees];
         let writer = em_rt::SliceWriter::new(&mut results);
         let params = &self.params;
@@ -477,7 +516,8 @@ impl RandomForestRegressor {
                 min_samples_split: params.min_samples_split,
                 min_samples_leaf: params.min_samples_leaf,
                 max_features: params.max_features,
-                splitter: Splitter::Best,
+                splitter: params.splitter,
+                n_bins: params.n_bins,
                 min_impurity_decrease: params.min_impurity_decrease,
                 seed: params
                     .seed
@@ -489,9 +529,16 @@ impl RandomForestRegressor {
                 let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
                 let xb = x.select_rows(&idx);
                 let tb: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
-                DecisionTree::fit_regressor(&xb, &tb, None, tree_params)
+                let pb = prebinned.as_ref().map(|b| b.gather(&idx));
+                DecisionTree::fit_regressor_prebinned(&xb, &tb, None, tree_params, pb)
             } else {
-                DecisionTree::fit_regressor(x, targets, None, tree_params)
+                DecisionTree::fit_regressor_prebinned(
+                    x,
+                    targets,
+                    None,
+                    tree_params,
+                    prebinned.clone(),
+                )
             };
             // Safety: `parallel_for` hands out each index exactly once.
             unsafe { writer.write(t, Some(tree)) };

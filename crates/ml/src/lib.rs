@@ -20,6 +20,7 @@
 //! ```
 
 pub mod bayes;
+mod binned;
 pub mod boost;
 pub mod decomp;
 pub mod featsel;

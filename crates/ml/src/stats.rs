@@ -210,22 +210,34 @@ pub fn variance(xs: &[f64]) -> f64 {
 
 /// `q`-th quantile (linear interpolation, q in [0, 1]) of unsorted data.
 /// NaN on empty input.
+///
+/// Selection-based (`select_nth_unstable_by`), not a full sort: the two
+/// order statistics the interpolation needs cost O(n) expected instead of
+/// O(n log n) — this sits on per-fit hot paths (robust scaling, imputation,
+/// summary statistics).
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in quantile input");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
+    let (_, &mut v_lo, rest) = v.select_nth_unstable_by(lo, cmp);
     if lo == hi {
-        v[lo]
-    } else {
-        let w = pos - lo as f64;
-        v[lo] * (1.0 - w) + v[hi] * w
+        return v_lo;
     }
+    // `hi == lo + 1`, so the upper order statistic is the minimum of the
+    // partition right of `lo` — no second selection pass needed.
+    let v_hi = rest
+        .iter()
+        .copied()
+        .min_by(|a, b| cmp(a, b))
+        .expect("hi within bounds");
+    let w = pos - lo as f64;
+    v_lo * (1.0 - w) + v_hi * w
 }
 
 /// Median via [`quantile`].

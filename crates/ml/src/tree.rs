@@ -63,6 +63,57 @@ pub enum Splitter {
     Best,
     /// One uniformly random threshold per candidate feature (extra-trees).
     Random,
+    /// Histogram-based best split: features are quantile-binned once per fit
+    /// into u8 codes and split candidates are scanned per bin instead of per
+    /// sorted sample (see `crate::binned`). When every feature has at most
+    /// `n_bins` distinct values the binning is lossless and the fitted tree
+    /// matches [`Splitter::Best`]; otherwise it is a (deterministic)
+    /// approximation that trades threshold resolution for speed.
+    Binned,
+}
+
+impl Splitter {
+    /// Stable artifact name of the splitter.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Splitter::Best => "best",
+            Splitter::Random => "random",
+            Splitter::Binned => "binned",
+        }
+    }
+
+    /// Inverse of [`Splitter::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "best" => Ok(Splitter::Best),
+            "random" => Ok(Splitter::Random),
+            "binned" => Ok(Splitter::Binned),
+            other => Err(format!("unknown splitter {other:?}")),
+        }
+    }
+
+    /// Apply the `EM_BINNED` environment override: `on`/`1`/`true` swaps
+    /// [`Splitter::Best`] for [`Splitter::Binned`] at fit time,
+    /// `off`/`0`/`false` swaps `Binned` back to the exact path, anything
+    /// else (or unset) leaves the requested splitter alone.
+    /// [`Splitter::Random`] is never overridden — extra-trees semantics are
+    /// a different estimator, not an execution strategy.
+    ///
+    /// The override affects only which engine runs; `TreeParams` keeps (and
+    /// serializes) the splitter that was requested.
+    pub(crate) fn effective(self) -> Splitter {
+        if self == Splitter::Random {
+            return self;
+        }
+        match std::env::var("EM_BINNED") {
+            Ok(v) => match v.as_str() {
+                "on" | "1" | "true" => Splitter::Binned,
+                "off" | "0" | "false" => Splitter::Best,
+                _ => self,
+            },
+            Err(_) => self,
+        }
+    }
 }
 
 /// Hyperparameters of a single tree.
@@ -84,6 +135,10 @@ pub struct TreeParams {
     pub min_impurity_decrease: f64,
     /// RNG seed for feature subsampling / random thresholds.
     pub seed: u64,
+    /// Maximum histogram bins per feature for [`Splitter::Binned`]
+    /// (clamped to `2..=256` so codes fit in a `u8`; ignored by the other
+    /// splitters).
+    pub n_bins: usize,
 }
 
 impl Default for TreeParams {
@@ -97,12 +152,13 @@ impl Default for TreeParams {
             splitter: Splitter::Best,
             min_impurity_decrease: 0.0,
             seed: 0,
+            n_bins: 256,
         }
     }
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Classification: weighted class distribution (normalized).
         /// Regression: single-element vector holding the leaf mean.
@@ -131,7 +187,7 @@ pub struct DecisionTree {
 }
 
 /// Target wrapper so classification and regression share one builder.
-enum Target<'a> {
+pub(crate) enum Target<'a> {
     Classes { y: &'a [usize], n_classes: usize },
     Values(&'a [f64]),
 }
@@ -159,7 +215,56 @@ impl DecisionTree {
         assert_eq!(x.nrows(), y.len(), "X/y length mismatch");
         assert!(!x.has_nan(), "NaN features: impute before fitting trees");
         assert!(y.iter().all(|&c| c < n_classes), "label out of range");
-        Self::fit_inner(x, Target::Classes { y, n_classes }, sample_weight, params)
+        Self::fit_inner(
+            x,
+            Target::Classes { y, n_classes },
+            sample_weight,
+            params,
+            None,
+        )
+    }
+
+    /// [`DecisionTree::fit_classifier`] with a pre-computed binning of `x`
+    /// (ignored unless the binned engine runs). Ensembles use this to pay
+    /// the per-feature binning sorts once per fit instead of once per tree.
+    pub(crate) fn fit_classifier_prebinned(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        sample_weight: Option<&[f64]>,
+        params: TreeParams,
+        prebinned: Option<crate::binned::BinnedMatrix>,
+    ) -> Self {
+        assert_ne!(
+            params.criterion,
+            Criterion::Mse,
+            "use fit_regressor for MSE"
+        );
+        assert_eq!(x.nrows(), y.len(), "X/y length mismatch");
+        assert!(!x.has_nan(), "NaN features: impute before fitting trees");
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        Self::fit_inner(
+            x,
+            Target::Classes { y, n_classes },
+            sample_weight,
+            params,
+            prebinned,
+        )
+    }
+
+    /// [`DecisionTree::fit_regressor`] with a pre-computed binning of `x`
+    /// (ignored unless the binned engine runs).
+    pub(crate) fn fit_regressor_prebinned(
+        x: &Matrix,
+        targets: &[f64],
+        sample_weight: Option<&[f64]>,
+        mut params: TreeParams,
+        prebinned: Option<crate::binned::BinnedMatrix>,
+    ) -> Self {
+        params.criterion = Criterion::Mse;
+        assert_eq!(x.nrows(), targets.len(), "X/y length mismatch");
+        assert!(!x.has_nan(), "NaN features: impute before fitting trees");
+        Self::fit_inner(x, Target::Values(targets), sample_weight, params, prebinned)
     }
 
     /// Fit a regression tree (criterion is forced to MSE).
@@ -175,7 +280,7 @@ impl DecisionTree {
         params.criterion = Criterion::Mse;
         assert_eq!(x.nrows(), targets.len(), "X/y length mismatch");
         assert!(!x.has_nan(), "NaN features: impute before fitting trees");
-        Self::fit_inner(x, Target::Values(targets), sample_weight, params)
+        Self::fit_inner(x, Target::Values(targets), sample_weight, params, None)
     }
 
     fn fit_inner(
@@ -183,6 +288,7 @@ impl DecisionTree {
         target: Target<'_>,
         sample_weight: Option<&[f64]>,
         params: TreeParams,
+        prebinned: Option<crate::binned::BinnedMatrix>,
     ) -> Self {
         let n = x.nrows();
         assert!(n > 0, "cannot fit a tree on zero samples");
@@ -208,13 +314,27 @@ impl DecisionTree {
             n_features: x.ncols(),
             importances: vec![0.0; x.ncols()],
         };
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let idx: Vec<usize> = (0..n).collect();
-        tree.build(x, &target, w, idx, 0, &mut rng);
+        // `EM_BINNED` swaps the split engine without touching the stored
+        // (and serialized) hyperparameters.
+        let splitter = params.splitter.effective();
+        if splitter == Splitter::Binned {
+            BINNED_FITS.incr();
+            let (nodes, importances) =
+                crate::binned::fit_binned(x, &target, w, &tree.params, prebinned);
+            tree.nodes = nodes;
+            tree.importances = importances;
+        } else {
+            EXACT_FITS.incr();
+            let mut rng = StdRng::seed_from_u64(params.seed);
+            let idx: Vec<usize> = (0..n).collect();
+            tree.build(x, &target, w, idx, 0, &mut rng, splitter);
+        }
+        NODES.add(tree.nodes.len() as u64);
         tree
     }
 
     /// Recursively grow the tree; returns the new node's index.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &Matrix,
@@ -223,13 +343,16 @@ impl DecisionTree {
         idx: Vec<usize>,
         depth: usize,
         rng: &mut StdRng,
+        splitter: Splitter,
     ) -> usize {
         let (impurity, leaf_dist) = self.node_stats(target, w, &idx);
         let stop = idx.len() < self.params.min_samples_split
             || self.params.max_depth.is_some_and(|d| depth >= d)
             || impurity <= 1e-12;
         if !stop {
-            if let Some((feature, threshold, gain)) = self.best_split(x, target, w, &idx, rng) {
+            if let Some((feature, threshold, gain)) =
+                self.best_split(x, target, w, &idx, rng, splitter)
+            {
                 if gain >= self.params.min_impurity_decrease.max(1e-12) {
                     let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
                         idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
@@ -244,8 +367,8 @@ impl DecisionTree {
                         // Reserve a slot so children see stable parent index.
                         let my = self.nodes.len();
                         self.nodes.push(Node::Leaf { dist: Vec::new() });
-                        let left = self.build(x, target, w, left_idx, depth + 1, rng);
-                        let right = self.build(x, target, w, right_idx, depth + 1, rng);
+                        let left = self.build(x, target, w, left_idx, depth + 1, rng, splitter);
+                        let right = self.build(x, target, w, right_idx, depth + 1, rng, splitter);
                         self.nodes[my] = Node::Split {
                             feature,
                             threshold,
@@ -264,39 +387,7 @@ impl DecisionTree {
 
     /// Impurity and leaf payload for a node's sample set.
     fn node_stats(&self, target: &Target<'_>, w: &[f64], idx: &[usize]) -> (f64, Vec<f64>) {
-        match target {
-            Target::Classes { y, n_classes } => {
-                let mut counts = vec![0.0f64; *n_classes];
-                for &i in idx {
-                    counts[y[i]] += w[i];
-                }
-                let total: f64 = counts.iter().sum();
-                let imp = impurity_from_counts(&counts, total, self.params.criterion);
-                let dist = if total > 0.0 {
-                    counts.iter().map(|c| c / total).collect()
-                } else {
-                    vec![1.0 / *n_classes as f64; *n_classes]
-                };
-                (imp, dist)
-            }
-            Target::Values(t) => {
-                let mut sw = 0.0;
-                let mut sum = 0.0;
-                let mut sum_sq = 0.0;
-                for &i in idx {
-                    sw += w[i];
-                    sum += w[i] * t[i];
-                    sum_sq += w[i] * t[i] * t[i];
-                }
-                let mean = if sw > 0.0 { sum / sw } else { 0.0 };
-                let var = if sw > 0.0 {
-                    (sum_sq / sw - mean * mean).max(0.0)
-                } else {
-                    0.0
-                };
-                (var, vec![mean])
-            }
-        }
+        node_stats(target, w, idx, self.params.criterion)
     }
 
     /// Search candidate features for the best split.
@@ -308,6 +399,7 @@ impl DecisionTree {
         w: &[f64],
         idx: &[usize],
         rng: &mut StdRng,
+        splitter: Splitter,
     ) -> Option<(usize, f64, f64)> {
         let d = x.ncols();
         let k = self.params.max_features.resolve(d);
@@ -323,10 +415,18 @@ impl DecisionTree {
         }
         let mut best: Option<(usize, f64, f64)> = None;
         for &f in &features {
-            let candidate = match self.params.splitter {
-                Splitter::Best => {
-                    self.best_threshold_for(x, target, w, idx, f, parent_imp, total_w)
-                }
+            let candidate = match splitter {
+                Splitter::Best | Splitter::Binned => exact_best_threshold(
+                    x,
+                    target,
+                    w,
+                    idx,
+                    f,
+                    parent_imp,
+                    total_w,
+                    self.params.min_samples_leaf,
+                    self.params.criterion,
+                ),
                 Splitter::Random => {
                     self.random_threshold_for(x, target, w, idx, f, parent_imp, total_w, rng)
                 }
@@ -340,94 +440,11 @@ impl DecisionTree {
         best
     }
 
-    /// Exhaustive scan over sorted values of feature `f`.
-    #[allow(clippy::too_many_arguments)]
-    fn best_threshold_for(
-        &self,
-        x: &Matrix,
-        target: &Target<'_>,
-        w: &[f64],
-        idx: &[usize],
-        f: usize,
-        parent_imp: f64,
-        total_w: f64,
-    ) -> Option<(f64, f64)> {
-        let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| x.get(a, f).partial_cmp(&x.get(b, f)).expect("NaN feature"));
-        let n = order.len();
-        let min_leaf = self.params.min_samples_leaf;
-        match target {
-            Target::Classes { y, n_classes } => {
-                let mut left_counts = vec![0.0f64; *n_classes];
-                let mut right_counts = vec![0.0f64; *n_classes];
-                for &i in &order {
-                    right_counts[y[i]] += w[i];
-                }
-                let mut left_w = 0.0;
-                let mut best: Option<(f64, f64)> = None;
-                for pos in 0..n - 1 {
-                    let i = order[pos];
-                    left_counts[y[i]] += w[i];
-                    right_counts[y[i]] -= w[i];
-                    left_w += w[i];
-                    let v_here = x.get(i, f);
-                    let v_next = x.get(order[pos + 1], f);
-                    if v_here == v_next {
-                        continue;
-                    }
-                    if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
-                        continue;
-                    }
-                    let right_w = total_w - left_w;
-                    let imp_l = impurity_from_counts(&left_counts, left_w, self.params.criterion);
-                    let imp_r = impurity_from_counts(&right_counts, right_w, self.params.criterion);
-                    let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
-                    if best.is_none_or(|(_, g)| gain > g) {
-                        best = Some((midpoint(v_here, v_next), gain));
-                    }
-                }
-                best
-            }
-            Target::Values(t) => {
-                let mut left_w = 0.0;
-                let mut left_sum = 0.0;
-                let mut left_sq = 0.0;
-                let (mut right_w, mut right_sum, mut right_sq) = (0.0, 0.0, 0.0);
-                for &i in &order {
-                    right_w += w[i];
-                    right_sum += w[i] * t[i];
-                    right_sq += w[i] * t[i] * t[i];
-                }
-                let mut best: Option<(f64, f64)> = None;
-                for pos in 0..n - 1 {
-                    let i = order[pos];
-                    left_w += w[i];
-                    left_sum += w[i] * t[i];
-                    left_sq += w[i] * t[i] * t[i];
-                    right_w -= w[i];
-                    right_sum -= w[i] * t[i];
-                    right_sq -= w[i] * t[i] * t[i];
-                    let v_here = x.get(i, f);
-                    let v_next = x.get(order[pos + 1], f);
-                    if v_here == v_next {
-                        continue;
-                    }
-                    if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
-                        continue;
-                    }
-                    let imp_l = variance_from_sums(left_w, left_sum, left_sq);
-                    let imp_r = variance_from_sums(right_w, right_sum, right_sq);
-                    let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
-                    if best.is_none_or(|(_, g)| gain > g) {
-                        best = Some((midpoint(v_here, v_next), gain));
-                    }
-                }
-                best
-            }
-        }
-    }
-
     /// Extra-trees: a single uniform threshold in the node's value range.
+    /// One fused pass accumulates both children's statistics — no partition
+    /// vectors, no second sweep — with the identical accumulation order (and
+    /// therefore bit-identical gains) as partitioning followed by
+    /// [`node_stats`].
     #[allow(clippy::too_many_arguments)]
     fn random_threshold_for(
         &self,
@@ -451,17 +468,60 @@ impl DecisionTree {
             return None;
         }
         let threshold = rng.random_range(lo..hi);
-        let (left, right): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| x.get(i, f) <= threshold);
-        if left.len() < self.params.min_samples_leaf || right.len() < self.params.min_samples_leaf {
-            return None;
+        let min_leaf = self.params.min_samples_leaf;
+        match target {
+            Target::Classes { y, n_classes } => {
+                let mut left_counts = vec![0.0f64; *n_classes];
+                let mut right_counts = vec![0.0f64; *n_classes];
+                let (mut lw, mut rw) = (0.0f64, 0.0f64);
+                let (mut n_left, mut n_right) = (0usize, 0usize);
+                for &i in idx {
+                    if x.get(i, f) <= threshold {
+                        left_counts[y[i]] += w[i];
+                        lw += w[i];
+                        n_left += 1;
+                    } else {
+                        right_counts[y[i]] += w[i];
+                        rw += w[i];
+                        n_right += 1;
+                    }
+                }
+                if n_left < min_leaf || n_right < min_leaf {
+                    return None;
+                }
+                let left_total: f64 = left_counts.iter().sum();
+                let right_total: f64 = right_counts.iter().sum();
+                let imp_l = impurity_from_counts(&left_counts, left_total, self.params.criterion);
+                let imp_r = impurity_from_counts(&right_counts, right_total, self.params.criterion);
+                let gain = parent_imp - (lw * imp_l + rw * imp_r) / total_w;
+                Some((threshold, gain))
+            }
+            Target::Values(t) => {
+                let (mut lw, mut lsum, mut lsq) = (0.0f64, 0.0f64, 0.0f64);
+                let (mut rw, mut rsum, mut rsq) = (0.0f64, 0.0f64, 0.0f64);
+                let (mut n_left, mut n_right) = (0usize, 0usize);
+                for &i in idx {
+                    if x.get(i, f) <= threshold {
+                        lw += w[i];
+                        lsum += w[i] * t[i];
+                        lsq += w[i] * t[i] * t[i];
+                        n_left += 1;
+                    } else {
+                        rw += w[i];
+                        rsum += w[i] * t[i];
+                        rsq += w[i] * t[i] * t[i];
+                        n_right += 1;
+                    }
+                }
+                if n_left < min_leaf || n_right < min_leaf {
+                    return None;
+                }
+                let imp_l = variance_from_sums(lw, lsum, lsq);
+                let imp_r = variance_from_sums(rw, rsum, rsq);
+                let gain = parent_imp - (lw * imp_l + rw * imp_r) / total_w;
+                Some((threshold, gain))
+            }
         }
-        let (imp_l, _) = self.node_stats(target, w, &left);
-        let (imp_r, _) = self.node_stats(target, w, &right);
-        let lw: f64 = left.iter().map(|&i| w[i]).sum();
-        let rw: f64 = right.iter().map(|&i| w[i]).sum();
-        let gain = parent_imp - (lw * imp_l + rw * imp_r) / total_w;
-        Some((threshold, gain))
     }
 
     /// Leaf index reached by sample `row` (used by gradient boosting).
@@ -637,22 +697,18 @@ impl TreeParams {
             ("min_samples_split", Json::from(self.min_samples_split)),
             ("min_samples_leaf", Json::from(self.min_samples_leaf)),
             ("max_features", self.max_features.to_json()),
-            (
-                "splitter",
-                Json::from(match self.splitter {
-                    Splitter::Best => "best",
-                    Splitter::Random => "random",
-                }),
-            ),
+            ("splitter", Json::from(self.splitter.as_str())),
             (
                 "min_impurity_decrease",
                 jsonio::num(self.min_impurity_decrease),
             ),
             ("seed", jsonio::u64_str(self.seed)),
+            ("n_bins", Json::from(self.n_bins)),
         ])
     }
 
-    /// Inverse of [`TreeParams::to_json`].
+    /// Inverse of [`TreeParams::to_json`]. `n_bins` is optional so model
+    /// artifacts written before the binned splitter existed still load.
     pub fn from_json(j: &Json) -> Result<Self, String> {
         Ok(TreeParams {
             criterion: Criterion::parse(jsonio::as_str(jsonio::field(j, "criterion")?)?)?,
@@ -660,13 +716,13 @@ impl TreeParams {
             min_samples_split: jsonio::as_usize(jsonio::field(j, "min_samples_split")?)?,
             min_samples_leaf: jsonio::as_usize(jsonio::field(j, "min_samples_leaf")?)?,
             max_features: MaxFeatures::from_json(jsonio::field(j, "max_features")?)?,
-            splitter: match jsonio::as_str(jsonio::field(j, "splitter")?)? {
-                "best" => Splitter::Best,
-                "random" => Splitter::Random,
-                other => return Err(format!("unknown splitter {other:?}")),
-            },
+            splitter: Splitter::parse(jsonio::as_str(jsonio::field(j, "splitter")?)?)?,
             min_impurity_decrease: jsonio::as_f64(jsonio::field(j, "min_impurity_decrease")?)?,
             seed: jsonio::as_u64(jsonio::field(j, "seed")?)?,
+            n_bins: match j.get("n_bins") {
+                Some(v) => jsonio::as_usize(v)?,
+                None => 256,
+            },
         })
     }
 }
@@ -744,7 +800,144 @@ impl DecisionTree {
     }
 }
 
-fn midpoint(a: f64, b: f64) -> f64 {
+/// Fit-path counters (no-ops unless `em-obs` tracing is active).
+static EXACT_FITS: em_obs::Counter = em_obs::Counter::new("tree.exact_fits");
+static BINNED_FITS: em_obs::Counter = em_obs::Counter::new("tree.binned_fits");
+static NODES: em_obs::Counter = em_obs::Counter::new("tree.nodes");
+
+/// Impurity and leaf payload for a sample set (free-function form shared by
+/// the exact builder and the binned engine in `crate::binned`).
+pub(crate) fn node_stats(
+    target: &Target<'_>,
+    w: &[f64],
+    idx: &[usize],
+    criterion: Criterion,
+) -> (f64, Vec<f64>) {
+    match target {
+        Target::Classes { y, n_classes } => {
+            let mut counts = vec![0.0f64; *n_classes];
+            for &i in idx {
+                counts[y[i]] += w[i];
+            }
+            let total: f64 = counts.iter().sum();
+            let imp = impurity_from_counts(&counts, total, criterion);
+            let dist = if total > 0.0 {
+                counts.iter().map(|c| c / total).collect()
+            } else {
+                vec![1.0 / *n_classes as f64; *n_classes]
+            };
+            (imp, dist)
+        }
+        Target::Values(t) => {
+            let mut sw = 0.0;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for &i in idx {
+                sw += w[i];
+                sum += w[i] * t[i];
+                sum_sq += w[i] * t[i] * t[i];
+            }
+            let mean = if sw > 0.0 { sum / sw } else { 0.0 };
+            let var = if sw > 0.0 {
+                (sum_sq / sw - mean * mean).max(0.0)
+            } else {
+                0.0
+            };
+            (var, vec![mean])
+        }
+    }
+}
+
+/// Exhaustive scan over sorted values of feature `f` — the CART inner loop.
+/// Free-function form so the binned engine can fall back to it verbatim for
+/// small nodes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exact_best_threshold(
+    x: &Matrix,
+    target: &Target<'_>,
+    w: &[f64],
+    idx: &[usize],
+    f: usize,
+    parent_imp: f64,
+    total_w: f64,
+    min_leaf: usize,
+    criterion: Criterion,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| x.get(a, f).partial_cmp(&x.get(b, f)).expect("NaN feature"));
+    let n = order.len();
+    match target {
+        Target::Classes { y, n_classes } => {
+            let mut left_counts = vec![0.0f64; *n_classes];
+            let mut right_counts = vec![0.0f64; *n_classes];
+            for &i in &order {
+                right_counts[y[i]] += w[i];
+            }
+            let mut left_w = 0.0;
+            let mut best: Option<(f64, f64)> = None;
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                left_counts[y[i]] += w[i];
+                right_counts[y[i]] -= w[i];
+                left_w += w[i];
+                let v_here = x.get(i, f);
+                let v_next = x.get(order[pos + 1], f);
+                if v_here == v_next {
+                    continue;
+                }
+                if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                let imp_l = impurity_from_counts(&left_counts, left_w, criterion);
+                let imp_r = impurity_from_counts(&right_counts, right_w, criterion);
+                let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((midpoint(v_here, v_next), gain));
+                }
+            }
+            best
+        }
+        Target::Values(t) => {
+            let mut left_w = 0.0;
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let (mut right_w, mut right_sum, mut right_sq) = (0.0, 0.0, 0.0);
+            for &i in &order {
+                right_w += w[i];
+                right_sum += w[i] * t[i];
+                right_sq += w[i] * t[i] * t[i];
+            }
+            let mut best: Option<(f64, f64)> = None;
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                left_w += w[i];
+                left_sum += w[i] * t[i];
+                left_sq += w[i] * t[i] * t[i];
+                right_w -= w[i];
+                right_sum -= w[i] * t[i];
+                right_sq -= w[i] * t[i] * t[i];
+                let v_here = x.get(i, f);
+                let v_next = x.get(order[pos + 1], f);
+                if v_here == v_next {
+                    continue;
+                }
+                if pos + 1 < min_leaf || n - pos - 1 < min_leaf {
+                    continue;
+                }
+                let imp_l = variance_from_sums(left_w, left_sum, left_sq);
+                let imp_r = variance_from_sums(right_w, right_sum, right_sq);
+                let gain = parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((midpoint(v_here, v_next), gain));
+                }
+            }
+            best
+        }
+    }
+}
+
+pub(crate) fn midpoint(a: f64, b: f64) -> f64 {
     a + (b - a) / 2.0
 }
 
@@ -758,7 +951,7 @@ fn argmax(xs: &[f64]) -> usize {
     best
 }
 
-fn impurity_from_counts(counts: &[f64], total: f64, criterion: Criterion) -> f64 {
+pub(crate) fn impurity_from_counts(counts: &[f64], total: f64, criterion: Criterion) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
@@ -785,7 +978,7 @@ fn impurity_from_counts(counts: &[f64], total: f64, criterion: Criterion) -> f64
     }
 }
 
-fn variance_from_sums(w: f64, sum: f64, sum_sq: f64) -> f64 {
+pub(crate) fn variance_from_sums(w: f64, sum: f64, sum_sq: f64) -> f64 {
     if w <= 0.0 {
         return 0.0;
     }

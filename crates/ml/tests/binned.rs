@@ -1,0 +1,323 @@
+//! Binned-splitter equivalence and regression tests.
+//!
+//! The binned engine is lossless when every feature has at most `n_bins`
+//! distinct values (one bin per value ⇒ the candidate thresholds are exactly
+//! the exact scan's midpoints), and with unit weights and integer-valued
+//! targets every accumulated statistic is an integer-exact f64 sum — so the
+//! fitted trees must match the exact splitter *bit for bit*, not just
+//! approximately. The exact path itself is pinned against a pre-PR golden
+//! fixture so the refactor can't silently change it.
+
+use em_ml::{
+    AdaBoostClassifier, AdaBoostParams, Classifier, DecisionTree, ExtraTreesClassifier,
+    ForestParams, GradientBoostingClassifier, GradientBoostingParams, Matrix, MaxFeatures,
+    RandomForestClassifier, Splitter, TreeParams,
+};
+use em_rt::{Json, StdRng};
+
+const CASES: u64 = 48;
+
+/// Run a property over `CASES` seeded RNGs, reporting the failing seed.
+fn check(f: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..CASES {
+        let seed = 0xB117_0000 ^ case;
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed for seed {seed} (case {case}/{CASES})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// True when `EM_BINNED` overrides the requested splitter, which would make
+/// an exact-vs-binned comparison vacuous (both fits run the same engine).
+fn em_binned_overridden() -> bool {
+    std::env::var("EM_BINNED").is_ok()
+}
+
+/// A matrix whose features take at most `levels` distinct values — the
+/// lossless regime for any `n_bins >= levels`. Values are multiples of 0.5,
+/// so midpoints and sums are exact binary floats.
+fn grid_matrix(rng: &mut StdRng, rows: usize, cols: usize, levels: usize) -> Matrix {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|_| rng.random_range(0..levels) as f64 * 0.5 - 1.0)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&data)
+}
+
+/// Binary labels with both classes present.
+fn labels(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut y: Vec<usize> = (0..n).map(|_| rng.random_range(0..2usize)).collect();
+    y[0] = 0;
+    y[n - 1] = 1;
+    y
+}
+
+/// Assert two fitted trees are identical: same structure, thresholds, leaf
+/// payloads, and importances, all compared through bit-exact channels.
+fn assert_trees_identical(a: &DecisionTree, b: &DecisionTree, what: &str) {
+    assert_eq!(a.n_nodes(), b.n_nodes(), "{what}: node count");
+    assert_eq!(a.depth(), b.depth(), "{what}: depth");
+    let (ia, ib) = (a.feature_importances(), b.feature_importances());
+    for (va, vb) in ia.iter().zip(&ib) {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: importances {ia:?} vs {ib:?}"
+        );
+    }
+    // The node arrays themselves, through the canonical JSON rendering
+    // (params are excluded: the two trees intentionally differ in
+    // `splitter`).
+    let na = a.to_json().get("nodes").unwrap().render();
+    let nb = b.to_json().get("nodes").unwrap().render();
+    assert_eq!(na, nb, "{what}: node arrays");
+}
+
+#[test]
+fn lossless_classification_matches_exact_bit_for_bit() {
+    if em_binned_overridden() {
+        eprintln!("skipping: EM_BINNED override active");
+        return;
+    }
+    check(|rng| {
+        let n = rng.random_range(20..120usize);
+        let levels = rng.random_range(2..12usize);
+        let x = grid_matrix(rng, n, 3, levels);
+        let y = labels(rng, n);
+        let criterion = if rng.random_bool(0.5) {
+            em_ml::Criterion::Gini
+        } else {
+            em_ml::Criterion::Entropy
+        };
+        let params = TreeParams {
+            criterion,
+            max_depth: if rng.random_bool(0.3) { Some(4) } else { None },
+            min_samples_leaf: rng.random_range(1..4usize),
+            // `All` keeps both engines' candidate feature sets identical
+            // (subsampled fits draw from differently-threaded RNG streams
+            // by design).
+            max_features: MaxFeatures::All,
+            splitter: Splitter::Best,
+            ..TreeParams::default()
+        };
+        let exact = DecisionTree::fit_classifier(&x, &y, 2, None, params.clone());
+        let binned = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            None,
+            TreeParams {
+                splitter: Splitter::Binned,
+                ..params
+            },
+        );
+        assert_trees_identical(&exact, &binned, "classification");
+        let (pa, pb) = (exact.predict_proba(&x), binned.predict_proba(&x));
+        for (va, vb) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    });
+}
+
+#[test]
+fn lossless_regression_matches_exact_bit_for_bit() {
+    if em_binned_overridden() {
+        eprintln!("skipping: EM_BINNED override active");
+        return;
+    }
+    check(|rng| {
+        let n = rng.random_range(20..120usize);
+        let levels = rng.random_range(2..12usize);
+        let x = grid_matrix(rng, n, 3, levels);
+        // Integer targets keep every weighted sum (Σw, Σwt, Σwt²) exact, so
+        // bin-order and sample-order accumulation agree bitwise.
+        let t: Vec<f64> = (0..n).map(|_| rng.random_range(0..7u32) as f64).collect();
+        let params = TreeParams {
+            max_depth: if rng.random_bool(0.3) { Some(5) } else { None },
+            min_samples_leaf: rng.random_range(1..4usize),
+            max_features: MaxFeatures::All,
+            splitter: Splitter::Best,
+            ..TreeParams::default()
+        };
+        let exact = DecisionTree::fit_regressor(&x, &t, None, params.clone());
+        let binned = DecisionTree::fit_regressor(
+            &x,
+            &t,
+            None,
+            TreeParams {
+                splitter: Splitter::Binned,
+                ..params
+            },
+        );
+        assert_trees_identical(&exact, &binned, "regression");
+        let (pa, pb) = (exact.predict_values(&x), binned.predict_values(&x));
+        for (va, vb) in pa.iter().zip(&pb) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    });
+}
+
+#[test]
+fn lossy_binned_is_deterministic_and_learns() {
+    // Continuous features (more distinct values than bins): the binned tree
+    // may differ from exact, but it must be reproducible and still separate
+    // two clear clusters, even with a tiny bin budget.
+    let mut rng = StdRng::seed_from_u64(404);
+    let n = 400;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = (i % 2) as f64;
+            (0..4).map(|_| c + rng.random_range(-0.4..0.4)).collect()
+        })
+        .collect();
+    let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    let x = Matrix::from_rows(&rows);
+    for n_bins in [16, 256] {
+        let params = TreeParams {
+            splitter: Splitter::Binned,
+            n_bins,
+            max_features: MaxFeatures::Sqrt,
+            seed: 7,
+            ..TreeParams::default()
+        };
+        let a = DecisionTree::fit_classifier(&x, &y, 2, None, params.clone());
+        let b = DecisionTree::fit_classifier(&x, &y, 2, None, params);
+        assert_trees_identical(&a, &b, "repeat fit");
+        let acc = a.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / n as f64;
+        assert!(acc > 0.95, "n_bins={n_bins} accuracy {acc}");
+    }
+}
+
+#[test]
+fn binned_tree_round_trips_through_json() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = grid_matrix(&mut rng, 60, 3, 20);
+    let y = labels(&mut rng, 60);
+    let tree = DecisionTree::fit_classifier(
+        &x,
+        &y,
+        2,
+        None,
+        TreeParams {
+            splitter: Splitter::Binned,
+            n_bins: 64,
+            ..TreeParams::default()
+        },
+    );
+    let json = tree.to_json().render();
+    let back = DecisionTree::from_json(&Json::parse(&json).unwrap()).unwrap();
+    assert_eq!(tree.predict(&x), back.predict(&x));
+    let rejson = back.to_json().render();
+    assert_eq!(json, rejson, "serialization is a fixed point");
+    assert!(json.contains("\"splitter\": \"binned\"") || json.contains("\"splitter\":\"binned\""));
+    // Pre-n_bins tree params (older artifact) still parse, with the default.
+    let old = Json::parse(
+        r#"{"criterion":"gini","max_depth":null,"min_samples_split":2,
+            "min_samples_leaf":1,"max_features":"all","splitter":"best",
+            "min_impurity_decrease":0,"seed":"0"}"#,
+    )
+    .unwrap();
+    let parsed = TreeParams::from_json(&old).unwrap();
+    assert_eq!(parsed.n_bins, 256);
+}
+
+/// Regenerate the pre-PR seeded ensembles and compare `predict_proba`
+/// against the committed golden fixture bit for bit — the exact splitter's
+/// output must be byte-for-byte unchanged by the binned-engine refactor.
+#[test]
+fn exact_fit_matches_pre_binned_golden() {
+    if em_binned_overridden() {
+        eprintln!("skipping: EM_BINNED override active");
+        return;
+    }
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/exact_fit_golden.json"
+    ))
+    .expect("golden fixture present");
+    let golden = Json::parse(&text).unwrap();
+    let (x, y) = golden_data(240, 6, 11);
+
+    let mut rf = RandomForestClassifier::new(ForestParams {
+        n_estimators: 12,
+        seed: 5,
+        ..ForestParams::default()
+    });
+    rf.fit(&x, &y, 2, None);
+    assert_matches_golden(&golden, "random_forest", &rf.predict_proba(&x));
+
+    let mut et = ExtraTreesClassifier::new(ForestParams {
+        n_estimators: 8,
+        seed: 6,
+        ..ForestParams::default()
+    });
+    et.fit(&x, &y, 2, None);
+    assert_matches_golden(&golden, "extra_trees", &et.predict_proba(&x));
+
+    let mut gb = GradientBoostingClassifier::new(GradientBoostingParams {
+        n_estimators: 10,
+        subsample: 0.8,
+        seed: 3,
+        ..GradientBoostingParams::default()
+    });
+    gb.fit(&x, &y, 2, None);
+    assert_matches_golden(&golden, "gradient_boosting", &gb.predict_proba(&x));
+
+    let mut ab = AdaBoostClassifier::new(AdaBoostParams {
+        n_estimators: 10,
+        max_depth: 2,
+        ..AdaBoostParams::default()
+    });
+    ab.fit(&x, &y, 2, None);
+    assert_matches_golden(&golden, "adaboost", &ab.predict_proba(&x));
+}
+
+/// The dataset the golden fixture was generated on (recipe must not change).
+fn golden_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 2;
+        rows.push(
+            (0..d)
+                .map(|_| c as f64 * 0.7 + rng.random_range(-0.6..0.6))
+                .collect(),
+        );
+        y.push(c);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn assert_matches_golden(golden: &Json, key: &str, proba: &Matrix) {
+    let rows = golden
+        .get(key)
+        .and_then(Json::as_arr)
+        .expect("fixture rows");
+    assert_eq!(rows.len(), proba.nrows(), "{key}: row count");
+    for (r, row) in rows.iter().enumerate() {
+        let want: Vec<f64> = row
+            .as_arr()
+            .expect("row array")
+            .iter()
+            .map(|v| v.as_f64().expect("number"))
+            .collect();
+        let got = proba.row(r);
+        assert_eq!(want.len(), got.len());
+        for (c, (w, g)) in want.iter().zip(got).enumerate() {
+            assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "{key}: row {r} col {c}: {w} vs {g}"
+            );
+        }
+    }
+}

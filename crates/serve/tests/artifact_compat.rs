@@ -1,0 +1,85 @@
+//! Backward compatibility of model artifacts across the binned-splitter PR.
+//!
+//! `tests/fixtures/artifact_pre_binned.json` was saved *before*
+//! `TreeParams::splitter`/`n_bins` were serialized (no such fields anywhere
+//! in the document). Loading it must succeed — absent fields default to the
+//! exact engine — and the stored pipeline must reproduce the match
+//! probabilities recorded at save time bit for bit.
+
+use em_rt::Json;
+use em_serve::ModelArtifact;
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn pre_binned_artifact_loads_and_predicts_bit_exact() {
+    let artifact =
+        ModelArtifact::load(&fixture_path("artifact_pre_binned.json")).expect("old artifact loads");
+
+    let expected_doc = Json::parse(
+        &std::fs::read_to_string(fixture_path("artifact_pre_binned_expected.json")).unwrap(),
+    )
+    .unwrap();
+    let seed = expected_doc
+        .get("benchmark_seed")
+        .and_then(Json::as_f64)
+        .expect("seed") as u64;
+    let scale = expected_doc
+        .get("scale")
+        .and_then(Json::as_f64)
+        .expect("scale");
+    let expected: Vec<f64> = expected_doc
+        .get("match_proba")
+        .and_then(Json::as_arr)
+        .expect("expected probabilities")
+        .iter()
+        .map(|v| v.as_f64().expect("number"))
+        .collect();
+
+    // Rebuild the exact candidate features the fixture was generated on.
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(seed, scale);
+    let g = automl_em::FeatureGenerator::plan_for_tables(
+        automl_em::FeatureScheme::AutoMlEm,
+        &ds.table_a,
+        &ds.table_b,
+    );
+    let pairs: Vec<em_table::RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    let x = g.generate(&ds.table_a, &ds.table_b, &pairs);
+
+    let proba = artifact.pipeline.predict_match_proba(&x);
+    assert_eq!(proba.len(), expected.len(), "pair count");
+    for (i, (p, e)) in proba.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            e.to_bits(),
+            "pair {i}: probability drifted: {p} vs {e}"
+        );
+    }
+
+    // Upgrading the artifact (save in the new format, load again) must not
+    // change predictions either.
+    let path = std::env::temp_dir()
+        .join(format!("em-serve-compat-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    artifact.save(&path).unwrap();
+    let upgraded = ModelArtifact::load(&path).expect("re-saved artifact loads");
+    let _ = std::fs::remove_file(&path);
+    let reproba = upgraded.pipeline.predict_match_proba(&x);
+    for (p, q) in proba.iter().zip(&reproba) {
+        assert_eq!(p.to_bits(), q.to_bits(), "upgrade changed predictions");
+    }
+    // The upgraded document now carries the new fields explicitly.
+    let doc = upgraded.to_json().render();
+    assert!(doc.contains("\"n_bins\""), "upgraded artifact has n_bins");
+    // And the original fixture genuinely predates them (pre-PR artifacts
+    // serialized a per-tree splitter but no bin budget and no forest-level
+    // splitter).
+    let old_doc = std::fs::read_to_string(fixture_path("artifact_pre_binned.json")).unwrap();
+    assert!(
+        !old_doc.contains("n_bins") && !old_doc.contains("binned"),
+        "fixture must be a pre-binned artifact"
+    );
+}

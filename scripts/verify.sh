@@ -54,6 +54,14 @@ echo "== determinism harness with the feature cache disabled (EM_FEATCACHE=off) 
 # still be bit-identical at any thread count.
 EM_FEATCACHE=off EM_THREADS=8 cargo test -q --offline -p automl-em --test determinism --test featcache_props
 
+echo "== determinism harness under the EM_BINNED override (on, then off) =="
+# Forcing every Best-splitter fit through the binned engine (and binned
+# fits back to exact) must keep the whole harness bit-identical across
+# thread counts. The first run leaves EM_THREADS unset so the in-process
+# 1-vs-8 pool flips execute too.
+EM_BINNED=on cargo test -q --offline -p automl-em --test determinism
+EM_BINNED=off EM_THREADS=8 cargo test -q --offline -p automl-em --test determinism
+
 echo "== serve smoke test (search -> save/load artifact -> stream -> in-memory parity) =="
 # serve_demo searches a small pipeline, round-trips it through a model
 # artifact, streams the full 110-record query table through
