@@ -1,0 +1,320 @@
+//! Serving-index scale benchmark: build [`ScaleCatalog`] catalogs of
+//! 10k → 1M records into the compact sharded [`IncrementalIndex`], run a
+//! seeded mixed ingest/retract/query workload, and record build rate,
+//! p50/p99 query latency, and memory (index `approx_bytes` plus process
+//! VmRSS/VmHWM) per size into the `"scale"` key of `BENCH_serve.json`
+//! (other keys in the file are preserved).
+//!
+//! Correctness anchors, checked on every run at the sizes where the exact
+//! probe is tractable:
+//! - the default-span sharded index answers bit-identically to a
+//!   single-shard (flat) index over a sampled query batch;
+//! - bounded probes (`top_k` + `max_posting`) return per-query subsets;
+//! - a snapshot + replay-log round trip reproduces the exact candidates.
+//!
+//! Flags: `--out PATH` (default `BENCH_serve.json`), `--sizes a,b,c`
+//! (default `10000,100000,1000000`), `--ops N` mixed ops per size
+//! (default `10000`). Thread count: `EM_THREADS`, else 4.
+
+use em_bench::serve_scale::{hwm_kb, mixed_op, rss_kb, MixedOp, MixedStats};
+use em_bench::timing::fmt_ns;
+use em_data::{CatalogSpec, ScaleCatalog};
+use em_rt::Json;
+use em_serve::{IncrementalIndex, IndexOptions, PersistentIndex};
+use std::time::Instant;
+
+/// Probe bounds for the "pruned" runs: generous enough to keep recall
+/// useful, tight enough to bound per-query work at 1M records.
+const TOP_K: usize = 64;
+const MAX_POSTING: usize = 4096;
+/// Exact (unbounded) probes and flat-vs-sharded parity are only tractable
+/// below this size; beyond it the head zipf tokens make exact candidate
+/// sets quadratic-ish and the bench runs bounded probes only.
+const EXACT_LIMIT: usize = 100_000;
+const PARITY_QUERIES: usize = 200;
+const WORKLOAD_SEED: u64 = 0xBE7C_5CA1;
+
+fn catalog(records: usize) -> ScaleCatalog {
+    ScaleCatalog::new(CatalogSpec {
+        records,
+        seed: 4242,
+        ..CatalogSpec::default()
+    })
+}
+
+fn options(shard_span: usize, bounded: bool) -> IndexOptions {
+    IndexOptions {
+        min_overlap: 2,
+        shard_span,
+        top_k: bounded.then_some(TOP_K),
+        max_posting: bounded.then_some(MAX_POSTING),
+    }
+}
+
+/// Stream the catalog into a fresh index row by row — the serving ingest
+/// path, never materializing a Table — returning (index, build seconds).
+fn build_streaming(cat: &ScaleCatalog, opts: IndexOptions) -> (IncrementalIndex, f64) {
+    let mut index = IncrementalIndex::with_options("name", opts);
+    let t0 = Instant::now();
+    for row in 0..cat.spec().records {
+        index.upsert(row, Some(&cat.value(row)));
+    }
+    (index, t0.elapsed().as_secs_f64())
+}
+
+/// Run `ops` steps of the seeded mixed workload against `index`.
+fn run_mixed(index: &mut IncrementalIndex, cat: &ScaleCatalog, ops: u64) -> MixedStats {
+    let mut stats = MixedStats::default();
+    for k in 0..ops {
+        match mixed_op(cat, WORKLOAD_SEED, k) {
+            MixedOp::Query(q) => {
+                let t0 = Instant::now();
+                let pairs = index.candidates(&q, 0);
+                stats.query_ns.push(t0.elapsed().as_nanos() as u64);
+                stats.candidate_pairs += pairs.len() as u64;
+                stats.queries += 1;
+            }
+            MixedOp::Upsert { row, value } => {
+                index.upsert(row, Some(&value));
+                stats.upserts += 1;
+            }
+            MixedOp::Remove { row } => {
+                index.remove(row);
+                stats.removals += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Flat-vs-sharded parity plus bounded-subset checks over a sampled query
+/// batch; returns the exact candidate-pair count for the report.
+fn parity_checks(cat: &ScaleCatalog, sharded: &IncrementalIndex) -> usize {
+    let queries = cat.queries(0, PARITY_QUERIES);
+    let (flat, _) = build_streaming(cat, options(usize::MAX >> 1, false));
+    let exact = flat.candidates(&queries, 0);
+    assert_eq!(
+        sharded.candidates(&queries, 0),
+        exact,
+        "sharded probe diverged from flat exact probe"
+    );
+    assert_eq!(
+        sharded.candidates(&queries, 1),
+        exact,
+        "serial sharded probe diverged"
+    );
+    // Bounded probes: per-query subsets of the exact set, capped at TOP_K.
+    let mut bounded_index = build_streaming(cat, options(usize::MAX >> 1, true)).0;
+    let bounded = bounded_index.candidates(&queries, 0);
+    let mut per_q = vec![0usize; PARITY_QUERIES];
+    for p in &bounded {
+        per_q[p.left] += 1;
+        assert!(exact.contains(p), "bounded pair {p:?} not in exact set");
+    }
+    assert!(per_q.iter().all(|&c| c <= TOP_K), "top_k cap exceeded");
+    // And switching bounds off restores the exact answer bit-for-bit.
+    bounded_index.set_probe_limits(None, None);
+    assert_eq!(bounded_index.candidates(&queries, 0), exact);
+    exact.len()
+}
+
+/// Snapshot + replay round trip: persist the index, log a short op tail,
+/// reopen, and demand bit-identical candidates. Returns recovery seconds.
+fn persistence_check(cat: &ScaleCatalog, index: IncrementalIndex) -> f64 {
+    let dir = std::env::temp_dir().join(format!("em-bench-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut p = PersistentIndex::create(&dir, index).expect("create store");
+    for k in 0..1_000u64 {
+        match mixed_op(cat, WORKLOAD_SEED ^ 0xD15C, k) {
+            MixedOp::Query(_) => {}
+            MixedOp::Upsert { row, value } => p.upsert(row, Some(&value)).expect("log upsert"),
+            MixedOp::Remove { row } => p.remove(row).expect("log remove"),
+        }
+    }
+    let queries = cat.queries(5_000, 50);
+    let want = p.candidates(&queries, 0);
+    drop(p);
+    let t0 = Instant::now();
+    let mut reopened = PersistentIndex::open(&dir).expect("recovery");
+    let secs = t0.elapsed().as_secs_f64();
+    // Probe bounds are a serving-config knob, not on-disk state: re-apply
+    // the ones the pre-shutdown index was probing with.
+    reopened
+        .index_mut()
+        .set_probe_limits(Some(TOP_K), Some(MAX_POSTING));
+    reopened.index().verify_invariants().expect("invariants");
+    assert_eq!(
+        reopened.candidates(&queries, 0),
+        want,
+        "recovered index diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
+
+fn size_row(records: usize, ops: u64) -> Json {
+    eprintln!("-- {records} records --");
+    let cat = catalog(records);
+    let rss0 = rss_kb().unwrap_or(0);
+    // Built unbounded so parity can compare exact probes, then converted
+    // to bounded probes for the mixed workload (probe limits are a probe-
+    // time knob, not an encoding decision).
+    let (mut index, build_secs) =
+        build_streaming(&cat, options(em_serve::DEFAULT_SHARD_SPAN, false));
+    let rss_built = rss_kb().unwrap_or(0);
+    let index_bytes = index.approx_bytes();
+    eprintln!(
+        "build: {} ({:.0} rows/s), index {:.1} MiB, rss {:.1} MiB (+{:.1})",
+        fmt_ns(build_secs * 1e9),
+        records as f64 / build_secs,
+        index_bytes as f64 / (1 << 20) as f64,
+        rss_built as f64 / 1024.0,
+        (rss_built.saturating_sub(rss0)) as f64 / 1024.0,
+    );
+
+    let exact_pairs = if records <= EXACT_LIMIT {
+        let n = parity_checks(&cat, &index);
+        eprintln!("parity: sharded == flat over {PARITY_QUERIES} queries ({n} exact pairs)");
+        Some(n)
+    } else {
+        eprintln!("parity: skipped (exact probe intractable past {EXACT_LIMIT} records)");
+        None
+    };
+
+    index.set_probe_limits(Some(TOP_K), Some(MAX_POSTING));
+    let t0 = Instant::now();
+    let mut stats = run_mixed(&mut index, &cat, ops);
+    let mixed_secs = t0.elapsed().as_secs_f64();
+    index
+        .verify_invariants()
+        .expect("invariants after mixed workload");
+    let (p50, p99) = stats.latency_quantiles().expect("workload ran queries");
+    eprintln!(
+        "mixed {ops} ops in {}: {} queries (p50 {}, p99 {}), {} upserts, {} removals, {} pairs",
+        fmt_ns(mixed_secs * 1e9),
+        stats.queries,
+        fmt_ns(p50 as f64),
+        fmt_ns(p99 as f64),
+        stats.upserts,
+        stats.removals,
+        stats.candidate_pairs,
+    );
+
+    let recovery_secs = if records <= EXACT_LIMIT {
+        let secs = persistence_check(&cat, index);
+        eprintln!(
+            "persistence: snapshot + 1000-op replay recovered in {}",
+            fmt_ns(secs * 1e9)
+        );
+        Some(secs)
+    } else {
+        None
+    };
+
+    let rss_end = rss_kb().unwrap_or(0);
+    let hwm = hwm_kb().unwrap_or(0);
+    eprintln!(
+        "memory: rss {:.1} MiB, high-water {:.1} MiB",
+        rss_end as f64 / 1024.0,
+        hwm as f64 / 1024.0
+    );
+    let mut fields = vec![
+        ("records", Json::from(records)),
+        ("build_secs", Json::from(build_secs)),
+        (
+            "build_rows_per_sec",
+            Json::from(records as f64 / build_secs),
+        ),
+        ("index_bytes", Json::from(index_bytes)),
+        ("rss_after_build_kb", Json::from(rss_built)),
+        ("rss_end_kb", Json::from(rss_end)),
+        ("vm_hwm_kb", Json::from(hwm)),
+        ("mixed_ops", Json::from(ops)),
+        ("mixed_secs", Json::from(mixed_secs)),
+        ("queries", Json::from(stats.queries)),
+        ("query_p50_ns", Json::from(p50)),
+        ("query_p99_ns", Json::from(p99)),
+        ("candidate_pairs", Json::from(stats.candidate_pairs)),
+    ];
+    if let Some(n) = exact_pairs {
+        fields.push(("parity_exact_pairs", Json::from(n)));
+    }
+    if let Some(secs) = recovery_secs {
+        fields.push(("recovery_secs", Json::from(secs)));
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut sizes = vec![10_000usize, 100_000, 1_000_000];
+    let mut ops = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out_path = value(),
+            "--sizes" => {
+                sizes = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes: bad size"))
+                    .collect()
+            }
+            "--ops" => ops = value().parse().expect("--ops: bad count"),
+            _ => {
+                eprintln!("unknown flag {flag}; known: --out PATH --sizes a,b,c --ops N");
+                std::process::exit(2);
+            }
+        }
+    }
+    if std::env::var("EM_THREADS").is_err() {
+        em_rt::set_threads(4);
+    }
+    let threads = em_rt::threads();
+    eprintln!("threads = {threads}, sizes = {sizes:?}, mixed ops = {ops}");
+
+    let rows: Vec<Json> = sizes.iter().map(|&n| size_row(n, ops)).collect();
+    let scale = Json::obj([
+        ("threads", Json::from(threads)),
+        ("top_k", Json::from(TOP_K)),
+        ("max_posting", Json::from(MAX_POSTING)),
+        ("min_overlap", Json::from(2usize)),
+        ("shard_span", Json::from(em_serve::DEFAULT_SHARD_SPAN)),
+        (
+            "note",
+            Json::from(
+                "Streaming build (row-at-a-time upserts) into the compact \
+                 sharded index with bounded probes (top_k/max_posting), then \
+                 a seeded 60/20/10/10 query/upsert/restore/remove workload; \
+                 latencies are exact nearest-rank quantiles over every query \
+                 op. Sizes within the exact-probe limit also assert \
+                 flat==sharded==recovered parity and bounded-subset \
+                 behavior. Memory is procfs VmRSS/VmHWM (kiB).",
+            ),
+        ),
+        ("sizes", Json::Arr(rows)),
+    ]);
+
+    // Merge into the existing report under the "scale" key.
+    let mut doc = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .unwrap_or_else(|| Json::obj([("suite", Json::from("bench_serve"))]));
+    if let Json::Obj(fields) = &mut doc {
+        fields.retain(|(k, _)| k != "scale");
+        fields.push(("scale".to_string(), scale));
+    } else {
+        doc = Json::obj([("scale", scale)]);
+    }
+    std::fs::write(&out_path, doc.render_pretty(2) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

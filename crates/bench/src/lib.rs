@@ -3,6 +3,7 @@
 //! in-repo timing harness, and the paper's published reference numbers.
 
 pub mod baseline;
+pub mod serve_scale;
 pub mod timing;
 
 use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};

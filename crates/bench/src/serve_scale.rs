@@ -1,0 +1,182 @@
+//! Shared plumbing for the serving-scale bench (`bench_serve_scale`) and
+//! the soak harness (`soak_serve`): process memory readings from
+//! `/proc/self/status`, exact nearest-rank latency quantiles, and a
+//! deterministic mixed ingest/retract/query workload generator over a
+//! [`ScaleCatalog`]. Both binaries replay the *same* seeded op stream, so
+//! a latency regression seen in the bench reproduces in the soak run.
+
+use em_data::ScaleCatalog;
+use em_rt::{derive_seed, StdRng};
+use em_table::{Schema, Table, Value};
+
+/// Read a numeric `kB` field (e.g. `VmRSS`, `VmHWM`) from
+/// `/proc/self/status`. `None` on platforms without procfs — callers must
+/// degrade to reporting only the index's own `approx_bytes`.
+pub fn proc_status_kb(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            if let Some(rest) = rest.strip_prefix(':') {
+                return rest.split_whitespace().next()?.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// Resident set size in kiB, if procfs is available.
+pub fn rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS")
+}
+
+/// Peak resident set size (memory high-water mark) in kiB.
+pub fn hwm_kb() -> Option<u64> {
+    proc_status_kb("VmHWM")
+}
+
+/// Exact nearest-rank quantile over an already-sorted sample.
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A single-record query table over the serving schema.
+pub fn single_query(value: String) -> Table {
+    let mut t = Table::new(Schema::new(["name"]));
+    t.push_row(vec![Value::Text(value)]).unwrap();
+    t
+}
+
+/// One step of the mixed serving workload.
+pub enum MixedOp {
+    /// Probe the index with one query record.
+    Query(Table),
+    /// Write a row: fresh content or a restore of the catalog value.
+    Upsert { row: usize, value: String },
+    /// Retract a row (removing an absent row is a no-op by contract).
+    Remove { row: usize },
+}
+
+/// The `k`-th op of the deterministic mixed stream for `(cat, seed)`:
+/// 60% queries, 20% fresh-content upserts (drawn from the catalog's value
+/// function past the end of the catalog, so token statistics stay
+/// zipf-shaped), 10% restores of the canonical row value (exercising the
+/// dedup/revival path), 10% removals.
+pub fn mixed_op(cat: &ScaleCatalog, seed: u64, k: u64) -> MixedOp {
+    let records = cat.spec().records;
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, k));
+    match rng.random_range(0..10u32) {
+        0..=5 => MixedOp::Query(single_query(cat.query_value(k as usize))),
+        6..=7 => MixedOp::Upsert {
+            row: rng.random_range(0..records),
+            value: cat.value(records + k as usize),
+        },
+        8 => {
+            let row = rng.random_range(0..records);
+            MixedOp::Upsert {
+                row,
+                value: cat.value(row),
+            }
+        }
+        _ => MixedOp::Remove {
+            row: rng.random_range(0..records),
+        },
+    }
+}
+
+/// Tallies from a mixed-workload run. `query_ns` is unsorted arrival
+/// order; sort before handing it to [`quantile`].
+#[derive(Default)]
+pub struct MixedStats {
+    pub queries: u64,
+    pub upserts: u64,
+    pub removals: u64,
+    pub candidate_pairs: u64,
+    pub query_ns: Vec<u64>,
+}
+
+impl MixedStats {
+    /// (p50, p99) query latency in nanoseconds; `None` if no queries ran.
+    pub fn latency_quantiles(&mut self) -> Option<(u64, u64)> {
+        if self.query_ns.is_empty() {
+            return None;
+        }
+        self.query_ns.sort_unstable();
+        Some((
+            quantile(&self.query_ns, 0.50),
+            quantile(&self.query_ns, 0.99),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::CatalogSpec;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&s, 0.0), 1);
+        assert_eq!(quantile(&s, 0.50), 51);
+        assert_eq!(quantile(&s, 0.99), 99);
+        assert_eq!(quantile(&s, 1.0), 100);
+        assert_eq!(quantile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn proc_status_parses_when_procfs_present() {
+        // On Linux this must parse; elsewhere None is the contract.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss_kb().unwrap() > 0);
+            assert!(hwm_kb().unwrap() >= rss_kb().unwrap() / 2);
+        }
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_and_mixed() {
+        let cat = ScaleCatalog::new(CatalogSpec {
+            records: 500,
+            seed: 9,
+            vocab: 200,
+            ..CatalogSpec::default()
+        });
+        let (mut q, mut u, mut r) = (0, 0, 0);
+        for k in 0..400 {
+            match mixed_op(&cat, 77, k) {
+                MixedOp::Query(t) => {
+                    assert_eq!(t.len(), 1);
+                    q += 1;
+                }
+                MixedOp::Upsert { row, value } => {
+                    assert!(row < 500 && !value.is_empty());
+                    u += 1;
+                }
+                MixedOp::Remove { row } => {
+                    assert!(row < 500);
+                    r += 1;
+                }
+            }
+        }
+        assert!(q > u && u > r && r > 0, "mix off: q={q} u={u} r={r}");
+        // Replaying the stream yields identical ops.
+        for k in [0u64, 17, 399] {
+            let (a, b) = (mixed_op(&cat, 77, k), mixed_op(&cat, 77, k));
+            match (a, b) {
+                (MixedOp::Query(x), MixedOp::Query(y)) => assert_eq!(
+                    format!("{:?}", x.records().next().unwrap().get(0)),
+                    format!("{:?}", y.records().next().unwrap().get(0))
+                ),
+                (
+                    MixedOp::Upsert { row: r1, value: v1 },
+                    MixedOp::Upsert { row: r2, value: v2 },
+                ) => assert_eq!((r1, v1), (r2, v2)),
+                (MixedOp::Remove { row: r1 }, MixedOp::Remove { row: r2 }) => {
+                    assert_eq!(r1, r2)
+                }
+                _ => panic!("op kind drifted between replays"),
+            }
+        }
+    }
+}

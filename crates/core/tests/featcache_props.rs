@@ -116,6 +116,97 @@ fn cached_featurization_bit_identical_to_uncached() {
     });
 }
 
+/// Sustained serving workload: the catalog side is fixed, `rebind_left`
+/// swings in a fresh mostly-unique query batch each round, and the memo
+/// cap must (a) actually bound the memo via epoch eviction, (b) count its
+/// evictions, and (c) never change a single output bit.
+#[test]
+fn memo_cap_evicts_epochs_under_sustained_rebinds() {
+    let _guard = serialize();
+    const CAP: usize = 500;
+    const BATCHES: usize = 60;
+    const CATALOG_ROWS: usize = 24;
+    const QUERY_ROWS: usize = 12;
+
+    let mut rng = StdRng::seed_from_u64(0x005E_51CE);
+    let catalog = random_table(&mut rng, CATALOG_ROWS);
+    let queries_of = |batch: usize| {
+        let mut csv = String::from("name,detail,extra\n");
+        for i in 0..QUERY_ROWS {
+            // Mostly-unique values (every batch mints new ones) with a
+            // repeating tail so some memo entries are re-touched and
+            // survive into later epochs.
+            csv.push_str(&format!(
+                "query {batch} row {i} café,detail {} batch {batch},shared extra {}\n",
+                i % 3,
+                i % 4
+            ));
+        }
+        parse_csv(&csv).unwrap()
+    };
+    let pairs: Vec<RecordPair> = (0..QUERY_ROWS)
+        .flat_map(|i| {
+            (0..CATALOG_ROWS)
+                .step_by(3)
+                .map(move |j| RecordPair::new(i, j))
+        })
+        .collect();
+
+    // Evictions only count while tracing is enabled.
+    let trace =
+        std::env::temp_dir().join(format!("em-featcache-evict-{}.jsonl", std::process::id()));
+    em_obs::set_mode(em_obs::TraceMode::File(
+        trace.to_string_lossy().into_owned(),
+    ));
+    let evictions_before = FeatureCache::evictions();
+
+    let g = FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &queries_of(0), &catalog);
+    let mut cache = FeatureCache::new(g.clone(), &queries_of(0), &catalog);
+    cache.set_memo_cap(Some(CAP));
+    let mut peak_memo = 0usize;
+    for batch in 0..BATCHES {
+        let q = queries_of(batch);
+        cache.rebind_left(&q);
+        let cached = cache.generate(&q, &catalog, &pairs);
+        peak_memo = peak_memo.max(cache.memo_len());
+        // The current batch's own entries are never evicted, so the memo
+        // may overshoot the cap by at most one batch's worth of pairs.
+        assert!(
+            cache.memo_len() <= CAP + pairs.len() * catalog.schema().len(),
+            "batch {batch}: memo {} far above cap {CAP}",
+            cache.memo_len()
+        );
+        // Eviction must never change output: spot-check against the
+        // uncached path every few batches (it is the expensive side).
+        if batch % 9 == 0 || batch == BATCHES - 1 {
+            bitwise_eq(&g.generate(&q, &catalog, &pairs), &cached);
+        }
+    }
+    let evicted = FeatureCache::evictions() - evictions_before;
+    em_obs::set_mode(em_obs::TraceMode::Off);
+    let _ = std::fs::remove_file(&trace);
+
+    assert!(peak_memo > 0, "memo never populated");
+    assert!(
+        evicted > 0,
+        "sustained unique-value batches never triggered epoch eviction"
+    );
+
+    // Control: with no cap the same workload grows the memo past CAP —
+    // i.e. the bound above is the cap's doing, not workload shrinkage.
+    let mut unbounded = FeatureCache::new(g, &queries_of(0), &catalog);
+    for batch in 0..BATCHES {
+        let q = queries_of(batch);
+        unbounded.rebind_left(&q);
+        unbounded.generate(&q, &catalog, &pairs);
+    }
+    assert!(
+        unbounded.memo_len() > CAP,
+        "workload too small to exercise the cap: {}",
+        unbounded.memo_len()
+    );
+}
+
 #[test]
 fn prepare_respects_em_featcache_env() {
     let _guard = serialize();

@@ -17,11 +17,13 @@
 //! ```
 
 mod benchmark;
+pub mod catalog;
 pub mod domains;
 mod entity;
 mod noise;
 pub mod vocab;
 
 pub use benchmark::{Benchmark, DatasetProfile, Difficulty, EmDataset};
+pub use catalog::{CatalogSpec, ScaleCatalog};
 pub use entity::{family_of, EntityDomain, FAMILY_SIZE};
 pub use noise::{NoiseModel, ABBREVIATIONS};

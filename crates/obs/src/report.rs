@@ -250,6 +250,31 @@ pub fn render_report(records: &[Json]) -> String {
         }
     }
 
+    // ---- serving index -----------------------------------------------------
+    if let Some(upserts) = counter_val("serve.index_upserts") {
+        out.push_str("\n== serving index ==\n");
+        out.push_str(&format!(
+            "upserts={upserts} removals={} compactions={} stale recounts={}\n",
+            counter_val("serve.index_removals").unwrap_or(0.0),
+            counter_val("serve.index_compactions").unwrap_or(0.0),
+            counter_val("serve.index_stale_recounts").unwrap_or(0.0),
+        ));
+        out.push_str(&format!(
+            "probe: shard probes={} pruned tokens={} capped queries={}\n",
+            counter_val("serve.index_shard_probes").unwrap_or(0.0),
+            counter_val("serve.index_pruned_tokens").unwrap_or(0.0),
+            counter_val("serve.index_capped_queries").unwrap_or(0.0),
+        ));
+        if let Some(appends) = counter_val("serve.store_appends") {
+            out.push_str(&format!(
+                "store: wal appends={appends} snapshots={} replayed={} torn tails={}\n",
+                counter_val("serve.store_snapshots").unwrap_or(0.0),
+                counter_val("serve.store_replayed").unwrap_or(0.0),
+                counter_val("serve.store_torn_tails").unwrap_or(0.0),
+            ));
+        }
+    }
+
     // ---- metrics -----------------------------------------------------------
     let counters: Vec<&Json> = records.iter().filter(|r| kind(r) == "counter").collect();
     let hists: Vec<&Json> = records.iter().filter(|r| kind(r) == "hist").collect();
@@ -352,6 +377,11 @@ mod tests {
             r#"{"kind":"counter","name":"featcache.memo_hits","value":300}"#,
             r#"{"kind":"counter","name":"featcache.memo_hits","value":900}"#,
             r#"{"kind":"counter","name":"featcache.memo_misses","value":100}"#,
+            r#"{"kind":"counter","name":"serve.index_upserts","value":600}"#,
+            r#"{"kind":"counter","name":"serve.index_compactions","value":4}"#,
+            r#"{"kind":"counter","name":"serve.index_shard_probes","value":96}"#,
+            r#"{"kind":"counter","name":"serve.store_appends","value":240}"#,
+            r#"{"kind":"counter","name":"serve.store_torn_tails","value":1}"#,
             r#"{"kind":"pool","jobs":7,"inline_sections":2,"chunks_claimed":40,"workers":3,"queue_wait_ns":{"count":21,"buckets":[],"p50":512,"p99":4096},"busy":[{"thread":"worker-0","busy_ns":700}]}"#,
             r#"{"kind":"channel","sends":16,"recvs":16,"recv_wait_ns":{"count":4,"buckets":[],"p50":1024,"p99":8192}}"#,
             r#"{"kind":"meta","t":1500,"threads":4,"available_parallelism":8}"#,
@@ -362,7 +392,7 @@ mod tests {
     #[test]
     fn parses_jsonl_and_reports_line_numbers_on_errors() {
         let records = parse_trace(&trace()).unwrap();
-        assert_eq!(records.len(), 14);
+        assert_eq!(records.len(), 19);
         let err = parse_trace("{\"ok\":1}\n\nnot json").unwrap_err();
         assert!(err.starts_with("line 3:"), "{err}");
     }
@@ -396,6 +426,20 @@ mod tests {
         );
         assert!(
             report.contains("memo lookups=1000 hits=900 misses=100 hit rate=90.0%"),
+            "{report}"
+        );
+        // Serving-index section: write-path, probe, and store lines.
+        assert!(report.contains("== serving index =="), "{report}");
+        assert!(
+            report.contains("upserts=600 removals=0 compactions=4 stale recounts=0"),
+            "{report}"
+        );
+        assert!(
+            report.contains("probe: shard probes=96 pruned tokens=0 capped queries=0"),
+            "{report}"
+        );
+        assert!(
+            report.contains("store: wal appends=240 snapshots=0 replayed=0 torn tails=1"),
             "{report}"
         );
     }

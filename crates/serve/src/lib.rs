@@ -8,10 +8,17 @@
 //!   selected features, model weights). Save/load round-trips are
 //!   bit-exact: a loaded pipeline predicts identically to the one that was
 //!   saved, on every input.
-//! * [`IncrementalIndex`] — a persistent interned-postings overlap index
-//!   over a catalog table, supporting per-record `upsert`/`remove` and
-//!   sharded candidate probes that agree exactly with
-//!   [`em_table::OverlapBlocker`] on a static catalog.
+//! * [`IncrementalIndex`] — a compact sharded interned-postings overlap
+//!   index over a catalog table: delta-encoded varint postings
+//!   ([`DeltaList`]) partitioned into row-range shards, per-record
+//!   `upsert`/`remove` with deferred retraction + compaction, and
+//!   grid-parallel candidate probes that agree exactly with
+//!   [`em_table::OverlapBlocker`] whenever the optional `top_k` /
+//!   `max_posting` probe bounds are off.
+//! * [`IndexStore`] / [`PersistentIndex`] — snapshot + append-only replay
+//!   log persistence: every upsert/remove is WAL-logged with CRC framing
+//!   before it is applied, recovery loads the snapshot, replays the tail
+//!   (tolerating a torn final record), and verifies postings invariants.
 //! * [`Matcher`] — block → featurize (through the shared
 //!   [`automl_em::FeatureCache`]) → predict, either per batch
 //!   ([`Matcher::match_batch`]) or over a channel-fed stream
@@ -38,9 +45,13 @@
 //! ```
 
 pub mod artifact;
+pub mod compact;
 pub mod index;
 pub mod matcher;
+pub mod store;
 
 pub use artifact::{ModelArtifact, ARTIFACT_FORMAT, ARTIFACT_VERSION};
-pub use index::IncrementalIndex;
+pub use compact::DeltaList;
+pub use index::{IncrementalIndex, IndexOptions, DEFAULT_SHARD_SPAN};
 pub use matcher::{batch_latency_quantiles, BatchOutput, MatchRecord, Matcher, StreamOptions};
+pub use store::{IndexStore, PersistentIndex};

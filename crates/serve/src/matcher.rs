@@ -173,6 +173,15 @@ impl Matcher {
         self.cache.set_memo_cap(cap);
     }
 
+    /// Bound the blocking probe (see
+    /// [`IncrementalIndex::set_probe_limits`]): keep only the `top_k`
+    /// highest-overlap candidates per query and prune query tokens whose
+    /// document frequency exceeds `max_posting`. `None` disables either
+    /// bound; with both off, candidate sets are exact.
+    pub fn set_probe_limits(&mut self, top_k: Option<usize>, max_posting: Option<usize>) {
+        self.index.set_probe_limits(top_k, max_posting);
+    }
+
     /// Retire a catalog record: it stops appearing in candidates. (The
     /// catalog table itself is immutable — profiles and memo entries for
     /// the record stay cached and simply go unreferenced.)

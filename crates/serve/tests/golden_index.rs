@@ -1,0 +1,99 @@
+//! Golden on-disk format test: a pre-built snapshot + replay-log pair
+//! checked into `tests/fixtures/index_v1/` must keep loading and must
+//! answer a fixed query set bit-exactly — the serving-index analogue of
+//! the `artifact_pre_binned.json` guard for model artifacts. If this test
+//! fails after an intentional format change, regenerate the fixture with
+//!
+//! ```text
+//! EM_REGEN_INDEX_FIXTURE=1 cargo test -p em-serve --test golden_index -- --nocapture
+//! ```
+//!
+//! and update the hardcoded expectations below.
+
+use em_serve::{IncrementalIndex, IndexOptions, PersistentIndex};
+use em_table::{parse_csv, RecordPair};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("index_v1")
+}
+
+fn queries() -> em_table::Table {
+    parse_csv(
+        "name\n\
+         fenix at the argyle\n\
+         grill on the alley\n\
+         arnie mortons steakhouse\n\
+         velvet lounge\n",
+    )
+    .unwrap()
+}
+
+/// The exact candidate set the fixture must produce for [`queries`].
+fn expected() -> Vec<RecordPair> {
+    [(0, 1), (0, 6), (1, 2), (1, 4), (1, 6), (2, 0), (3, 5)]
+        .into_iter()
+        .map(|(l, r)| RecordPair::new(l, r))
+        .collect()
+}
+
+/// Build the fixture deterministically (only used for regeneration).
+fn build_fixture(dir: &Path) {
+    let mut base = IncrementalIndex::with_options(
+        "name",
+        IndexOptions {
+            min_overlap: 2,
+            shard_span: 4, // several shards even at 8 records
+            ..IndexOptions::default()
+        },
+    );
+    base.upsert(0, Some("arnie mortons of chicago"));
+    base.upsert(1, Some("fenix at the argyle"));
+    base.upsert(2, Some("grill on the alley"));
+    base.upsert(3, Some("la luna ristorante"));
+    let _ = fs::remove_dir_all(dir);
+    let mut p = PersistentIndex::create(dir, base).unwrap();
+    // Logged tail: an extension, a replacement, a removal, a re-add.
+    p.upsert(4, Some("the alley grill annex")).unwrap();
+    p.upsert(5, Some("velvet lounge supper club")).unwrap();
+    p.upsert(3, None).unwrap();
+    p.upsert(6, Some("fenix grill at the alley")).unwrap();
+    p.remove(5).unwrap();
+    p.upsert(5, Some("velvet lounge")).unwrap();
+}
+
+#[test]
+fn golden_fixture_loads_and_answers_bit_exactly() {
+    let dir = fixture_dir();
+    if std::env::var("EM_REGEN_INDEX_FIXTURE").is_ok() {
+        build_fixture(&dir);
+        let p = PersistentIndex::open(&dir).unwrap();
+        println!("regenerated fixture; candidates:");
+        for pair in p.candidates(&queries(), 0) {
+            println!("  ({}, {})", pair.left, pair.right);
+        }
+        return;
+    }
+    // Work on a copy: opening takes a write handle on the log, and the
+    // checked-in fixture must never be modified by a test run.
+    let work = std::env::temp_dir().join(format!("em-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(&work).unwrap();
+    for name in ["snapshot.json", "wal.log"] {
+        fs::copy(dir.join(name), work.join(name))
+            .unwrap_or_else(|e| panic!("fixture file {name} missing: {e}"));
+    }
+    let p = PersistentIndex::open(&work).unwrap();
+    p.index().verify_invariants().unwrap();
+    assert_eq!(p.index().attribute(), "name");
+    assert_eq!(p.index().min_overlap(), 2);
+    assert_eq!(p.index().shard_span(), 4);
+    assert_eq!(p.index().len(), 6);
+    assert_eq!(p.candidates(&queries(), 0), expected());
+    assert_eq!(p.candidates(&queries(), 1), expected());
+    let _ = fs::remove_dir_all(&work);
+}

@@ -4,8 +4,25 @@
 # parallel path guarantees thread-count-invariant results — and no workspace
 # dependency may point at a registry; the build is self-contained by
 # construction (see README.md "Zero dependencies").
+#
+# Flags:
+#   --soak   additionally run the 60-second serving soak harness
+#            (100k-record mixed workload; fails on invariant violations or
+#            unbounded memory growth). Skipped by default: it adds a fixed
+#            minute of wall clock to an otherwise fast gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SOAK=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) SOAK=1 ;;
+        *)
+            echo "usage: scripts/verify.sh [--soak]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 # Serialize every cargo invocation in this script against concurrent runs.
 # Parallel `cargo test`/`cargo build` processes sharing one `target/` race on
@@ -69,5 +86,14 @@ echo "== serve smoke test (search -> save/load artifact -> stream -> in-memory p
 # to the in-memory predict path (so streamed F1 == in-memory F1 by
 # construction); it also prints precision/recall/F1 against the gold pairs.
 EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin serve_demo
+
+if [ "$SOAK" = 1 ]; then
+    echo "== soak: 60s mixed serving workload at 100k records (--soak) =="
+    # Sustained churn against the persistent sharded index: periodic
+    # invariant verification and snapshots, recovery parity at shutdown,
+    # and an RSS growth ceiling. Nonzero exit on any violation.
+    EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin soak_serve -- \
+        --records 100000 --seconds 60
+fi
 
 echo "verify: OK"
