@@ -51,6 +51,10 @@ fn main() {
     let threads = em_rt::threads();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     eprintln!("threads = {threads}, host cores = {cores}");
+    // Opt-in live endpoint (EM_METRICS=addr): lets the ≤1% overhead
+    // contract be measured by comparing pairs/s with the variable set vs
+    // unset. Held for the whole run; off by default.
+    let _metrics = em_serve::MetricsServer::start_from_env().expect("EM_METRICS endpoint");
 
     // Fit a pipeline directly (no search: the serving path is what's being
     // measured) and package it the way a deployment would.

@@ -5,12 +5,16 @@
 //! ```text
 //! EM_TRACE=trace.jsonl cargo run --release --example quickstart
 //! cargo run --release --bin obs_report -- trace.jsonl
+//! cargo run --release --bin obs_report -- trace.jsonl --json
 //! cargo run --release --bin obs_report -- trace.jsonl --chrome-trace out.json
 //! ```
 //!
 //! The default report shows the per-stage time breakdown (total, mean, self
 //! time), pool utilization (busy/idle per worker, queue-wait quantiles),
-//! channel traffic, search-trajectory events, and counters/histograms. With
+//! channel traffic, search-trajectory events, and counters/histograms.
+//! `--json` prints the same summary as one machine-readable JSON document
+//! (stage aggregates, pool utilization fractions, counters, histogram
+//! quantiles) for dashboards and scripted comparisons. With
 //! `--chrome-trace <out.json>`, the trace is instead exported as Chrome
 //! trace-event JSON (spans as complete events, trajectory events as instant
 //! events) and the report is not printed.
@@ -21,9 +25,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut chrome_out: Option<&str> = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             "--chrome-trace" => {
                 let Some(out) = args.get(i + 1) else {
                     eprintln!("obs_report: --chrome-trace needs an output path");
@@ -43,7 +52,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: obs_report <trace.jsonl> [--chrome-trace <out.json>]");
+        eprintln!("usage: obs_report <trace.jsonl> [--json] [--chrome-trace <out.json>]");
         return ExitCode::from(2);
     };
     if std::path::Path::new(path).is_dir() {
@@ -83,6 +92,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {out} ({} trace records)", records.len());
+    } else if json {
+        println!("{}", em_obs::report::render_json(&records).render());
     } else {
         print!("{}", em_obs::report::render_report(&records));
     }

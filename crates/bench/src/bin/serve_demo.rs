@@ -6,11 +6,17 @@
 //! Usage: `serve_demo [artifact.json]` — the artifact path defaults to a
 //! temp file that is removed on success. Set `EM_TRACE` to also collect
 //! serve-path telemetry (batch latency quantiles are printed when tracing
-//! is on).
+//! is on). Set `EM_METRICS=addr` (e.g. `127.0.0.1:0`) to serve live
+//! telemetry while the demo runs; the demo then also cross-checks the
+//! windowed `/metrics` batch-latency quantiles against the post-hoc trace
+//! histogram and asserts `/healthz` reports a verified index.
 
 use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};
 use em_automl::Budget;
-use em_serve::{batch_latency_quantiles, MatchRecord, Matcher, ModelArtifact, StreamOptions};
+use em_serve::{
+    batch_latency_quantiles, http_get, MatchRecord, Matcher, MetricsServer, ModelArtifact,
+    StreamOptions,
+};
 use em_table::{RecordPair, Table};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -43,6 +49,20 @@ fn main() {
     }
     println!("== em-serve demo: Fodors-Zagats ==");
     println!("threads = {}", em_rt::threads());
+    let metrics = MetricsServer::start_from_env().expect("EM_METRICS endpoint");
+    // The windowed-vs-post-hoc parity check below compares the live
+    // registry against the trace-layer histogram, so an endpoint run
+    // needs a trace sink even when the caller did not ask for one.
+    let tmp_trace = if metrics.is_some() && std::env::var("EM_TRACE").is_err() {
+        let p = std::env::temp_dir().join(format!("em-serve-demo-{}.jsonl", std::process::id()));
+        em_obs::set_mode(em_obs::TraceMode::File(p.to_string_lossy().into_owned()));
+        Some(p)
+    } else {
+        None
+    };
+    if let Some(server) = &metrics {
+        println!("metrics endpoint: http://{}/metrics", server.addr());
+    }
 
     // 1. Search a pipeline (small budget: this is a demo, not a paper run).
     let ds = em_data::Benchmark::FodorsZagats.generate_scaled(11, 1.0);
@@ -92,6 +112,50 @@ fn main() {
     matcher.match_stream(query_rx, result_tx, StreamOptions::default());
     let stream_secs = t1.elapsed().as_secs_f64();
     let outputs: Vec<em_serve::BatchOutput> = std::iter::from_fn(|| result_rx.recv()).collect();
+
+    // 3b. With a live endpoint: the windowed /metrics quantiles and the
+    // post-hoc trace histogram saw the same emitter latencies through the
+    // same clamped-log2-bucket rule, so they must agree within one bucket
+    // (a factor of 2). Checked *before* the in-memory verification pass,
+    // which records its own batches into the windowed registry.
+    if let Some(server) = &metrics {
+        let (code, body) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+        assert_eq!(code, 200, "/metrics not served");
+        let metric = |key: &str| -> f64 {
+            body.lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(' ')?;
+                    (k == key).then(|| v.parse::<f64>().ok())?
+                })
+                .unwrap_or_else(|| panic!("{key} missing from /metrics:\n{body}"))
+        };
+        assert_eq!(metric("serve.batches.total") as usize, outputs.len());
+        let (w_p50, w_p99) = (
+            metric("serve.batch_ns.5m.p50"),
+            metric("serve.batch_ns.5m.p99"),
+        );
+        let (t_p50, t_p99) =
+            batch_latency_quantiles().expect("trace histogram recorded the stream");
+        for (tag, w, t) in [("p50", w_p50, t_p50), ("p99", w_p99, t_p99)] {
+            let (w, t) = (w.max(1.0), t.max(1) as f64);
+            assert!(
+                w / t <= 2.0 && t / w <= 2.0,
+                "{tag}: windowed {w}ns vs post-hoc {t}ns disagree beyond bucket resolution"
+            );
+        }
+        matcher.verify_index().expect("index invariants");
+        let (code, health) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+        assert_eq!(code, 200, "/healthz failed:\n{health}");
+        assert!(health.contains("index ok"), "{health}");
+        println!(
+            "telemetry: windowed p50/p99 = {:.2}/{:.2}ms agree with post-hoc \
+             {:.2}/{:.2}ms; /healthz ok",
+            w_p50 / 1e6,
+            w_p99 / 1e6,
+            t_p50 as f64 / 1e6,
+            t_p99 as f64 / 1e6
+        );
+    }
 
     // 4. Verify: streamed output must equal the in-memory predict path.
     let reference = ModelArtifact::load(&path).expect("reload artifact");
@@ -172,5 +236,11 @@ fn main() {
     if artifact_path.is_none() {
         let _ = std::fs::remove_file(&path);
     }
+    em_obs::flush();
+    if let Some(p) = tmp_trace {
+        em_obs::set_mode(em_obs::TraceMode::Off);
+        let _ = std::fs::remove_file(p);
+    }
+    drop(metrics);
     println!("ok");
 }

@@ -8,13 +8,26 @@
 //!
 //! Flags: `--records N` (default 100000), `--seconds S` (default 60),
 //! `--dir PATH` (default a fresh temp dir, removed on success).
+//!
+//! The soak always runs with a live metrics endpoint — at `EM_METRICS`
+//! when set, an ephemeral `127.0.0.1` port otherwise — so a long run can
+//! be watched with `curl`. Progress lines come from the windowed registry
+//! (10s op rate and query quantiles, live stale debt), and every verify
+//! tick also scrapes its own `/healthz`, failing fast if the endpoint
+//! stops agreeing that the index is sound.
 
 use em_bench::serve_scale::{mixed_op, quantile, rss_kb, MixedOp, MixedStats};
 use em_bench::timing::fmt_ns;
 use em_data::{CatalogSpec, ScaleCatalog};
-use em_serve::{IncrementalIndex, IndexOptions, PersistentIndex};
+use em_obs::live::{Window, WindowedCounter, WindowedHistogram};
+use em_serve::{http_get, IncrementalIndex, IndexOptions, MetricsServer, PersistentIndex};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Mixed-workload ops applied (windowed, for live progress).
+static SOAK_OPS: WindowedCounter = WindowedCounter::new("soak.ops");
+/// Per-query candidate-probe latency, ns (windowed).
+static SOAK_QUERY_NS: WindowedHistogram = WindowedHistogram::new("soak.query_ns");
 
 const VERIFY_EVERY_SECS: f64 = 5.0;
 const SNAPSHOT_EVERY_SECS: f64 = 15.0;
@@ -55,10 +68,16 @@ fn main() {
     let dir =
         dir.unwrap_or_else(|| std::env::temp_dir().join(format!("em-soak-{}", std::process::id())));
     let _ = std::fs::remove_dir_all(&dir);
+    let server = match MetricsServer::start_from_env().expect("EM_METRICS endpoint") {
+        Some(s) => s,
+        None => MetricsServer::start("127.0.0.1:0").expect("bind ephemeral metrics port"),
+    };
     eprintln!(
-        "soak: {records} records, {seconds}s, threads = {}, store = {}",
+        "soak: {records} records, {seconds}s, threads = {}, store = {}, \
+         metrics = http://{}/metrics",
         em_rt::threads(),
-        dir.display()
+        dir.display(),
+        server.addr()
     );
 
     let cat = ScaleCatalog::new(CatalogSpec {
@@ -98,7 +117,9 @@ fn main() {
             MixedOp::Query(q) => {
                 let t = Instant::now();
                 let pairs = p.candidates(&q, 0);
-                stats.query_ns.push(t.elapsed().as_nanos() as u64);
+                let ns = t.elapsed().as_nanos() as u64;
+                SOAK_QUERY_NS.record(ns);
+                stats.query_ns.push(ns);
                 stats.candidate_pairs += pairs.len() as u64;
                 stats.queries += 1;
             }
@@ -114,6 +135,7 @@ fn main() {
             }
         }
         k += 1;
+        SOAK_OPS.incr();
         let elapsed = start.elapsed().as_secs_f64();
         if warmup_rss.is_none() && elapsed >= seconds * 0.2 {
             warmup_rss = rss_kb();
@@ -121,9 +143,26 @@ fn main() {
         if elapsed >= next_verify {
             next_verify += VERIFY_EVERY_SECS;
             verifies += 1;
-            if let Err(e) = p.index().verify_invariants() {
+            if let Err(e) = p.verify_and_report() {
                 fail(&format!("invariant violation after {k} ops: {e}"));
             }
+            // The endpoint must agree: a 503 here means the health registry
+            // (or the endpoint itself) is broken, not just the index.
+            match http_get(server.addr(), "/healthz") {
+                Ok((200, _)) => {}
+                Ok((code, body)) => fail(&format!("/healthz returned {code}:\n{body}")),
+                Err(e) => fail(&format!("/healthz scrape failed: {e}")),
+            }
+            // Progress from the windowed registry, like a scrape would see.
+            let ops = SOAK_OPS.stats(Window::TenSec);
+            let q = SOAK_QUERY_NS.stats(Window::TenSec);
+            eprintln!(
+                "soak: t={elapsed:.0}s ops/s={:.0} query p50={} p99={} stale_debt={}",
+                ops.rate_per_sec,
+                fmt_ns(q.p50.unwrap_or(0) as f64),
+                fmt_ns(q.p99.unwrap_or(0) as f64),
+                p.index().stale_debt(),
+            );
         }
         if elapsed >= next_snapshot {
             next_snapshot += SNAPSHOT_EVERY_SECS;
@@ -136,7 +175,7 @@ fn main() {
 
     // Final invariants + recovery parity: reopen from disk and demand the
     // recovered index answer a fresh query batch bit-identically.
-    if let Err(e) = p.index().verify_invariants() {
+    if let Err(e) = p.verify_and_report() {
         fail(&format!("final invariant violation: {e}"));
     }
     let queries = cat.queries(9_000_000, 50);

@@ -35,6 +35,7 @@ use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once};
 
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod span;
@@ -119,8 +120,10 @@ fn apply_mode(mode: TraceMode) {
     drop(sink);
     ENABLED.store(on, Ordering::Relaxed);
     // The runtime collects its own counters (queue wait, busy time, channel
-    // traffic) whenever a sink is active; `flush` snapshots them.
-    em_rt::stats::set_enabled(on);
+    // traffic) whenever a sink is active; `flush` snapshots them. Live
+    // telemetry pollers read the same counters, so the switch stays on while
+    // either layer is active.
+    em_rt::stats::set_enabled(on || live::enabled());
 }
 
 /// Serialize one record to the active sink. No-op when tracing is off.

@@ -63,10 +63,16 @@ impl Counter {
     }
 }
 
-/// A named log2-bucket histogram (see [`em_rt::stats::LogHistogram`]).
+/// A named log2-bucket histogram (see [`em_rt::stats::LogHistogram`]) that
+/// additionally tracks the exact observed min/max, so reported quantiles
+/// clamp to the true value range instead of a log2 bucket bound (a
+/// small-sample p99 of three ~1ms batches reads ~1ms, not the 2^n bucket
+/// boundary above it).
 pub struct Histogram {
     name: &'static str,
     inner: LogHistogram,
+    min: AtomicU64,
+    max: AtomicU64,
     registered: AtomicBool,
 }
 
@@ -76,6 +82,8 @@ impl Histogram {
         Histogram {
             name,
             inner: LogHistogram::new(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
             registered: AtomicBool::new(false),
         }
     }
@@ -90,6 +98,8 @@ impl Histogram {
             HISTOGRAMS.lock().unwrap().push(self);
         }
         self.inner.record(v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Total observations recorded.
@@ -97,10 +107,26 @@ impl Histogram {
         self.inner.count()
     }
 
-    /// Approximate quantile (bucket upper bound), `None` while empty. Lets
+    /// Exact observed `(min, max)`, `None` while empty.
+    pub fn observed_range(&self) -> Option<(u64, u64)> {
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        (min <= max).then_some((min, max))
+    }
+
+    /// Approximate quantile (log2 bucket upper bound, clamped to the exact
+    /// observed range — so when the tail shares one bucket, p99 reads the
+    /// true max instead of the next power of two), `None` while empty. Lets
     /// harnesses (e.g. `bench_serve`) read p50/p99 without a flush cycle.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        self.inner.quantile(q)
+        let lower = self.inner.quantile(q)?;
+        let upper = if lower == 0 {
+            0
+        } else {
+            lower.saturating_mul(2)
+        };
+        let (min, max) = self.observed_range()?;
+        Some(upper.clamp(min, max))
     }
 }
 
@@ -114,12 +140,15 @@ pub(crate) fn flush() {
         ]));
     }
     for h in HISTOGRAMS.lock().unwrap().iter() {
+        let range = h.observed_range();
         write_record(&Json::obj([
             ("kind", Json::from("hist")),
             ("name", Json::from(h.name)),
             ("count", Json::from(h.inner.count())),
-            ("p50", h.inner.quantile(0.50).map_or(Json::Null, Json::from)),
-            ("p99", h.inner.quantile(0.99).map_or(Json::Null, Json::from)),
+            ("p50", h.quantile(0.50).map_or(Json::Null, Json::from)),
+            ("p99", h.quantile(0.99).map_or(Json::Null, Json::from)),
+            ("min", range.map_or(Json::Null, |(lo, _)| Json::from(lo))),
+            ("max", range.map_or(Json::Null, |(_, hi)| Json::from(hi))),
             (
                 "buckets",
                 Json::arr(h.inner.nonzero_buckets().into_iter().map(|(lower, n)| {

@@ -43,29 +43,12 @@ struct StageAgg {
     self_ns: f64,
 }
 
-/// Render a full text report from parsed trace records: per-stage time
-/// breakdown (total and self time, spans nest), pool utilization
-/// (busy/idle per worker, queue-wait quantiles), channel traffic, event
-/// counts, and metric values.
-pub fn render_report(records: &[Json]) -> String {
-    let mut out = String::new();
+/// Aggregate span records into per-stage rows, sorted by self time
+/// descending. Self time = a span's duration minus its direct children's
+/// durations (reconstructed from parent ids); totals overlap because spans
+/// nest. Returns `(span_wall_ns, rows)`.
+fn aggregate_stages(records: &[Json]) -> (f64, Vec<(&str, StageAgg)>) {
     let spans: Vec<&Json> = records.iter().filter(|r| kind(r) == "span").collect();
-
-    // ---- header: meta ------------------------------------------------------
-    if let Some(meta) = records.iter().rev().find(|r| kind(r) == "meta") {
-        out.push_str(&format!(
-            "trace: {} records | threads={} available_parallelism={}\n\n",
-            records.len(),
-            num(meta, "threads"),
-            num(meta, "available_parallelism"),
-        ));
-    } else {
-        out.push_str(&format!("trace: {} records\n\n", records.len()));
-    }
-
-    // ---- per-stage breakdown ----------------------------------------------
-    // Self time = a span's duration minus its direct children's durations
-    // (reconstructed from parent ids); totals overlap because spans nest.
     let wall_ns = {
         let t0 = spans
             .iter()
@@ -91,7 +74,33 @@ pub fn render_report(records: &[Json]) -> String {
         agg.total_ns += dur;
         agg.self_ns += own;
     }
-    if stages.is_empty() {
+    let mut rows: Vec<(&str, StageAgg)> = stages.into_iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.total_cmp(&a.1.self_ns));
+    (wall_ns, rows)
+}
+
+/// Render a full text report from parsed trace records: per-stage time
+/// breakdown (total and self time, spans nest), pool utilization
+/// (busy/idle per worker, queue-wait quantiles), channel traffic, event
+/// counts, and metric values.
+pub fn render_report(records: &[Json]) -> String {
+    let mut out = String::new();
+
+    // ---- header: meta ------------------------------------------------------
+    if let Some(meta) = records.iter().rev().find(|r| kind(r) == "meta") {
+        out.push_str(&format!(
+            "trace: {} records | threads={} available_parallelism={}\n\n",
+            records.len(),
+            num(meta, "threads"),
+            num(meta, "available_parallelism"),
+        ));
+    } else {
+        out.push_str(&format!("trace: {} records\n\n", records.len()));
+    }
+
+    // ---- per-stage breakdown ----------------------------------------------
+    let (wall_ns, rows) = aggregate_stages(records);
+    if rows.is_empty() {
         out.push_str("no span records (was the trace flushed?)\n");
     } else {
         out.push_str(&format!(
@@ -102,8 +111,6 @@ pub fn render_report(records: &[Json]) -> String {
             "{:<32} {:>7} {:>12} {:>12} {:>12} {:>7}\n",
             "stage", "calls", "total", "mean", "self", "self%"
         ));
-        let mut rows: Vec<(&str, StageAgg)> = stages.into_iter().collect();
-        rows.sort_by(|a, b| b.1.self_ns.total_cmp(&a.1.self_ns));
         for (name, agg) in rows {
             let pct = if wall_ns > 0.0 {
                 100.0 * agg.self_ns / wall_ns
@@ -289,15 +296,185 @@ pub fn render_report(records: &[Json]) -> String {
         }
         for h in hists {
             out.push_str(&format!(
-                "{:<32} n={} p50={} p99={}\n",
+                "{:<32} n={} p50={} p99={}",
                 h.get("name").and_then(Json::as_str).unwrap_or("?"),
                 num(h, "count"),
                 num(h, "p50"),
                 num(h, "p99"),
             ));
+            // Exact observed range, when the trace carries it (older traces
+            // predate min/max tracking).
+            if h.get("min").and_then(Json::as_f64).is_some() {
+                out.push_str(&format!(" min={} max={}", num(h, "min"), num(h, "max")));
+            }
+            out.push('\n');
         }
     }
     out
+}
+
+/// Machine-readable counterpart of [`render_report`]: aggregate the same
+/// trace into one JSON object (per-stage self time, pool utilization with
+/// busy fractions, channel traffic, event counts, search trajectory,
+/// counter/histogram values) so CI and benches can diff summaries instead of
+/// scraping the text tables. Counters keep the max across repeated flushes;
+/// histograms keep the last record per name.
+pub fn render_json(records: &[Json]) -> Json {
+    let (wall_ns, rows) = aggregate_stages(records);
+    let mut obj: Vec<(String, Json)> = vec![("records".to_string(), Json::from(records.len()))];
+    if let Some(meta) = records.iter().rev().find(|r| kind(r) == "meta") {
+        obj.push(("threads".to_string(), Json::from(num(meta, "threads"))));
+        obj.push((
+            "available_parallelism".to_string(),
+            Json::from(num(meta, "available_parallelism")),
+        ));
+    }
+    obj.push(("span_wall_ns".to_string(), Json::from(wall_ns)));
+    obj.push((
+        "stages".to_string(),
+        Json::arr(rows.into_iter().map(|(name, agg)| {
+            Json::obj([
+                ("name", Json::from(name)),
+                ("calls", Json::from(agg.calls)),
+                ("total_ns", Json::from(agg.total_ns)),
+                ("mean_ns", Json::from(agg.total_ns / agg.calls as f64)),
+                ("self_ns", Json::from(agg.self_ns)),
+                (
+                    "self_frac",
+                    Json::from(if wall_ns > 0.0 {
+                        agg.self_ns / wall_ns
+                    } else {
+                        0.0
+                    }),
+                ),
+            ])
+        })),
+    ));
+
+    if let Some(Json::Obj(fields)) = records.iter().rev().find(|r| kind(r) == "pool") {
+        let mut pool: Vec<(String, Json)> = Vec::new();
+        for (k, v) in fields {
+            if k == "kind" {
+                continue;
+            }
+            if k == "busy" {
+                if let Json::Arr(entries) = v {
+                    // Attach the utilization fraction next to each thread's
+                    // busy time (the text report's busy% column).
+                    let arr = entries.iter().map(|b| {
+                        let mut f = match b {
+                            Json::Obj(f) => f.clone(),
+                            _ => Vec::new(),
+                        };
+                        if wall_ns > 0.0 {
+                            f.push((
+                                "busy_frac".to_string(),
+                                Json::from(num(b, "busy_ns") / wall_ns),
+                            ));
+                        }
+                        Json::Obj(f)
+                    });
+                    pool.push(("busy".to_string(), Json::arr(arr)));
+                    continue;
+                }
+            }
+            pool.push((k.clone(), v.clone()));
+        }
+        obj.push(("pool".to_string(), Json::Obj(pool)));
+    }
+    if let Some(Json::Obj(fields)) = records.iter().rev().find(|r| kind(r) == "channel") {
+        let ch: Vec<(String, Json)> = fields
+            .iter()
+            .filter(|(k, _)| k != "kind")
+            .cloned()
+            .collect();
+        obj.push(("channel".to_string(), Json::Obj(ch)));
+    }
+
+    let mut event_counts: HashMap<&str, u64> = HashMap::new();
+    for r in records {
+        if kind(r) == "event" {
+            *event_counts
+                .entry(r.get("event").and_then(Json::as_str).unwrap_or("?"))
+                .or_default() += 1;
+        }
+    }
+    if !event_counts.is_empty() {
+        let mut names: Vec<(&str, u64)> = event_counts.into_iter().collect();
+        names.sort();
+        obj.push((
+            "events".to_string(),
+            Json::Obj(
+                names
+                    .into_iter()
+                    .map(|(n, c)| (n.to_string(), Json::from(c)))
+                    .collect(),
+            ),
+        ));
+    }
+    let incumbents: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            kind(r) == "event" && r.get("event").and_then(Json::as_str) == Some("search.incumbent")
+        })
+        .collect();
+    if let Some(last) = incumbents.last() {
+        obj.push((
+            "search".to_string(),
+            Json::obj([
+                ("incumbent_updates", Json::from(incumbents.len())),
+                ("best_score", Json::from(num(last, "score"))),
+                ("best_trial", Json::from(num(last, "trial"))),
+            ]),
+        ));
+    }
+
+    let mut counter_max: HashMap<&str, f64> = HashMap::new();
+    for r in records {
+        if kind(r) == "counter" {
+            let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+            let v = num(r, "value");
+            let e = counter_max.entry(name).or_insert(v);
+            *e = e.max(v);
+        }
+    }
+    if !counter_max.is_empty() {
+        let mut rows: Vec<(&str, f64)> = counter_max.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        obj.push((
+            "counters".to_string(),
+            Json::Obj(
+                rows.into_iter()
+                    .map(|(n, v)| (n.to_string(), Json::from(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    let mut hist_last: HashMap<&str, &Json> = HashMap::new();
+    for r in records {
+        if kind(r) == "hist" {
+            hist_last.insert(r.get("name").and_then(Json::as_str).unwrap_or("?"), r);
+        }
+    }
+    if !hist_last.is_empty() {
+        let mut rows: Vec<(&str, &Json)> = hist_last.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        obj.push((
+            "histograms".to_string(),
+            Json::arr(rows.into_iter().map(|(name, h)| {
+                let field = |k: &str| h.get(k).cloned().unwrap_or(Json::Null);
+                Json::obj([
+                    ("name", Json::from(name)),
+                    ("count", field("count")),
+                    ("p50", field("p50")),
+                    ("p99", field("p99")),
+                    ("min", field("min")),
+                    ("max", field("max")),
+                ])
+            })),
+        ));
+    }
+    Json::Obj(obj)
 }
 
 /// Convert parsed trace records into Chrome trace-event JSON (the
@@ -442,6 +619,39 @@ mod tests {
             report.contains("store: wal appends=240 snapshots=0 replayed=0 torn tails=1"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn json_summary_mirrors_the_text_report() {
+        let records = parse_trace(&trace()).unwrap();
+        let j = render_json(&records);
+        assert_eq!(j.get("records").and_then(Json::as_f64), Some(19.0));
+        assert_eq!(j.get("threads").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(j.get("span_wall_ns").and_then(Json::as_f64), Some(1400.0));
+        let stages = j.get("stages").and_then(Json::as_arr).expect("stages");
+        let pipeline = stages
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("pipeline.fit"))
+            .expect("pipeline.fit stage");
+        assert_eq!(pipeline.get("self_ns").and_then(Json::as_f64), Some(200.0));
+        // Counters keep the max across repeated flushes (900, not 300).
+        let counters = j.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("featcache.memo_hits").and_then(Json::as_f64),
+            Some(900.0)
+        );
+        let pool = j.get("pool").expect("pool");
+        assert_eq!(pool.get("jobs").and_then(Json::as_f64), Some(7.0));
+        let busy = pool.get("busy").and_then(Json::as_arr).expect("busy");
+        let frac = busy[0]
+            .get("busy_frac")
+            .and_then(Json::as_f64)
+            .expect("frac");
+        assert!((frac - 700.0 / 1400.0).abs() < 1e-12, "{frac}");
+        let search = j.get("search").expect("search");
+        assert_eq!(search.get("best_trial").and_then(Json::as_f64), Some(3.0));
+        // The summary round-trips through the JSON parser.
+        Json::parse(&j.render()).expect("valid json");
     }
 
     #[test]

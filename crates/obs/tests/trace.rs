@@ -92,6 +92,36 @@ fn file_sink_captures_spans_events_and_metrics() {
 }
 
 #[test]
+fn histogram_quantiles_clamp_to_observed_range() {
+    let _guard = serialize();
+    let path = temp_path("clamp");
+    em_obs::set_mode(TraceMode::File(path.to_string_lossy().into_owned()));
+    static CLAMP_H: Histogram = Histogram::new("test.clamp");
+    // Both observations land in the [2^20, 2^21) bucket: the raw log2
+    // estimate would read 2097152, but clamping to the exact observed range
+    // pins p50/p99 to the true values.
+    CLAMP_H.record(1_100_000);
+    CLAMP_H.record(1_150_000);
+    assert_eq!(CLAMP_H.observed_range(), Some((1_100_000, 1_150_000)));
+    assert_eq!(CLAMP_H.quantile(0.50), Some(1_150_000));
+    assert_eq!(CLAMP_H.quantile(0.99), Some(1_150_000));
+    em_obs::flush();
+    em_obs::set_mode(TraceMode::Off);
+
+    // The flushed record carries the clamped quantiles and the exact range.
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let records = report::parse_trace(&text).expect("trace parses");
+    let hist = records
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("test.clamp"))
+        .expect("hist flushed");
+    assert_eq!(hist.get("min").and_then(Json::as_f64), Some(1_100_000.0));
+    assert_eq!(hist.get("max").and_then(Json::as_f64), Some(1_150_000.0));
+    assert_eq!(hist.get("p99").and_then(Json::as_f64), Some(1_150_000.0));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn disabled_mode_records_nothing() {
     let _guard = serialize();
     em_obs::set_mode(TraceMode::Off);

@@ -176,6 +176,17 @@ pub fn add_busy_ns(worker: Option<usize>, ns: u64) {
     THREAD_BUSY_NS[slot].fetch_add(ns, Ordering::Relaxed);
 }
 
+/// Total busy nanoseconds accumulated across every tracked thread (submitter
+/// plus pool workers). Monotone while stats stay enabled; live-telemetry
+/// pollers diff successive samples against wall time to derive pool
+/// utilization without touching the flush path.
+pub fn busy_ns_total() -> u64 {
+    THREAD_BUSY_NS
+        .iter()
+        .map(|slot| slot.load(Ordering::Relaxed))
+        .sum()
+}
+
 /// Clear every counter and histogram (the timebase epoch is left alone so
 /// timestamps stay comparable across windows).
 pub fn reset() {

@@ -70,6 +70,10 @@ static PRUNED_TOKENS: em_obs::Counter = em_obs::Counter::new("serve.index_pruned
 static CAPPED_QUERIES: em_obs::Counter = em_obs::Counter::new("serve.index_capped_queries");
 /// (query chunk × shard) probe tasks executed (traced runs only).
 static SHARD_PROBES: em_obs::Counter = em_obs::Counter::new("serve.index_shard_probes");
+/// Records currently contributing postings (live-telemetry runs only).
+static G_LIVE: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.index_live");
+/// Retired encoded pairs awaiting compaction (live-telemetry runs only).
+static G_STALE_DEBT: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.index_stale_debt");
 
 /// Default rows per shard: small enough that 1M records probe on all pool
 /// workers, large enough that local offsets usually encode in ≤ 3 bytes.
@@ -108,6 +112,20 @@ impl Default for IndexOptions {
             max_posting: None,
         }
     }
+}
+
+/// Per-probe effect counts returned by
+/// [`IncrementalIndex::candidates_with_stats`] — how much the probe bounds
+/// and deferred retraction actually cost a batch, independent of whether
+/// tracing is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Query tokens dropped by `max_posting` frequency pruning.
+    pub pruned_tokens: u64,
+    /// Queries whose candidate list was capped to `top_k`.
+    pub capped_queries: u64,
+    /// Candidates recounted exactly against the record truth.
+    pub stale_recounts: u64,
 }
 
 /// One contiguous row range of the catalog: `postings` map token ids to
@@ -295,6 +313,7 @@ impl IncrementalIndex {
         let Some(s) = value else {
             REMOVALS.incr();
             self.maybe_compact(shard_i);
+            self.publish_gauges();
             return;
         };
         let mut buf = String::new();
@@ -323,6 +342,7 @@ impl IncrementalIndex {
         self.live += 1;
         UPSERTS.incr();
         self.maybe_compact(shard_i);
+        self.publish_gauges();
     }
 
     /// Retract catalog record `row` (no-op when absent).
@@ -372,14 +392,27 @@ impl IncrementalIndex {
     /// when the blocking attribute is missing from the query schema, like
     /// the batch blockers.
     pub fn candidates(&self, queries: &Table, jobs: usize) -> Vec<RecordPair> {
+        self.candidates_with_stats(queries, jobs).0
+    }
+
+    /// [`candidates`](Self::candidates) plus the probe's [`ProbeStats`].
+    /// The candidate list is bit-identical to `candidates`; the stats ride
+    /// along so serving telemetry can report probe effects without relying
+    /// on the trace-gated counters.
+    pub fn candidates_with_stats(
+        &self,
+        queries: &Table,
+        jobs: usize,
+    ) -> (Vec<RecordPair>, ProbeStats) {
         let _span = em_obs::span!("serve.index.candidates");
+        let mut stats = ProbeStats::default();
         let col = queries
             .schema()
             .index_of(&self.attribute)
             .unwrap_or_else(|| panic!("attribute {} missing in query table", self.attribute));
         let nq = queries.len();
         if nq == 0 || self.shards.is_empty() {
-            return Vec::new();
+            return (Vec::new(), stats);
         }
 
         // Resolve and prune query token ids serially: pruning consults the
@@ -400,6 +433,7 @@ impl IncrementalIndex {
                 if let Some(cap) = self.max_posting {
                     let before = ids.len();
                     ids.retain(|&id| self.df[id as usize] as usize <= cap);
+                    stats.pruned_tokens += (before - ids.len()) as u64;
                     PRUNED_TOKENS.add((before - ids.len()) as u64);
                 }
             }
@@ -417,10 +451,13 @@ impl IncrementalIndex {
         let n_tasks = n_chunks * n_shards;
         let mut buffers: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); n_tasks];
         let writer = em_rt::SliceWriter::new(&mut buffers);
+        let mut recounts: Vec<u64> = vec![0; n_tasks];
+        let recount_writer = em_rt::SliceWriter::new(&mut recounts);
         em_rt::parallel_for(n_tasks, jobs, |t| {
             // Safety: each task index is handed out exactly once, so this
-            // is the only thread touching slot `t`.
+            // is the only thread touching slot `t` of either buffer.
             let out = unsafe { &mut writer.slice_mut(t, 1)[0] };
+            let task_recounts = unsafe { &mut recount_writer.slice_mut(t, 1)[0] };
             let (chunk, shard_i) = (t / n_shards, t % n_shards);
             let shard = &self.shards[shard_i];
             let base = shard_i * self.shard_span;
@@ -456,6 +493,7 @@ impl IncrementalIndex {
                     if shard.stale_rows.binary_search(&local).is_ok() {
                         // Retired entries may inflate the count: recount
                         // exactly against the record truth.
+                        *task_recounts += 1;
                         STALE_RECOUNTS.incr();
                         let Some(rec) = &self.records[row] else {
                             continue; // dead row, postings not yet compacted
@@ -472,6 +510,7 @@ impl IncrementalIndex {
             }
             SHARD_PROBES.incr();
         });
+        stats.stale_recounts = recounts.iter().sum();
 
         // Serial merge in (chunk, query, shard) order: shard s covers rows
         // [s·span, (s+1)·span), so per-query candidates come out ascending
@@ -498,6 +537,7 @@ impl IncrementalIndex {
                         per_query.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                         per_query.truncate(k);
                         per_query.sort_unstable_by_key(|&(row, _)| row);
+                        stats.capped_queries += 1;
                         CAPPED_QUERIES.incr();
                     }
                 }
@@ -508,7 +548,25 @@ impl IncrementalIndex {
                 );
             }
         }
-        out
+        (out, stats)
+    }
+
+    /// Total retired encoded pairs awaiting compaction, summed across
+    /// shards. Grows on retraction, shrinks on re-insertion and compaction;
+    /// `/healthz` and the live gauges report it as the index's deferred
+    /// cleanup backlog.
+    pub fn stale_debt(&self) -> u64 {
+        self.shards.iter().map(|s| s.stale).sum()
+    }
+
+    /// Publish size and debt gauges to the live-metrics registry
+    /// (observation only — never feeds back into matching).
+    fn publish_gauges(&self) {
+        if !em_obs::live::enabled() {
+            return;
+        }
+        G_LIVE.set(self.live as u64);
+        G_STALE_DEBT.set(self.stale_debt());
     }
 
     /// Check every structural invariant the probe relies on; returns a

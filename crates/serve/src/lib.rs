@@ -49,9 +49,11 @@ pub mod compact;
 pub mod index;
 pub mod matcher;
 pub mod store;
+pub mod telemetry;
 
 pub use artifact::{ModelArtifact, ARTIFACT_FORMAT, ARTIFACT_VERSION};
 pub use compact::DeltaList;
-pub use index::{IncrementalIndex, IndexOptions, DEFAULT_SHARD_SPAN};
+pub use index::{IncrementalIndex, IndexOptions, ProbeStats, DEFAULT_SHARD_SPAN};
 pub use matcher::{batch_latency_quantiles, BatchOutput, MatchRecord, Matcher, StreamOptions};
 pub use store::{IndexStore, PersistentIndex};
+pub use telemetry::{http_get, MetricsServer};

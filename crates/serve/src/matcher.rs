@@ -35,11 +35,13 @@
 //! `EM_THREADS` is 1 or 64, with tracing on or off.
 
 use crate::artifact::ModelArtifact;
-use crate::index::IncrementalIndex;
+use crate::index::{IncrementalIndex, ProbeStats};
 use automl_em::{FeatureCache, FittedEmPipeline};
 use em_ml::Matrix;
-use em_rt::{Receiver, Sender};
+use em_obs::live::{RequestLog, RequestRecord, WindowedCounter, WindowedHistogram};
+use em_rt::{Json, Receiver, Sender};
 use em_table::{RecordPair, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -51,6 +53,25 @@ static PAIRS_SCORED: em_obs::Counter = em_obs::Counter::new("serve.pairs_scored"
 static MATCHES: em_obs::Counter = em_obs::Counter::new("serve.matches");
 /// End-to-end per-batch latency (coordinator pickup to emission), ns.
 static BATCH_NS: em_obs::Histogram = em_obs::Histogram::new("serve.batch_ns");
+
+// Windowed mirrors of the serving metrics, feeding the live `/metrics`
+// registry. Same names as the trace counters where both exist — the two
+// registries are separate sinks over the same events.
+static W_BATCHES: WindowedCounter = WindowedCounter::new("serve.batches");
+static W_BATCH_NS: WindowedHistogram = WindowedHistogram::new("serve.batch_ns");
+static W_CANDIDATES: WindowedHistogram = WindowedHistogram::new("serve.batch_candidates");
+static W_PAIRS: WindowedCounter = WindowedCounter::new("serve.pairs_scored");
+static W_MATCHES: WindowedCounter = WindowedCounter::new("serve.matches");
+/// Match-score distribution of the served model, in thousandths (a score
+/// of 0.73 records as 730) so the log2 buckets resolve the [0,1] range.
+static W_SCORE_MILLI: WindowedHistogram = WindowedHistogram::new("serve.score_milli");
+static W_PRUNED: WindowedCounter = WindowedCounter::new("serve.pruned_tokens");
+static W_CAPPED: WindowedCounter = WindowedCounter::new("serve.capped_queries");
+static W_RECOUNTS: WindowedCounter = WindowedCounter::new("serve.stale_recounts");
+/// Slow-query log + deterministic 1-in-16 trace sampler over request ids.
+static REQUESTS: RequestLog = RequestLog::new("serve.requests", 0x5EED_1092, 16, 8);
+/// Request ids for `match_batch` calls (stream batches use their seq).
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(0);
 
 /// p50/p99 of the end-to-end batch latency histogram, in nanoseconds
 /// (`None` until a traced `match_stream` run has recorded batches).
@@ -107,6 +128,69 @@ struct PredictJob {
     pairs: Vec<RecordPair>,
     features: Matrix,
     started: Instant,
+    telem: BatchTelemetry,
+}
+
+/// Per-batch stage timings and probe effects, carried alongside the batch
+/// so whoever observes the finished request (emitter or `match_batch`) can
+/// feed the live registry. Observation only: nothing here feeds back into
+/// matching.
+#[derive(Clone, Copy, Default)]
+struct BatchTelemetry {
+    probe_ns: u64,
+    featurize_ns: u64,
+    predict_ns: u64,
+    probe: ProbeStats,
+}
+
+/// Record one finished request into the windowed registry, the slow-query
+/// log, and — for the deterministic 1-in-N sample — the JSONL trace.
+fn record_request(
+    id: u64,
+    n_queries: usize,
+    matches: &[MatchRecord],
+    latency_ns: u64,
+    t: BatchTelemetry,
+) {
+    if em_obs::live::enabled() {
+        W_BATCHES.incr();
+        W_BATCH_NS.record(latency_ns);
+        W_CANDIDATES.record(matches.len() as u64);
+        W_PRUNED.add(t.probe.pruned_tokens);
+        W_CAPPED.add(t.probe.capped_queries);
+        W_RECOUNTS.add(t.probe.stale_recounts);
+        REQUESTS.record(RequestRecord {
+            id,
+            latency_ns,
+            fields: vec![
+                ("queries", n_queries as u64),
+                ("candidates", matches.len() as u64),
+                (
+                    "matches",
+                    matches.iter().filter(|m| m.is_match).count() as u64,
+                ),
+                ("probe_ns", t.probe_ns),
+                ("featurize_ns", t.featurize_ns),
+                ("predict_ns", t.predict_ns),
+                ("pruned_tokens", t.probe.pruned_tokens),
+                ("capped_queries", t.probe.capped_queries),
+                ("stale_recounts", t.probe.stale_recounts),
+            ],
+        });
+    }
+    if REQUESTS.is_sampled(id) {
+        em_obs::event("serve.request", || {
+            vec![
+                ("request", Json::from(id)),
+                ("latency_ns", Json::from(latency_ns)),
+                ("queries", Json::from(n_queries)),
+                ("candidates", Json::from(matches.len())),
+                ("probe_ns", Json::from(t.probe_ns)),
+                ("featurize_ns", Json::from(t.featurize_ns)),
+                ("predict_ns", Json::from(t.predict_ns)),
+            ]
+        });
+    }
 }
 
 /// A deployable matcher: fitted pipeline + catalog + incremental index +
@@ -192,11 +276,51 @@ impl Matcher {
     /// Block and score one query batch synchronously.
     pub fn match_batch(&mut self, queries: &Table) -> Vec<MatchRecord> {
         let _span = em_obs::span!("serve.batch");
-        let pairs = self.index.candidates(queries, 0);
+        let started = Instant::now();
+        let (pairs, probe) = self.index.candidates_with_stats(queries, 0);
+        let probe_ns = started.elapsed().as_nanos() as u64;
+        let t_feat = Instant::now();
         let features = self.featurize(queries, &pairs);
+        let featurize_ns = t_feat.elapsed().as_nanos() as u64;
+        let t_pred = Instant::now();
         let out = score_pairs(&self.pipeline, &pairs, &features);
+        let predict_ns = t_pred.elapsed().as_nanos() as u64;
         BATCHES.incr();
+        let id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
+        record_request(
+            id,
+            queries.len(),
+            &out,
+            started.elapsed().as_nanos() as u64,
+            BatchTelemetry {
+                probe_ns,
+                featurize_ns,
+                predict_ns,
+                probe,
+            },
+        );
         out
+    }
+
+    /// Run the full index invariant check and publish the result to the
+    /// live health registry (component `index`, served by `/healthz`).
+    ///
+    /// # Errors
+    /// Returns the first invariant violation, exactly as
+    /// [`IncrementalIndex::verify_invariants`] reports it.
+    pub fn verify_index(&self) -> Result<(), String> {
+        let res = self.index.verify_invariants();
+        em_obs::live::set_health(
+            "index",
+            res.clone().map(|()| {
+                format!(
+                    "{} live records, stale debt {}",
+                    self.index.len(),
+                    self.index.stale_debt()
+                )
+            }),
+        );
+        res
     }
 
     /// Rebind the cache to the batch and build the feature matrix.
@@ -223,7 +347,7 @@ impl Matcher {
             opts.predict_workers
         };
         let (job_tx, job_rx) = em_rt::channel::<PredictJob>();
-        let (done_tx, done_rx) = em_rt::channel::<(usize, BatchOutput, Instant)>();
+        let (done_tx, done_rx) = em_rt::channel::<(usize, BatchOutput, Instant, BatchTelemetry)>();
         let (credit_tx, credit_rx) = em_rt::channel::<()>();
         for _ in 0..max_in_flight {
             credit_tx.send(()).expect("credit receiver alive");
@@ -242,13 +366,16 @@ impl Matcher {
                 s.spawn(move || {
                     while let Some(job) = job_rx.recv() {
                         let _span = em_obs::span!("serve.predict");
+                        let t_pred = Instant::now();
                         let matches = score_pairs(pipeline, &job.pairs, &job.features);
+                        let mut telem = job.telem;
+                        telem.predict_ns = t_pred.elapsed().as_nanos() as u64;
                         let out = BatchOutput {
                             seq: job.seq,
                             n_queries: job.n_queries,
                             matches,
                         };
-                        if done_tx.send((job.seq, out, job.started)).is_err() {
+                        if done_tx.send((job.seq, out, job.started, telem)).is_err() {
                             return;
                         }
                     }
@@ -256,14 +383,23 @@ impl Matcher {
             }
             // Emitter: reorder by sequence number, return credits.
             let emitter = s.spawn(move || {
-                let mut pending: std::collections::BTreeMap<usize, (BatchOutput, Instant)> =
+                type Pending = (BatchOutput, Instant, BatchTelemetry);
+                let mut pending: std::collections::BTreeMap<usize, Pending> =
                     std::collections::BTreeMap::new();
                 let mut next = 0usize;
-                while let Some((seq, out, started)) = done_rx.recv() {
-                    pending.insert(seq, (out, started));
+                while let Some((seq, out, started, telem)) = done_rx.recv() {
+                    pending.insert(seq, (out, started, telem));
                     while let Some(entry) = pending.remove(&next) {
-                        let (out, started) = entry;
-                        BATCH_NS.record(started.elapsed().as_nanos() as u64);
+                        let (out, started, telem) = entry;
+                        let latency_ns = started.elapsed().as_nanos() as u64;
+                        BATCH_NS.record(latency_ns);
+                        record_request(
+                            out.seq as u64,
+                            out.n_queries,
+                            &out.matches,
+                            latency_ns,
+                            telem,
+                        );
                         // A dropped consumer just discards output; the
                         // stream still drains for the producer's sake.
                         let _ = results.send(out);
@@ -282,9 +418,12 @@ impl Matcher {
                     }
                     let started = Instant::now();
                     let _span = em_obs::span!("serve.batch");
-                    let pairs = index.candidates(&batch, 0);
+                    let (pairs, probe) = index.candidates_with_stats(&batch, 0);
+                    let probe_ns = started.elapsed().as_nanos() as u64;
+                    let t_feat = Instant::now();
                     cache.rebind_left(&batch);
                     let features = cache.generate(&batch, catalog, &pairs);
+                    let featurize_ns = t_feat.elapsed().as_nanos() as u64;
                     BATCHES.incr();
                     let job = PredictJob {
                         seq,
@@ -292,6 +431,12 @@ impl Matcher {
                         pairs,
                         features,
                         started,
+                        telem: BatchTelemetry {
+                            probe_ns,
+                            featurize_ns,
+                            predict_ns: 0,
+                            probe,
+                        },
                     };
                     if job_tx.send(job).is_err() {
                         break;
@@ -331,5 +476,13 @@ fn score_pairs(
         })
         .collect();
     MATCHES.add(out.iter().filter(|m| m.is_match).count() as u64);
+    if em_obs::live::enabled() {
+        W_PAIRS.add(out.len() as u64);
+        W_MATCHES.add(out.iter().filter(|m| m.is_match).count() as u64);
+        W_SCORE_MILLI.record_all(
+            out.iter()
+                .map(|m| (m.score.clamp(0.0, 1.0) * 1000.0).round() as u64),
+        );
+    }
     out
 }

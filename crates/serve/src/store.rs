@@ -49,6 +49,10 @@ static SNAPSHOTS: em_obs::Counter = em_obs::Counter::new("serve.store_snapshots"
 static REPLAYED: em_obs::Counter = em_obs::Counter::new("serve.store_replayed");
 /// Torn final records dropped during recovery (traced runs only).
 static TORN_TAILS: em_obs::Counter = em_obs::Counter::new("serve.store_torn_tails");
+/// Operations in the log since the last snapshot (live-telemetry runs only).
+static G_WAL_RECORDS: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.wal_records");
+/// Bytes of complete frames in the log (live-telemetry runs only).
+static G_WAL_BYTES: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.wal_bytes");
 
 /// Frame header: 8 hex length digits, space, 8 hex CRC digits, space.
 const HEADER_LEN: usize = 18;
@@ -317,12 +321,17 @@ impl IndexStore {
     fn append(&mut self, op: &Op) -> Result<(), String> {
         let framed = frame(&op.to_payload());
         let wal_path = Self::wal_path(&self.dir);
-        self.log
-            .write_all(&framed)
-            .map_err(|e| io_err("append", &wal_path, e))?;
+        self.log.write_all(&framed).map_err(|e| {
+            let msg = io_err("append", &wal_path, e);
+            // A failed append means the on-disk log no longer tracks the
+            // index; surface it on `/healthz` until a snapshot recovers.
+            em_obs::live::set_health("wal", Err(msg.clone()));
+            msg
+        })?;
         self.log_bytes += framed.len() as u64;
         self.log_records += 1;
         APPENDS.incr();
+        self.publish_gauges();
         Ok(())
     }
 
@@ -343,7 +352,17 @@ impl IndexStore {
             .map_err(|e| io_err("seek", &wal_path, e))?;
         self.log_bytes = 0;
         self.log_records = 0;
+        self.publish_gauges();
         Ok(())
+    }
+
+    /// Publish WAL size gauges to the live-metrics registry.
+    fn publish_gauges(&self) {
+        if !em_obs::live::enabled() {
+            return;
+        }
+        G_WAL_RECORDS.set(self.log_records);
+        G_WAL_BYTES.set(self.log_bytes);
     }
 
     fn write_snapshot(&mut self, index: &IncrementalIndex) -> Result<(), String> {
@@ -447,6 +466,37 @@ impl PersistentIndex {
     /// The backing store.
     pub fn store(&self) -> &IndexStore {
         &self.store
+    }
+
+    /// Run the full index invariant check and publish index + WAL status to
+    /// the live health registry (components `index` and `wal`, served by
+    /// `/healthz`). Returns the verification result so harnesses can also
+    /// fail fast locally.
+    ///
+    /// # Errors
+    /// Returns the first invariant violation, exactly as
+    /// [`IncrementalIndex::verify_invariants`] reports it.
+    pub fn verify_and_report(&self) -> Result<(), String> {
+        let res = self.index.verify_invariants();
+        em_obs::live::set_health(
+            "index",
+            res.clone().map(|()| {
+                format!(
+                    "{} live records, stale debt {}",
+                    self.index.len(),
+                    self.index.stale_debt()
+                )
+            }),
+        );
+        em_obs::live::set_health(
+            "wal",
+            Ok(format!(
+                "{} records / {} bytes since last snapshot",
+                self.store.log_records(),
+                self.store.log_bytes()
+            )),
+        );
+        res
     }
 }
 

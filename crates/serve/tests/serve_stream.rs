@@ -389,6 +389,54 @@ fn match_stream_is_thread_count_and_tracing_invariant() {
 }
 
 #[test]
+fn live_telemetry_on_vs_off_leaves_streams_bit_identical() {
+    let _guard = serialize();
+    ensure_pool();
+    let (ds, _, x, y) = fixture(17);
+    let fitted = EmPipelineConfig::default_random_forest(17).fit(&x, &y);
+    let attr = blocking_attr(&ds);
+    let path = temp_path("stream-live");
+    ModelArtifact::for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b, fitted)
+        .save(&path)
+        .unwrap();
+    let batches = batches_of(&ds.table_a, 6);
+    let run = || {
+        let mut matcher = Matcher::new(
+            ModelArtifact::load(&path).unwrap(),
+            ds.table_b.clone(),
+            &attr,
+            1,
+        )
+        .unwrap();
+        run_stream(&mut matcher, &batches, StreamOptions::default())
+    };
+
+    let baseline = run(); // live telemetry off
+    let server = em_serve::MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let live = run();
+    assert_outputs_bit_identical(&baseline, &live, "live telemetry on vs off");
+
+    // The endpoint really observed the live run: every batch landed in the
+    // windowed registry.
+    let (code, body) = em_serve::http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    assert!(
+        body.contains(&format!("serve.batches.total {}", batches.len())),
+        "{body}"
+    );
+    assert!(body.contains("serve.batch_ns.total.count"), "{body}");
+    assert!(body.contains("serve.score_milli"), "{body}");
+    let (code, slow) = em_serve::http_get(server.addr(), "/slow").expect("GET /slow");
+    assert_eq!(code, 200);
+    assert!(slow.contains("serve.requests"), "{slow}");
+
+    drop(server); // disables live telemetry again
+    let after = run();
+    assert_outputs_bit_identical(&baseline, &after, "after endpoint shutdown");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn memo_cap_does_not_change_streamed_results() {
     let _guard = serialize();
     ensure_pool();

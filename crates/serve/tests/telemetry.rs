@@ -1,0 +1,147 @@
+//! Metrics-endpoint tests: route coverage (`/metrics`, `/healthz`,
+//! `/slow`), error handling for unknown routes / malformed requests /
+//! non-GET methods, health state transitions, and the port-in-use bind
+//! failure. Every test flips the process-global live-telemetry switch (via
+//! server start/drop) or the health registry, so they serialize on a
+//! mutex.
+
+use em_serve::{http_get, MetricsServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write raw bytes to the endpoint and return the full response text —
+/// for requests `http_get` refuses to produce.
+fn raw_request(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request).expect("write");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn endpoint_serves_metrics_health_and_slow() {
+    let _guard = serialize();
+    em_obs::live::clear_health();
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    assert!(
+        em_obs::live::enabled(),
+        "starting the server enables live telemetry"
+    );
+
+    // /metrics: parseable `key value` lines, header always present.
+    let (code, body) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("em.uptime_secs"), "{body}");
+    for line in body.lines() {
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("key");
+        let value = parts.next().unwrap_or_else(|| panic!("no value: {line}"));
+        assert!(parts.next().is_none(), "extra tokens: {line}");
+        assert!(!key.is_empty());
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable value in: {line}"));
+    }
+    // The scrape itself is counted; the next snapshot shows it.
+    let (_, body) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert!(body.contains("em.scrapes.total"), "{body}");
+
+    // /healthz: ok with no reports, 503 on a failure, 200 after recovery.
+    let (code, body) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.starts_with("ok"), "{body}");
+    em_obs::live::set_health("index", Err("postings out of sync".to_string()));
+    let (code, body) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+    assert_eq!(code, 503, "{body}");
+    assert!(body.contains("postings out of sync"), "{body}");
+    em_obs::live::set_health("index", Ok("42 live records".to_string()));
+    let (code, body) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+    assert_eq!(code, 200, "{body}");
+
+    // /slow: always serves, even before any requests were logged.
+    let (code, _) = http_get(server.addr(), "/slow").expect("GET /slow");
+    assert_eq!(code, 200);
+
+    em_obs::live::clear_health();
+    drop(server);
+    assert!(
+        !em_obs::live::enabled(),
+        "dropping the server disables live telemetry"
+    );
+}
+
+#[test]
+fn endpoint_rejects_unknown_routes_and_malformed_requests() {
+    let _guard = serialize();
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+
+    let (code, body) = http_get(server.addr(), "/nope").expect("GET /nope");
+    assert_eq!(code, 404);
+    assert!(body.contains("/nope"), "{body}");
+
+    // Non-GET methods are refused, not crashed on.
+    let resp = raw_request(server.addr(), b"POST /metrics HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+
+    // A single-token request line cannot be routed.
+    let resp = raw_request(server.addr(), b"???\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // An empty head gets the same clean 400.
+    let resp = raw_request(server.addr(), b"\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // The server survived all of it.
+    let (code, _) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    drop(server);
+}
+
+#[test]
+fn bind_failure_is_a_loud_error() {
+    let _guard = serialize();
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let err = MetricsServer::start(&server.addr().to_string())
+        .err()
+        .expect("second bind of the same port must fail");
+    assert!(err.contains("bind"), "{err}");
+    drop(server);
+}
+
+#[test]
+fn start_from_env_honors_the_off_spellings() {
+    let _guard = serialize();
+    // `set_var`/`remove_var` mutate process state; the serialize() guard
+    // keeps this binary's tests from interleaving with it.
+    for off in [None, Some(""), Some("off"), Some("0")] {
+        match off {
+            None => std::env::remove_var("EM_METRICS"),
+            Some(v) => std::env::set_var("EM_METRICS", v),
+        }
+        assert!(
+            MetricsServer::start_from_env()
+                .expect("off spellings never error")
+                .is_none(),
+            "EM_METRICS={off:?} must not start a server"
+        );
+    }
+    std::env::set_var("EM_METRICS", "127.0.0.1:0");
+    let server = MetricsServer::start_from_env()
+        .expect("ephemeral bind")
+        .expect("EM_METRICS set starts a server");
+    let (code, _) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    drop(server);
+    std::env::remove_var("EM_METRICS");
+}

@@ -87,6 +87,14 @@ echo "== serve smoke test (search -> save/load artifact -> stream -> in-memory p
 # construction); it also prints precision/recall/F1 against the gold pairs.
 EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin serve_demo
 
+echo "== metrics endpoint smoke test (EM_METRICS, 1 and 8 threads) =="
+# With EM_METRICS set, serve_demo serves /metrics and /healthz while it
+# streams, cross-checks the windowed batch-latency quantiles against the
+# post-hoc trace histogram, and still asserts bit-identical output — at
+# both pool sizes, so the endpoint provably never feeds back into results.
+EM_METRICS=127.0.0.1:0 EM_THREADS=1 cargo run -q --release --offline -p em-bench --bin serve_demo
+EM_METRICS=127.0.0.1:0 EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin serve_demo
+
 if [ "$SOAK" = 1 ]; then
     echo "== soak: 60s mixed serving workload at 100k records (--soak) =="
     # Sustained churn against the persistent sharded index: periodic
