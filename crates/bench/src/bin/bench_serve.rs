@@ -3,14 +3,19 @@
 //! scored per second) across batch sizes, plus p50/p99 end-to-end batch
 //! latency from the `serve.batch_ns` em-obs histogram on a canonical
 //! traced run. Writes `BENCH_serve.json` (override the path with the first
-//! CLI argument).
+//! CLI argument). `--top-k N` / `--max-posting N` bound the index probe
+//! ([`Matcher::set_probe_limits`]); cumulative pruned/capped stats print
+//! on exit.
 //!
 //! Thread count comes from `EM_THREADS` when set, else defaults to 4.
 
 use automl_em::{EmPipelineConfig, FeatureGenerator, FeatureScheme};
+use em_bench::serve_scale::ProbeBounds;
 use em_bench::timing::fmt_ns;
 use em_rt::Json;
-use em_serve::{batch_latency_quantiles, BatchOutput, Matcher, ModelArtifact, StreamOptions};
+use em_serve::{
+    batch_latency_quantiles, BatchOutput, Matcher, ModelArtifact, ProbeStats, StreamOptions,
+};
 use em_table::Table;
 use std::time::Instant;
 
@@ -22,10 +27,17 @@ fn batches_of(t: &Table, size: usize) -> Vec<Table> {
 }
 
 /// One full stream over `batches` with a fresh matcher; returns
-/// (elapsed seconds, candidate pairs scored).
-fn run_stream(artifact_path: &str, catalog: &Table, attr: &str, batches: &[Table]) -> (f64, usize) {
+/// (elapsed seconds, candidate pairs scored, probe effects).
+fn run_stream(
+    artifact_path: &str,
+    catalog: &Table,
+    attr: &str,
+    batches: &[Table],
+    bounds: ProbeBounds,
+) -> (f64, usize, ProbeStats) {
     let artifact = ModelArtifact::load(artifact_path).expect("load artifact");
     let mut matcher = Matcher::new(artifact, catalog.clone(), attr, 1).expect("assemble matcher");
+    bounds.apply(&mut matcher);
     let (query_tx, query_rx) = em_rt::channel::<Table>();
     let (result_tx, result_rx) = em_rt::channel::<BatchOutput>();
     for b in batches {
@@ -38,19 +50,24 @@ fn run_stream(artifact_path: &str, catalog: &Table, attr: &str, batches: &[Table
     let pairs: usize = std::iter::from_fn(|| result_rx.recv())
         .map(|o| o.matches.len())
         .sum();
-    (secs, pairs)
+    (secs, pairs, matcher.probe_totals())
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let (bounds, positional) = ProbeBounds::extract(std::env::args().skip(1));
+    let out_path = positional
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
     if std::env::var("EM_THREADS").is_err() {
         em_rt::set_threads(4);
     }
     let threads = em_rt::threads();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    eprintln!("threads = {threads}, host cores = {cores}");
+    eprintln!(
+        "threads = {threads}, host cores = {cores}, probe bounds: {}",
+        bounds.describe()
+    );
     // Opt-in live endpoint (EM_METRICS=addr): lets the ≤1% overhead
     // contract be measured by comparing pairs/s with the variable set vs
     // unset. Held for the whole run; off by default.
@@ -82,13 +99,22 @@ fn main() {
     // matcher per stream (cold feature cache — the conservative number).
     let reps = 3usize;
     let mut rows = Vec::new();
+    let mut probe_totals = ProbeStats::default();
+    let mut tally = |p: ProbeStats| {
+        probe_totals.pruned_tokens += p.pruned_tokens;
+        probe_totals.capped_queries += p.capped_queries;
+        probe_totals.stale_recounts += p.stale_recounts;
+    };
     for &batch_size in &[8usize, 32, 128] {
         let batches = batches_of(&ds.table_a, batch_size);
-        let mut runs: Vec<(f64, usize)> = (0..reps)
-            .map(|_| run_stream(&artifact_path, &ds.table_b, &attr, &batches))
+        let mut runs: Vec<(f64, usize, ProbeStats)> = (0..reps)
+            .map(|_| run_stream(&artifact_path, &ds.table_b, &attr, &batches, bounds))
             .collect();
+        for (_, _, p) in &runs {
+            tally(*p);
+        }
         runs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let (secs, pairs) = runs[reps / 2];
+        let (secs, pairs, _) = runs[reps / 2];
         let pairs_per_sec = pairs as f64 / secs;
         eprintln!(
             "batch_size {batch_size:>4}: {} batches, {pairs} pairs, {} \
@@ -114,7 +140,8 @@ fn main() {
     em_obs::set_mode(em_obs::TraceMode::File(trace_path.clone()));
     let canonical = 32usize;
     let batches = batches_of(&ds.table_a, canonical);
-    let (secs, pairs) = run_stream(&artifact_path, &ds.table_b, &attr, &batches);
+    let (secs, pairs, probe) = run_stream(&artifact_path, &ds.table_b, &attr, &batches, bounds);
+    tally(probe);
     em_obs::flush();
     em_obs::set_mode(em_obs::TraceMode::Off);
     let (p50, p99) = batch_latency_quantiles().expect("traced run records batch latencies");
@@ -126,10 +153,19 @@ fn main() {
         pairs as f64 / secs,
     );
 
-    let report = Json::obj([
+    let mut report = Json::obj([
         ("suite", Json::from("bench_serve")),
         ("threads", Json::from(threads)),
         ("host_available_parallelism", Json::from(cores)),
+        (
+            "probe_bounds",
+            Json::obj([
+                ("top_k", jsonio_opt(bounds.top_k)),
+                ("max_posting", jsonio_opt(bounds.max_posting)),
+                ("pruned_tokens", Json::from(probe_totals.pruned_tokens)),
+                ("capped_queries", Json::from(probe_totals.capped_queries)),
+            ]),
+        ),
         ("dataset", Json::from("fodors_zagats/scale_1.0")),
         ("catalog_records", Json::from(ds.table_b.len())),
         ("query_records", Json::from(ds.table_a.len())),
@@ -157,9 +193,35 @@ fn main() {
             ]),
         ),
     ]);
+    // Keep top-level keys other suites own (e.g. bench_serve_scale's
+    // "scale" section) when rewriting the shared report file.
+    if let Some(Json::Obj(existing)) = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+    {
+        if let Json::Obj(fields) = &mut report {
+            for (k, v) in existing {
+                if !fields.iter().any(|(have, _)| have == &k) {
+                    fields.push((k, v));
+                }
+            }
+        }
+    }
     std::fs::write(&out_path, report.render_pretty(2) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!(
+        "probe totals ({}): pruned_tokens={}, capped_queries={}, stale_recounts={}",
+        bounds.describe(),
+        probe_totals.pruned_tokens,
+        probe_totals.capped_queries,
+        probe_totals.stale_recounts
+    );
     eprintln!("wrote {out_path}");
     let _ = std::fs::remove_file(&artifact_path);
     let _ = std::fs::remove_file(&trace_path);
+}
+
+/// `None` → JSON null, `Some(n)` → JSON number.
+fn jsonio_opt(v: Option<usize>) -> Json {
+    v.map_or(Json::Null, Json::from)
 }

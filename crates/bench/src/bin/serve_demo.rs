@@ -3,16 +3,21 @@
 //! [`Matcher`] — verifying on the way that the streamed output is exactly
 //! (bit for bit) what the in-memory predict path produces.
 //!
-//! Usage: `serve_demo [artifact.json]` — the artifact path defaults to a
-//! temp file that is removed on success. Set `EM_TRACE` to also collect
-//! serve-path telemetry (batch latency quantiles are printed when tracing
-//! is on). Set `EM_METRICS=addr` (e.g. `127.0.0.1:0`) to serve live
-//! telemetry while the demo runs; the demo then also cross-checks the
-//! windowed `/metrics` batch-latency quantiles against the post-hoc trace
-//! histogram and asserts `/healthz` reports a verified index.
+//! Usage: `serve_demo [artifact.json] [--top-k N] [--max-posting N]` —
+//! the artifact path defaults to a temp file that is removed on success;
+//! the probe-bound flags feed [`Matcher::set_probe_limits`] (applied to
+//! both the streamed and the verification matcher, so the parity check
+//! compares like with like) and cumulative pruned/capped stats print on
+//! exit. Set `EM_TRACE` to also collect serve-path telemetry (batch
+//! latency quantiles are printed when tracing is on). Set
+//! `EM_METRICS=addr` (e.g. `127.0.0.1:0`) to serve live telemetry while
+//! the demo runs; the demo then also cross-checks the windowed `/metrics`
+//! batch-latency quantiles against the post-hoc trace histogram and
+//! asserts `/healthz` reports a verified index.
 
 use automl_em::{AutoMlEmOptions, FeatureScheme, PreparedDataset};
 use em_automl::Budget;
+use em_bench::serve_scale::{print_probe_totals, ProbeBounds};
 use em_serve::{
     batch_latency_quantiles, http_get, MatchRecord, Matcher, MetricsServer, ModelArtifact,
     StreamOptions,
@@ -43,12 +48,14 @@ fn prf(predicted: &HashSet<RecordPair>, gold: &HashSet<RecordPair>) -> (f64, f64
 }
 
 fn main() {
-    let artifact_path = std::env::args().nth(1);
+    let (bounds, positional) = ProbeBounds::extract(std::env::args().skip(1));
+    let artifact_path = positional.first().cloned();
     if std::env::var("EM_THREADS").is_err() {
         em_rt::set_threads(4);
     }
     println!("== em-serve demo: Fodors-Zagats ==");
     println!("threads = {}", em_rt::threads());
+    println!("probe bounds: {}", bounds.describe());
     let metrics = MetricsServer::start_from_env().expect("EM_METRICS endpoint");
     // The windowed-vs-post-hoc parity check below compares the live
     // registry against the trace-layer histogram, so an endpoint run
@@ -98,6 +105,7 @@ fn main() {
     // 3. Serve: catalog = table B, queries = table A in batches of 8.
     let attr = ds.table_a.schema().names()[0].to_string();
     let mut matcher = Matcher::new(loaded, ds.table_b.clone(), &attr, 1).expect("assemble matcher");
+    bounds.apply(&mut matcher);
     let batches: Vec<Table> = (0..ds.table_a.len())
         .step_by(8)
         .map(|lo| ds.table_a.slice_rows(lo..(lo + 8).min(ds.table_a.len())))
@@ -161,6 +169,7 @@ fn main() {
     let reference = ModelArtifact::load(&path).expect("reload artifact");
     let mut in_memory =
         Matcher::new(reference, ds.table_b.clone(), &attr, 1).expect("assemble matcher");
+    bounds.apply(&mut in_memory);
     let mut mismatches = 0usize;
     // Streamed records with `pair.left` mapped from batch-local rows back
     // to global table-A rows.
@@ -236,6 +245,7 @@ fn main() {
     if artifact_path.is_none() {
         let _ = std::fs::remove_file(&path);
     }
+    print_probe_totals("probe totals (streamed matcher)", &matcher);
     em_obs::flush();
     if let Some(p) = tmp_trace {
         em_obs::set_mode(em_obs::TraceMode::Off);

@@ -34,6 +34,88 @@ pub fn hwm_kb() -> Option<u64> {
     proc_status_kb("VmHWM")
 }
 
+/// Reset the kernel's `VmHWM` high-water mark to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so successive bench phases can
+/// each read their *own* peak. Returns false (and changes nothing) where
+/// procfs or the reset knob is unavailable — callers must then treat
+/// [`hwm_kb`] as a whole-process peak.
+pub fn reset_hwm() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Optional probe bounds (`--top-k`, `--max-posting`) shared by the
+/// serving binaries. Parsed from the CLI so operators can tune the
+/// accuracy/latency trade-off without recompiling; apply with
+/// [`em_serve::Matcher::set_probe_limits`] and report cumulative effects
+/// from [`em_serve::Matcher::probe_totals`] on exit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeBounds {
+    /// Keep only the `top_k` highest-overlap candidates per query.
+    pub top_k: Option<usize>,
+    /// Prune query tokens whose document frequency exceeds this.
+    pub max_posting: Option<usize>,
+}
+
+impl ProbeBounds {
+    /// Split `--top-k N` / `--max-posting N` out of an argument list,
+    /// returning the bounds and the remaining (positional) arguments.
+    /// Aborts with a usage message on a malformed value.
+    pub fn extract(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+        let mut bounds = ProbeBounds::default();
+        let mut rest = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let parse = |flag: &str, v: Option<String>| -> usize {
+                v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{flag} needs a positive integer");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--top-k" => bounds.top_k = Some(parse("--top-k", args.next())),
+                "--max-posting" => bounds.max_posting = Some(parse("--max-posting", args.next())),
+                _ => rest.push(arg),
+            }
+        }
+        (bounds, rest)
+    }
+
+    /// Apply to a matcher (no-op when both bounds are unset).
+    pub fn apply(&self, matcher: &mut em_serve::Matcher) {
+        if self.top_k.is_some() || self.max_posting.is_some() {
+            matcher.set_probe_limits(self.top_k, self.max_posting);
+        }
+    }
+
+    /// Human-readable summary, e.g. `top_k=64, max_posting=off`.
+    pub fn describe(&self) -> String {
+        let show = |v: Option<usize>| v.map_or("off".to_string(), |n| n.to_string());
+        format!(
+            "top_k={}, max_posting={}",
+            show(self.top_k),
+            show(self.max_posting)
+        )
+    }
+}
+
+/// Print a matcher's cumulative probe (and, store-backed, fetch) effects —
+/// the exit-time stats line the serving binaries share.
+pub fn print_probe_totals(tag: &str, matcher: &em_serve::Matcher) {
+    let p = matcher.probe_totals();
+    let f = matcher.fetch_totals();
+    let mut line = format!(
+        "{tag}: pruned_tokens={}, capped_queries={}, stale_recounts={}",
+        p.pruned_tokens, p.capped_queries, p.stale_recounts
+    );
+    if f.requested > 0 {
+        line.push_str(&format!(
+            ", rows_fetched={}, cache_hits={}/{}",
+            f.rows_read, f.cache_hits, f.requested
+        ));
+    }
+    eprintln!("{line}");
+}
+
 /// Exact nearest-rank quantile over an already-sorted sample.
 pub fn quantile(sorted: &[u64], q: f64) -> u64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
@@ -132,6 +214,21 @@ mod tests {
             assert!(rss_kb().unwrap() > 0);
             assert!(hwm_kb().unwrap() >= rss_kb().unwrap() / 2);
         }
+    }
+
+    #[test]
+    fn probe_bounds_extract_flags_and_keep_positionals() {
+        let (b, rest) = ProbeBounds::extract(
+            ["out.json", "--top-k", "64", "--max-posting", "4096", "x"].map(String::from),
+        );
+        assert_eq!((b.top_k, b.max_posting), (Some(64), Some(4096)));
+        assert_eq!(rest, vec!["out.json".to_string(), "x".to_string()]);
+        assert_eq!(b.describe(), "top_k=64, max_posting=4096");
+
+        let (b, rest) = ProbeBounds::extract(Vec::new());
+        assert_eq!((b.top_k, b.max_posting), (None, None));
+        assert!(rest.is_empty());
+        assert_eq!(b.describe(), "top_k=off, max_posting=off");
     }
 
     #[test]

@@ -177,11 +177,39 @@ impl FeatureCache {
         Self::with_jobs(generator, a, b, 0)
     }
 
+    /// A serving-side cache: the right side is bound to `catalog` up front
+    /// (every catalog value profiled once), the left side starts unbound and
+    /// is rebound to each incoming query batch via [`Self::rebind_left`].
+    /// Avoids materializing a throwaway empty query table.
+    pub fn for_serving(generator: FeatureGenerator, catalog: &Table) -> Self {
+        Self::build(generator, None, Some(catalog), 0)
+    }
+
+    /// A fully unbound cache: neither side is profiled up front. The
+    /// store-backed serving path rebinds the left side to each query batch
+    /// and the right side to each fetched catalog slice
+    /// ([`Self::rebind_left`] / [`Self::rebind_right`]); profiles and memo
+    /// entries accumulate across batches exactly as in the bound paths.
+    pub fn unbound(generator: FeatureGenerator) -> Self {
+        Self::build(generator, None, None, 0)
+    }
+
     /// [`Self::new`] with an explicit worker cap (0 = the pool's
     /// [`em_rt::threads`] count). The parallel part (tokenizing drafts) is
     /// order-free; value ids and token ids come from serial passes, so the
     /// cache's internal state is identical for every `jobs` value.
     pub fn with_jobs(generator: FeatureGenerator, a: &Table, b: &Table, jobs: usize) -> Self {
+        Self::build(generator, Some(a), Some(b), jobs)
+    }
+
+    /// Shared constructor: either side may start unbound (no rows mapped,
+    /// no profiles built) and be bound later with the rebind methods.
+    fn build(
+        generator: FeatureGenerator,
+        a: Option<&Table>,
+        b: Option<&Table>,
+        jobs: usize,
+    ) -> Self {
         let _span = em_obs::span!("featcache.build");
         let mut interner = TokenInterner::new();
         // Group the planned string features by attribute, in spec order.
@@ -200,21 +228,23 @@ impl FeatureCache {
                 // dense ids (first-appearance order).
                 let mut value_ids: HashMap<String, u32> = HashMap::new();
                 let mut values: Vec<String> = Vec::new();
-                let mut map_rows = |t: &Table| -> Vec<Option<u32>> {
-                    t.records()
-                        .map(|rec| {
-                            rec.get(attr_index).to_display_string().map(|s| {
-                                if let Some(&id) = value_ids.get(&s) {
-                                    id
-                                } else {
-                                    let id = values.len() as u32;
-                                    values.push(s.clone());
-                                    value_ids.insert(s, id);
-                                    id
-                                }
+                let mut map_rows = |t: Option<&Table>| -> Vec<Option<u32>> {
+                    t.map_or_else(Vec::new, |t| {
+                        t.records()
+                            .map(|rec| {
+                                rec.get(attr_index).to_display_string().map(|s| {
+                                    if let Some(&id) = value_ids.get(&s) {
+                                        id
+                                    } else {
+                                        let id = values.len() as u32;
+                                        values.push(s.clone());
+                                        value_ids.insert(s, id);
+                                        id
+                                    }
+                                })
                             })
-                        })
-                        .collect()
+                            .collect()
+                    })
                 };
                 let a_rows = map_rows(a);
                 let b_rows = map_rows(b);
@@ -250,8 +280,8 @@ impl FeatureCache {
             generator,
             attrs,
             interner,
-            n_left: a.len(),
-            n_right: b.len(),
+            n_left: a.map_or(0, Table::len),
+            n_right: b.map_or(0, Table::len),
             memo_cap: None,
             epoch: 0,
         }
@@ -268,27 +298,54 @@ impl FeatureCache {
         let _span = em_obs::span!("featcache.rebind_left");
         let mut new_profiles = 0u64;
         for ac in &mut self.attrs {
-            ac.a_rows = a
-                .records()
-                .map(|rec| {
-                    rec.get(ac.attr_index).to_display_string().map(|s| {
-                        if let Some(&id) = ac.value_ids.get(&s) {
-                            id
-                        } else {
-                            let id = ac.profiles.len() as u32;
-                            let draft = ProfileDraft::new(&s);
-                            ac.profiles
-                                .push(TokenProfile::from_draft(draft, &mut self.interner));
-                            ac.value_ids.insert(s, id);
-                            new_profiles += 1;
-                            id
-                        }
-                    })
-                })
-                .collect();
+            ac.a_rows = Self::bind_rows(ac, &mut self.interner, a, &mut new_profiles);
         }
         PROFILE_BUILDS.add(new_profiles);
         self.n_left = a.len();
+    }
+
+    /// Rebind the *right* side of the cache to a fresh table — the
+    /// store-backed serving path, where the right side is the per-batch
+    /// slice of catalog rows gathered for the probe's candidates rather
+    /// than the whole catalog. Same contract as [`Self::rebind_left`]:
+    /// unseen values are profiled and interned in row order (serial, so
+    /// cache state after a given batch sequence is thread-count
+    /// invariant), and existing profiles/memo entries stay valid because
+    /// both are keyed by value ids.
+    pub fn rebind_right(&mut self, b: &Table) {
+        let _span = em_obs::span!("featcache.rebind_right");
+        let mut new_profiles = 0u64;
+        for ac in &mut self.attrs {
+            ac.b_rows = Self::bind_rows(ac, &mut self.interner, b, &mut new_profiles);
+        }
+        PROFILE_BUILDS.add(new_profiles);
+        self.n_right = b.len();
+    }
+
+    /// Map `t`'s rows of `ac`'s attribute to value ids, profiling and
+    /// interning previously-unseen values in row order.
+    fn bind_rows(
+        ac: &mut AttrCache,
+        interner: &mut TokenInterner,
+        t: &Table,
+        new_profiles: &mut u64,
+    ) -> Vec<Option<u32>> {
+        t.records()
+            .map(|rec| {
+                rec.get(ac.attr_index).to_display_string().map(|s| {
+                    if let Some(&id) = ac.value_ids.get(&s) {
+                        id
+                    } else {
+                        let id = ac.profiles.len() as u32;
+                        let draft = ProfileDraft::new(&s);
+                        ac.profiles.push(TokenProfile::from_draft(draft, interner));
+                        ac.value_ids.insert(s, id);
+                        *new_profiles += 1;
+                        id
+                    }
+                })
+            })
+            .collect()
     }
 
     /// Cap the total number of memoized similarity vectors (across all
@@ -502,6 +559,45 @@ mod tests {
             let uncached = g.generate(&batch, &ds.table_b, &pairs);
             bitwise_eq(&uncached, &cached);
         }
+    }
+
+    #[test]
+    fn unbound_cache_with_both_sides_rebound_matches_uncached() {
+        let ds = em_data::Benchmark::FodorsZagats.generate_scaled(3, 0.25);
+        let g =
+            FeatureGenerator::plan_for_tables(FeatureScheme::AutoMlEm, &ds.table_a, &ds.table_b);
+        // The store-backed serving shape: queries are slices of table_a,
+        // the "fetched catalog slice" is a varying slice of table_b.
+        let mut cache = FeatureCache::unbound(g.clone());
+        let half_a = ds.table_a.len() / 2;
+        let half_b = ds.table_b.len() / 2;
+        let windows = [
+            (0, half_a, 0, half_b),
+            (half_a, ds.table_a.len(), half_b, ds.table_b.len()),
+            (0, half_a, 0, ds.table_b.len()),
+        ];
+        for (alo, ahi, blo, bhi) in windows {
+            let batch = ds.table_a.slice_rows(alo..ahi);
+            let slice = ds.table_b.slice_rows(blo..bhi);
+            let pairs: Vec<RecordPair> = (0..batch.len())
+                .flat_map(|i| (0..slice.len()).map(move |j| RecordPair::new(i, j)))
+                .collect();
+            cache.rebind_left(&batch);
+            cache.rebind_right(&slice);
+            let cached = cache.generate(&batch, &slice, &pairs);
+            let uncached = g.generate(&batch, &slice, &pairs);
+            bitwise_eq(&uncached, &cached);
+        }
+        // for_serving (right side bound up front) agrees with the
+        // fully-rebound cache on a fresh query batch.
+        let mut bound = FeatureCache::for_serving(g.clone(), &ds.table_b);
+        let batch = ds.table_a.slice_rows(0..half_a);
+        let pairs: Vec<RecordPair> = (0..batch.len())
+            .flat_map(|i| (0..ds.table_b.len()).map(move |j| RecordPair::new(i, j)))
+            .collect();
+        bound.rebind_left(&batch);
+        let got = bound.generate(&batch, &ds.table_b, &pairs);
+        bitwise_eq(&g.generate(&batch, &ds.table_b, &pairs), &got);
     }
 
     #[test]

@@ -154,6 +154,50 @@ impl ScaleCatalog {
         }
     }
 
+    /// The schema of every table/row this generator produces.
+    pub fn schema(&self) -> Schema {
+        Schema::new(["name"])
+    }
+
+    /// Catalog row `row` as table cells — for appending rows to a
+    /// persistent store one at a time without materializing the catalog.
+    pub fn row_values(&self, row: usize) -> Vec<Value> {
+        vec![Value::Text(self.value(row))]
+    }
+
+    /// Stream the catalog through `sink` in row order, `chunk` rows at a
+    /// time: each chunk's values are synthesized in parallel on the
+    /// `em-rt` pool (bit-identical at any `EM_THREADS` — every row derives
+    /// its own rng), then handed over as `(first_row, rows)`. Peak memory
+    /// is O(chunk), never O(records), which is what lets the scale bench
+    /// load a million-record catalog into a store the process could not
+    /// hold as a `Table`.
+    ///
+    /// # Errors
+    /// Stops at and returns the first error from `sink`.
+    pub fn for_each_chunk<E>(
+        &self,
+        chunk: usize,
+        mut sink: impl FnMut(usize, Vec<Vec<Value>>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert!(chunk >= 1);
+        let n = self.spec.records;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let mut values: Vec<String> = vec![String::new(); len];
+            let writer = SliceWriter::new(&mut values);
+            parallel_for(len, 0, |i| {
+                // Safety: each chunk-local index is handed out exactly once.
+                unsafe { writer.write(i, self.value(start + i)) };
+            });
+            let rows: Vec<Vec<Value>> = values.into_iter().map(|v| vec![Value::Text(v)]).collect();
+            sink(start, rows)?;
+            start += len;
+        }
+        Ok(())
+    }
+
     /// Materialize the whole catalog as a one-column `name` table. Values
     /// are synthesized in parallel on the `em-rt` pool; output is
     /// identical at any `EM_THREADS` because each row derives its own rng.
@@ -248,6 +292,34 @@ mod tests {
             let v = rec.get(col).to_display_string().unwrap();
             assert_eq!(v, cat.value(rec.index()));
         }
+    }
+
+    #[test]
+    fn chunked_streaming_matches_materialized_table() {
+        let cat = ScaleCatalog::new(CatalogSpec {
+            records: 300,
+            ..small_spec()
+        });
+        let table = cat.table();
+        let mut streamed: Vec<Vec<Value>> = Vec::new();
+        cat.for_each_chunk(64, |start, rows| {
+            assert_eq!(start, streamed.len());
+            streamed.extend(rows);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(streamed.len(), table.len());
+        for (i, row) in streamed.iter().enumerate() {
+            assert_eq!(row.as_slice(), table.record(i).values());
+            assert_eq!(row.as_slice(), cat.row_values(i).as_slice());
+        }
+        // Errors from the sink stop the stream and propagate.
+        let mut calls = 0;
+        let err = cat.for_each_chunk(64, |_, _| {
+            calls += 1;
+            Err("stop")
+        });
+        assert_eq!((err, calls), (Err("stop"), 1));
     }
 
     #[test]

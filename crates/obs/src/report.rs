@@ -280,6 +280,20 @@ pub fn render_report(records: &[Json]) -> String {
                 counter_val("serve.store_torn_tails").unwrap_or(0.0),
             ));
         }
+        if let Some(fetches) = counter_val("serve.catalog_fetches") {
+            let hits = counter_val("serve.cache_hits").unwrap_or(0.0);
+            let misses = counter_val("serve.cache_misses").unwrap_or(0.0);
+            let looked = hits + misses;
+            let rate = if looked > 0.0 {
+                100.0 * hits / looked
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "catalog: fetches={fetches} rows read={} hot-cache hits={hits}/{looked} ({rate:.1}%)\n",
+                counter_val("serve.catalog_rows_read").unwrap_or(0.0),
+            ));
+        }
     }
 
     // ---- metrics -----------------------------------------------------------

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod artifact;
+pub mod catstore;
 pub mod compact;
 pub mod index;
 pub mod matcher;
@@ -52,6 +53,7 @@ pub mod store;
 pub mod telemetry;
 
 pub use artifact::{ModelArtifact, ARTIFACT_FORMAT, ARTIFACT_VERSION};
+pub use catstore::{CatalogStore, FetchStats, CATALOG_FORMAT, CATALOG_VERSION};
 pub use compact::DeltaList;
 pub use index::{IncrementalIndex, IndexOptions, ProbeStats, DEFAULT_SHARD_SPAN};
 pub use matcher::{batch_latency_quantiles, BatchOutput, MatchRecord, Matcher, StreamOptions};

@@ -2,6 +2,22 @@
 //! one-shot batches ([`Matcher::match_batch`]) or a stream of batches
 //! ([`Matcher::match_stream`]).
 //!
+//! ## Catalog backings
+//!
+//! A matcher serves against one of two catalog backings:
+//!
+//! * **In-memory** ([`Matcher::new`]) — the catalog `Table` is resident
+//!   and the feature cache profiles every catalog value up front. Right
+//!   for tests and small catalogs.
+//! * **Store-backed** ([`Matcher::with_store`] /
+//!   [`Matcher::with_store_index`]) — rows live in a [`CatalogStore`] and
+//!   each batch runs probe → gather only the distinct candidate rows →
+//!   rebind the cache to the fetched slice → featurize → predict, so
+//!   resident memory scales with the per-batch working set, not the
+//!   catalog. Output is bit-identical to the in-memory path (see
+//!   [`featurize_batch`] for why), at any `EM_THREADS`, with the hot-row
+//!   cache on or off.
+//!
 //! ## Streaming design
 //!
 //! `match_stream` pulls query tables from an [`em_rt::channel`] and runs a
@@ -35,12 +51,14 @@
 //! `EM_THREADS` is 1 or 64, with tracing on or off.
 
 use crate::artifact::ModelArtifact;
+use crate::catstore::{CatalogStore, FetchStats};
 use crate::index::{IncrementalIndex, ProbeStats};
+use crate::store::PersistentIndex;
 use automl_em::{FeatureCache, FittedEmPipeline};
 use em_ml::Matrix;
 use em_obs::live::{RequestLog, RequestRecord, WindowedCounter, WindowedHistogram};
 use em_rt::{Json, Receiver, Sender};
-use em_table::{RecordPair, Table};
+use em_table::{RecordPair, Schema, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -140,7 +158,11 @@ struct BatchTelemetry {
     probe_ns: u64,
     featurize_ns: u64,
     predict_ns: u64,
+    /// Wall time of the store gather inside featurization (0 on the
+    /// in-memory catalog path).
+    fetch_ns: u64,
     probe: ProbeStats,
+    fetch: FetchStats,
 }
 
 /// Record one finished request into the windowed registry, the slow-query
@@ -172,6 +194,9 @@ fn record_request(
                 ("probe_ns", t.probe_ns),
                 ("featurize_ns", t.featurize_ns),
                 ("predict_ns", t.predict_ns),
+                ("fetch_ns", t.fetch_ns),
+                ("rows_fetched", t.fetch.rows_read),
+                ("cache_hits", t.fetch.cache_hits),
                 ("pruned_tokens", t.probe.pruned_tokens),
                 ("capped_queries", t.probe.capped_queries),
                 ("stale_recounts", t.probe.stale_recounts),
@@ -193,19 +218,63 @@ fn record_request(
     }
 }
 
-/// A deployable matcher: fitted pipeline + catalog + incremental index +
-/// feature cache, assembled from a [`ModelArtifact`].
+/// Where the matcher's catalog rows live: fully resident (the original
+/// path, still right for small catalogs and tests) or gathered on demand
+/// from a [`CatalogStore`], which keeps memory O(working set) instead of
+/// O(catalog).
+enum CatalogBacking {
+    Memory(Table),
+    Store(Box<CatalogStore>),
+}
+
+/// Where the blocking index lives: in-memory only, or WAL-backed so
+/// retirements survive restarts.
+enum IndexBacking {
+    Memory(IncrementalIndex),
+    Persistent(Box<PersistentIndex>),
+}
+
+impl IndexBacking {
+    fn as_index(&self) -> &IncrementalIndex {
+        match self {
+            IndexBacking::Memory(i) => i,
+            IndexBacking::Persistent(p) => p.index(),
+        }
+    }
+}
+
+/// A deployable matcher: fitted pipeline + catalog backing + incremental
+/// index + feature cache, assembled from a [`ModelArtifact`].
 pub struct Matcher {
     pipeline: FittedEmPipeline,
-    catalog: Table,
-    index: IncrementalIndex,
+    catalog: CatalogBacking,
+    index: IndexBacking,
     cache: FeatureCache,
+    /// Cumulative probe effects across every batch this matcher served.
+    probe_totals: ProbeStats,
+    /// Cumulative store-gather effects (all zero on the in-memory path).
+    fetch_totals: FetchStats,
+}
+
+/// Reject a catalog whose schema disagrees with the artifact that will
+/// score its rows.
+fn check_schema(schema: &Schema, artifact: &ModelArtifact) -> Result<(), String> {
+    let catalog_names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    if catalog_names != artifact.attributes {
+        return Err(format!(
+            "catalog schema {:?} does not match artifact attributes {:?}",
+            catalog_names, artifact.attributes
+        ));
+    }
+    Ok(())
 }
 
 impl Matcher {
-    /// Assemble a matcher: replay the artifact's feature plan, build the
-    /// blocking index over `catalog`, and bind the feature cache to it
-    /// (profiling every catalog value once, up front).
+    /// Assemble a matcher over a fully in-memory catalog: replay the
+    /// artifact's feature plan, build the blocking index over `catalog`,
+    /// and bind the feature cache to it (profiling every catalog value
+    /// once, up front). The right choice for tests and small catalogs;
+    /// million-record deployments should use [`Self::with_store`].
     ///
     /// # Errors
     /// Fails when the catalog schema does not match the artifact's
@@ -216,38 +285,118 @@ impl Matcher {
         blocking_attribute: &str,
         min_overlap: usize,
     ) -> Result<Self, String> {
-        let catalog_names: Vec<String> = catalog
-            .schema()
-            .names()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        if catalog_names != artifact.attributes {
-            return Err(format!(
-                "catalog schema {:?} does not match artifact attributes {:?}",
-                catalog_names, artifact.attributes
-            ));
-        }
+        check_schema(catalog.schema(), &artifact)?;
         let generator = artifact.generator();
         let index = IncrementalIndex::build(blocking_attribute, min_overlap, &catalog)?;
-        let empty = Table::new(catalog.schema().clone());
-        let cache = FeatureCache::new(generator, &empty, &catalog);
+        let cache = FeatureCache::for_serving(generator, &catalog);
         Ok(Matcher {
             pipeline: artifact.pipeline,
-            catalog,
-            index,
+            catalog: CatalogBacking::Memory(catalog),
+            index: IndexBacking::Memory(index),
             cache,
+            probe_totals: ProbeStats::default(),
+            fetch_totals: FetchStats::default(),
         })
     }
 
-    /// The catalog this matcher serves against.
-    pub fn catalog(&self) -> &Table {
-        &self.catalog
+    /// Assemble a store-backed matcher: candidate rows are gathered from
+    /// `store` per batch (probe → fetch only the candidates → featurize
+    /// the fetched slice → predict) and the blocking index is the
+    /// WAL-backed `index`, so neither the catalog nor its feature
+    /// profiles are ever fully resident. Retirements WAL-log through the
+    /// persistent index.
+    ///
+    /// # Errors
+    /// Fails when the store schema does not match the artifact's
+    /// attribute list.
+    pub fn with_store(
+        artifact: ModelArtifact,
+        store: CatalogStore,
+        index: PersistentIndex,
+    ) -> Result<Self, String> {
+        check_schema(store.schema(), &artifact)?;
+        let generator = artifact.generator();
+        let cache = FeatureCache::unbound(generator);
+        Ok(Matcher {
+            pipeline: artifact.pipeline,
+            catalog: CatalogBacking::Store(Box::new(store)),
+            index: IndexBacking::Persistent(Box::new(index)),
+            cache,
+            probe_totals: ProbeStats::default(),
+            fetch_totals: FetchStats::default(),
+        })
+    }
+
+    /// [`Self::with_store`] with an in-memory (non-WAL) blocking index —
+    /// for benchmarks and rebuild-on-boot deployments where index
+    /// persistence is not wanted.
+    ///
+    /// # Errors
+    /// Fails when the store schema does not match the artifact's
+    /// attribute list.
+    pub fn with_store_index(
+        artifact: ModelArtifact,
+        store: CatalogStore,
+        index: IncrementalIndex,
+    ) -> Result<Self, String> {
+        check_schema(store.schema(), &artifact)?;
+        let generator = artifact.generator();
+        let cache = FeatureCache::unbound(generator);
+        Ok(Matcher {
+            pipeline: artifact.pipeline,
+            catalog: CatalogBacking::Store(Box::new(store)),
+            index: IndexBacking::Memory(index),
+            cache,
+            probe_totals: ProbeStats::default(),
+            fetch_totals: FetchStats::default(),
+        })
+    }
+
+    /// The in-memory catalog, when this matcher holds one (`None` for
+    /// store-backed matchers).
+    pub fn catalog(&self) -> Option<&Table> {
+        match &self.catalog {
+            CatalogBacking::Memory(t) => Some(t),
+            CatalogBacking::Store(_) => None,
+        }
+    }
+
+    /// The catalog store, when this matcher is store-backed.
+    pub fn catalog_store(&self) -> Option<&CatalogStore> {
+        match &self.catalog {
+            CatalogBacking::Memory(_) => None,
+            CatalogBacking::Store(s) => Some(s),
+        }
     }
 
     /// The blocking index (read access; see [`Self::retire`] for updates).
     pub fn index(&self) -> &IncrementalIndex {
-        &self.index
+        self.index.as_index()
+    }
+
+    /// Cumulative probe effects (pruned tokens, capped queries, stale
+    /// recounts) across every batch this matcher has served.
+    pub fn probe_totals(&self) -> ProbeStats {
+        self.probe_totals
+    }
+
+    /// Cumulative store-gather effects across every batch (all zero for
+    /// in-memory matchers).
+    pub fn fetch_totals(&self) -> FetchStats {
+        self.fetch_totals
+    }
+
+    /// Reconfigure the store's hot-row cache (see
+    /// [`CatalogStore::configure_cache`]; capacity 0 disables it). Returns
+    /// false — and does nothing — on an in-memory matcher.
+    pub fn configure_hot_cache(&mut self, capacity: usize, seed: u64) -> bool {
+        match &mut self.catalog {
+            CatalogBacking::Memory(_) => false,
+            CatalogBacking::Store(s) => {
+                s.configure_cache(capacity, seed);
+                true
+            }
+        }
     }
 
     /// Bound the feature cache's similarity memo (see
@@ -263,24 +412,42 @@ impl Matcher {
     /// document frequency exceeds `max_posting`. `None` disables either
     /// bound; with both off, candidate sets are exact.
     pub fn set_probe_limits(&mut self, top_k: Option<usize>, max_posting: Option<usize>) {
-        self.index.set_probe_limits(top_k, max_posting);
+        match &mut self.index {
+            IndexBacking::Memory(i) => i.set_probe_limits(top_k, max_posting),
+            // Probe bounds are runtime tuning, not index state, so they do
+            // not WAL-log.
+            IndexBacking::Persistent(p) => p.index_mut().set_probe_limits(top_k, max_posting),
+        }
     }
 
     /// Retire a catalog record: it stops appearing in candidates. (The
-    /// catalog table itself is immutable — profiles and memo entries for
-    /// the record stay cached and simply go unreferenced.)
-    pub fn retire(&mut self, catalog_row: usize) {
-        self.index.remove(catalog_row);
+    /// catalog rows themselves are immutable — profiles and memo entries
+    /// for the record stay cached and simply go unreferenced.)
+    ///
+    /// # Errors
+    /// A WAL-backed index can fail to log the retirement; the in-memory
+    /// path never fails.
+    pub fn retire(&mut self, catalog_row: usize) -> Result<(), String> {
+        match &mut self.index {
+            IndexBacking::Memory(i) => {
+                i.remove(catalog_row);
+                Ok(())
+            }
+            IndexBacking::Persistent(p) => p.remove(catalog_row),
+        }
     }
 
     /// Block and score one query batch synchronously.
     pub fn match_batch(&mut self, queries: &Table) -> Vec<MatchRecord> {
         let _span = em_obs::span!("serve.batch");
         let started = Instant::now();
-        let (pairs, probe) = self.index.candidates_with_stats(queries, 0);
+        let (pairs, probe) = self.index.as_index().candidates_with_stats(queries, 0);
         let probe_ns = started.elapsed().as_nanos() as u64;
+        accumulate_probe(&mut self.probe_totals, probe);
         let t_feat = Instant::now();
-        let features = self.featurize(queries, &pairs);
+        let (features, fetch_ns, fetch) =
+            featurize_batch(&mut self.catalog, &mut self.cache, queries, &pairs);
+        accumulate_fetch(&mut self.fetch_totals, fetch);
         let featurize_ns = t_feat.elapsed().as_nanos() as u64;
         let t_pred = Instant::now();
         let out = score_pairs(&self.pipeline, &pairs, &features);
@@ -296,7 +463,9 @@ impl Matcher {
                 probe_ns,
                 featurize_ns,
                 predict_ns,
+                fetch_ns,
                 probe,
+                fetch,
             },
         );
         out
@@ -309,24 +478,19 @@ impl Matcher {
     /// Returns the first invariant violation, exactly as
     /// [`IncrementalIndex::verify_invariants`] reports it.
     pub fn verify_index(&self) -> Result<(), String> {
-        let res = self.index.verify_invariants();
+        let index = self.index.as_index();
+        let res = index.verify_invariants();
         em_obs::live::set_health(
             "index",
             res.clone().map(|()| {
                 format!(
                     "{} live records, stale debt {}",
-                    self.index.len(),
-                    self.index.stale_debt()
+                    index.len(),
+                    index.stale_debt()
                 )
             }),
         );
         res
-    }
-
-    /// Rebind the cache to the batch and build the feature matrix.
-    fn featurize(&mut self, queries: &Table, pairs: &[RecordPair]) -> Matrix {
-        self.cache.rebind_left(queries);
-        self.cache.generate(queries, &self.catalog, pairs)
     }
 
     /// Stream matching: pull query tables from `queries` until the channel
@@ -352,13 +516,19 @@ impl Matcher {
         for _ in 0..max_in_flight {
             credit_tx.send(()).expect("credit receiver alive");
         }
-        // Featurization needs `&mut self.cache`; everything else is shared.
-        // Split the borrows up front so the worker closures only capture
-        // immutable parts.
+        // Featurization mutates the cache (and, store-backed, the catalog
+        // backing's files and hot-row cache); everything the workers touch
+        // is immutable. Split the borrows up front so the worker closures
+        // only capture immutable parts; the mutable coordinator state goes
+        // behind one Mutex that only the coordinator ever locks.
         let pipeline = &self.pipeline;
         let index = &self.index;
-        let catalog = &self.catalog;
-        let cache = Mutex::new(&mut self.cache);
+        let coord_state = Mutex::new((
+            &mut self.catalog,
+            &mut self.cache,
+            &mut self.probe_totals,
+            &mut self.fetch_totals,
+        ));
         std::thread::scope(|s| {
             for _ in 0..n_workers {
                 let job_rx = job_rx.clone();
@@ -410,7 +580,8 @@ impl Matcher {
             });
             // Coordinator (this thread): arrival order, one credit each.
             {
-                let mut cache = cache.lock().unwrap();
+                let mut guard = coord_state.lock().unwrap();
+                let (catalog, cache, probe_totals, fetch_totals) = &mut *guard;
                 let mut seq = 0usize;
                 while let Some(batch) = queries.recv() {
                     if credit_rx.recv().is_none() {
@@ -418,11 +589,13 @@ impl Matcher {
                     }
                     let started = Instant::now();
                     let _span = em_obs::span!("serve.batch");
-                    let (pairs, probe) = index.candidates_with_stats(&batch, 0);
+                    let (pairs, probe) = index.as_index().candidates_with_stats(&batch, 0);
                     let probe_ns = started.elapsed().as_nanos() as u64;
+                    accumulate_probe(probe_totals, probe);
                     let t_feat = Instant::now();
-                    cache.rebind_left(&batch);
-                    let features = cache.generate(&batch, catalog, &pairs);
+                    let (features, fetch_ns, fetch) =
+                        featurize_batch(catalog, cache, &batch, &pairs);
+                    accumulate_fetch(fetch_totals, fetch);
                     let featurize_ns = t_feat.elapsed().as_nanos() as u64;
                     BATCHES.incr();
                     let job = PredictJob {
@@ -435,7 +608,9 @@ impl Matcher {
                             probe_ns,
                             featurize_ns,
                             predict_ns: 0,
+                            fetch_ns,
                             probe,
+                            fetch,
                         },
                     };
                     if job_tx.send(job).is_err() {
@@ -451,6 +626,69 @@ impl Matcher {
             drop(done_tx);
             let _ = emitter.join();
         });
+    }
+}
+
+fn accumulate_probe(totals: &mut ProbeStats, p: ProbeStats) {
+    totals.pruned_tokens += p.pruned_tokens;
+    totals.capped_queries += p.capped_queries;
+    totals.stale_recounts += p.stale_recounts;
+}
+
+fn accumulate_fetch(totals: &mut FetchStats, f: FetchStats) {
+    totals.requested += f.requested;
+    totals.cache_hits += f.cache_hits;
+    totals.rows_read += f.rows_read;
+}
+
+/// Build the feature matrix for one batch against either catalog backing.
+/// Returns `(features, fetch_ns, fetch_stats)`; the latter two are zero on
+/// the in-memory path.
+///
+/// Store-backed, only the distinct candidate rows are gathered and the
+/// cache is rebound to the fetched slice. Feature values are bit-identical
+/// to the in-memory path: every similarity is a pure function of the two
+/// cell values (token-id assignment order never changes an intersection
+/// size), and the store's row codec round-trips cells bit-exactly — so
+/// featurizing `(query, fetched slice)` under slice-local indices equals
+/// featurizing `(query, full catalog)` under global indices, pair for
+/// pair. Fetch or decode failures panic: a serving matcher whose catalog
+/// file is unreadable mid-stream has no useful degraded mode.
+fn featurize_batch(
+    catalog: &mut CatalogBacking,
+    cache: &mut FeatureCache,
+    queries: &Table,
+    pairs: &[RecordPair],
+) -> (Matrix, u64, FetchStats) {
+    match catalog {
+        CatalogBacking::Memory(table) => {
+            cache.rebind_left(queries);
+            let features = cache.generate(queries, table, pairs);
+            (features, 0, FetchStats::default())
+        }
+        CatalogBacking::Store(store) => {
+            let t_fetch = Instant::now();
+            let mut rows: Vec<u32> = pairs.iter().map(|p| p.right as u32).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let (slice, fetch) = store
+                .fetch_rows_with_stats(&rows)
+                .unwrap_or_else(|e| panic!("catalog store fetch failed: {e}"));
+            let fetch_ns = t_fetch.elapsed().as_nanos() as u64;
+            let local_pairs: Vec<RecordPair> = pairs
+                .iter()
+                .map(|p| {
+                    let local = rows
+                        .binary_search(&(p.right as u32))
+                        .expect("candidate row was gathered");
+                    RecordPair::new(p.left, local)
+                })
+                .collect();
+            cache.rebind_left(queries);
+            cache.rebind_right(&slice);
+            let features = cache.generate(queries, &slice, &local_pairs);
+            (features, fetch_ns, fetch)
+        }
     }
 }
 

@@ -55,7 +55,7 @@ static G_WAL_RECORDS: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.wal_
 static G_WAL_BYTES: em_obs::live::Gauge = em_obs::live::Gauge::new("serve.wal_bytes");
 
 /// Frame header: 8 hex length digits, space, 8 hex CRC digits, space.
-const HEADER_LEN: usize = 18;
+pub(crate) const HEADER_LEN: usize = 18;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial) lookup table, built at
 /// compile time so the crate stays dependency-free.
@@ -143,7 +143,7 @@ impl Op {
 }
 
 /// Frame `payload` for the log: hex length + hex CRC + payload + newline.
-fn frame(payload: &str) -> Vec<u8> {
+pub(crate) fn frame(payload: &str) -> Vec<u8> {
     let bytes = payload.as_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + bytes.len() + 1);
     out.extend_from_slice(format!("{:08x} {:08x} ", bytes.len(), crc32(bytes)).as_bytes());
@@ -155,7 +155,7 @@ fn frame(payload: &str) -> Vec<u8> {
 /// True when `bytes` could be the prefix of a well-formed frame header
 /// (hex digits with spaces at offsets 8 and 17) — i.e. a torn write, not
 /// interior corruption.
-fn is_header_prefix(bytes: &[u8]) -> bool {
+pub(crate) fn is_header_prefix(bytes: &[u8]) -> bool {
     bytes.iter().enumerate().all(|(i, &b)| match i {
         8 | 17 => b == b' ',
         _ => b.is_ascii_hexdigit() && !b.is_ascii_uppercase(),
@@ -163,7 +163,7 @@ fn is_header_prefix(bytes: &[u8]) -> bool {
 }
 
 /// Parse 8 lowercase hex digits.
-fn parse_hex8(bytes: &[u8]) -> Option<u32> {
+pub(crate) fn parse_hex8(bytes: &[u8]) -> Option<u32> {
     let s = std::str::from_utf8(bytes).ok()?;
     u32::from_str_radix(s, 16).ok()
 }
@@ -208,7 +208,7 @@ fn replay(bytes: &[u8], index: &mut IncrementalIndex) -> Result<(u64, u64), Stri
     Ok((pos as u64, replayed))
 }
 
-fn io_err(what: &str, path: &Path, e: std::io::Error) -> String {
+pub(crate) fn io_err(what: &str, path: &Path, e: std::io::Error) -> String {
     format!("{what} {}: {e}", path.display())
 }
 

@@ -8,8 +8,10 @@
 # Flags:
 #   --soak   additionally run the 60-second serving soak harness
 #            (100k-record mixed workload; fails on invariant violations or
-#            unbounded memory growth). Skipped by default: it adds a fixed
-#            minute of wall clock to an otherwise fast gate.
+#            unbounded memory growth) and the 1M-record store-backed
+#            scored-matches run (peak-RSS-below-baseline assertion).
+#            Skipped by default: together they add minutes of wall clock
+#            to an otherwise fast gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +97,17 @@ echo "== metrics endpoint smoke test (EM_METRICS, 1 and 8 threads) =="
 EM_METRICS=127.0.0.1:0 EM_THREADS=1 cargo run -q --release --offline -p em-bench --bin serve_demo
 EM_METRICS=127.0.0.1:0 EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin serve_demo
 
+echo "== store-backed serving smoke (10k records: build -> snapshot -> reopen -> stream) =="
+# bench_serve_scale's scored section streams the catalog into a CatalogStore
+# + persistent index, reopens both from disk, serves a trained artifact over
+# the store with match_stream, and asserts the output is bit-identical to
+# the double-resident in-memory path (including across a thread flip). The
+# report lands in a temp file: this is a correctness gate, not a bench run.
+SCALE_OUT="$(mktemp /tmp/em-verify-scale-XXXXXX.json)"
+cargo run -q --release --offline -p em-bench --bin bench_serve_scale -- \
+    --sizes 10000 --ops 2000 --out "$SCALE_OUT"
+rm -f "$SCALE_OUT"
+
 if [ "$SOAK" = 1 ]; then
     echo "== soak: 60s mixed serving workload at 100k records (--soak) =="
     # Sustained churn against the persistent sharded index: periodic
@@ -102,6 +115,15 @@ if [ "$SOAK" = 1 ]; then
     # and an RSS growth ceiling. Nonzero exit on any violation.
     EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin soak_serve -- \
         --records 100000 --seconds 60
+
+    echo "== soak: store-backed scored matches at 1M records (--soak) =="
+    # The full-size tentpole check: a million-record catalog streamed into
+    # the store, served end to end, with the store-side peak RSS asserted
+    # strictly below the double-resident in-memory baseline.
+    SCALE_OUT="$(mktemp /tmp/em-verify-scale-1m-XXXXXX.json)"
+    cargo run -q --release --offline -p em-bench --bin bench_serve_scale -- \
+        --sizes 1000000 --out "$SCALE_OUT"
+    rm -f "$SCALE_OUT"
 fi
 
 echo "verify: OK"
