@@ -107,6 +107,24 @@ impl AutoMlEm {
         x_valid: &Matrix,
         y_valid: &[usize],
     ) -> AutoMlEmResult {
+        self.fit_weighted(x_train, y_train, None, x_valid, y_valid, None)
+    }
+
+    /// [`Self::fit`] with optional per-sample confidence weights on the
+    /// train and validation rows. This is the zero-hand-labels entry point:
+    /// `em-weak` thresholds its label model's posteriors into hard labels
+    /// and passes the posterior confidence as the weight, so candidate
+    /// pipelines downweight pairs the labeling functions disagreed on.
+    /// `None` weights reproduce `fit` exactly.
+    pub fn fit_weighted(
+        &self,
+        x_train: &Matrix,
+        y_train: &[usize],
+        w_train: Option<&[f64]>,
+        x_valid: &Matrix,
+        y_valid: &[usize],
+        w_valid: Option<&[f64]>,
+    ) -> AutoMlEmResult {
         assert_eq!(x_train.nrows(), y_train.len(), "train length mismatch");
         assert_eq!(x_valid.nrows(), y_valid.len(), "valid length mismatch");
         let space = build_space(self.options.space);
@@ -114,7 +132,7 @@ impl AutoMlEm {
         let mut algo = self.options.search.build();
         let objective = |config: &Configuration| -> f64 {
             let pipeline = decode_configuration(config, seed);
-            let fitted = pipeline.fit(x_train, y_train);
+            let fitted = pipeline.fit_weighted(x_train, y_train, w_train);
             fitted.f1(x_valid, y_valid)
         };
         // Warm start: the in-space default configuration is evaluated
@@ -151,7 +169,9 @@ impl AutoMlEm {
         // configurations via meta-learning): the returned model is never
         // worse on validation than the out-of-the-box random forest.
         let default_pipeline = EmPipelineConfig::default_random_forest(seed);
-        let default_valid_f1 = default_pipeline.fit(x_train, y_train).f1(x_valid, y_valid);
+        let default_valid_f1 = default_pipeline
+            .fit_weighted(x_train, y_train, w_train)
+            .f1(x_valid, y_valid);
         if default_valid_f1 > validation_f1 {
             validation_f1 = default_valid_f1;
             best_pipeline = default_pipeline;
@@ -161,7 +181,18 @@ impl AutoMlEm {
         let x_all = x_train.vstack(x_valid);
         let mut y_all = y_train.to_vec();
         y_all.extend_from_slice(y_valid);
-        let fitted = best_pipeline.fit(&x_all, &y_all);
+        let w_all = match (w_train, w_valid) {
+            (None, None) => None,
+            _ => {
+                let mut w = w_train.map_or_else(|| vec![1.0; y_train.len()], <[f64]>::to_vec);
+                match w_valid {
+                    Some(wv) => w.extend_from_slice(wv),
+                    None => w.extend(std::iter::repeat_n(1.0, y_valid.len())),
+                }
+                Some(w)
+            }
+        };
+        let fitted = best_pipeline.fit_weighted(&x_all, &y_all, w_all.as_deref());
         AutoMlEmResult {
             history,
             best_configuration,

@@ -185,6 +185,14 @@ impl FeatureGenerator {
         Self::plan(scheme, a.schema(), &types)
     }
 
+    /// Build a generator over an explicit spec list instead of a planned
+    /// scheme battery. Used by `em-weak` to evaluate exactly the similarity
+    /// columns its labeling functions reference (deduplicated by the caller)
+    /// through the same cached kernels as regular feature generation.
+    pub fn from_specs(scheme: FeatureScheme, specs: Vec<FeatureSpec>) -> Self {
+        FeatureGenerator { scheme, specs }
+    }
+
     /// The scheme this generator was planned with.
     pub fn scheme(&self) -> FeatureScheme {
         self.scheme

@@ -251,6 +251,19 @@ impl EmPipelineConfig {
     /// Fit the pipeline on training data: impute → scale → select/project →
     /// balance → train. Returns the fitted pipeline.
     pub fn fit(&self, x: &Matrix, y: &[usize]) -> FittedEmPipeline {
+        self.fit_weighted(x, y, None)
+    }
+
+    /// Fit with optional external per-sample weights (e.g. probabilistic
+    /// label confidences from `em-weak`'s label model). External weights are
+    /// multiplied into the balancing-derived weights, so class balancing and
+    /// label confidence compose; `None` is exactly [`Self::fit`].
+    pub fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        sample_weight: Option<&[f64]>,
+    ) -> FittedEmPipeline {
         let _span = em_obs::span!("pipeline.fit");
         let n_classes = 2;
         let (imputer, x1) = {
@@ -265,7 +278,13 @@ impl EmPipelineConfig {
             let _s = em_obs::span!("pipeline.preprocess");
             fit_preprocessor(&self.preprocessor, &x2, y, n_classes)
         };
-        let weights = sample_weights(self.balancing, y, n_classes);
+        let mut weights = sample_weights(self.balancing, y, n_classes);
+        if let Some(w) = sample_weight {
+            assert_eq!(w.len(), y.len(), "sample_weight must cover every row");
+            for (wi, &ext) in weights.iter_mut().zip(w) {
+                *wi *= ext;
+            }
+        }
         let mut model = build_classifier(&self.classifier, self.seed);
         {
             let _s = em_obs::span!("pipeline.classifier_fit");

@@ -13,7 +13,9 @@
 //! 7. cached feature generation (`FeatureCache`): profile building and memo
 //!    filling at any thread count, bit-identical to the uncached path,
 //! 8. the binned tree splitter: forest-level jobs and per-node subtree
-//!    tasks at any pool size, plus the `EM_BINNED` engine override.
+//!    tasks at any pool size, plus the `EM_BINNED` engine override,
+//! 9. `em-weak` labeling-function application and label-model EM fitting
+//!    (parallel E-step), bit-identical votes/posteriors at any pool size.
 //!
 //! This harness gets its own process (integration-test binary), so it can
 //! size the global pool without interfering with other tests. `verify.sh`
@@ -455,4 +457,55 @@ fn async_smbo_trajectory_is_thread_count_invariant() {
         serial.validation_f1.to_bits(),
         pooled.validation_f1.to_bits()
     );
+}
+
+#[test]
+fn weak_lf_application_and_label_model_are_thread_count_invariant() {
+    let _guard = serialize();
+    if std::env::var("EM_THREADS").is_ok() {
+        // The env pins the pool size for the whole process; the in-process
+        // 1-vs-8 flip below needs the knob free (verify.sh runs this suite
+        // both ways).
+        return;
+    }
+    let ds = em_data::Benchmark::FodorsZagats.generate_scaled(5, 0.3);
+    let pairs: Vec<RecordPair> = ds.pairs.iter().map(|p| p.pair).collect();
+    let lfs = em_weak::LfSet::similarity_battery(&ds.table_a, &ds.table_b, 0.7, 0.2);
+    let run = || {
+        em_weak::WeakSupervision::run(
+            &lfs,
+            &ds.table_a,
+            &ds.table_b,
+            &pairs,
+            &em_weak::LabelModelOptions::default(),
+        )
+        .expect("battery compiles against its own schema")
+    };
+    em_rt::set_threads(1);
+    let serial = run();
+    em_rt::set_threads(8);
+    let pooled = run();
+    em_rt::set_threads(4);
+    // Votes go through FeatureCache (parallel profile drafting + memo
+    // fill); the label model's E-step is a parallel_for. Both must be bit
+    // stable.
+    assert_eq!(serial.votes, pooled.votes);
+    assert_eq!(serial.stats, pooled.stats);
+    assert_eq!(serial.model.iterations, pooled.model.iterations);
+    assert_eq!(serial.model.converged, pooled.model.converged);
+    assert_eq!(serial.model.prior.to_bits(), pooled.model.prior.to_bits());
+    for (a, b) in serial.model.accuracies.iter().zip(&pooled.model.accuracies) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for (a, b) in serial.posteriors.iter().zip(&pooled.posteriors) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // The derived training set (thresholded hard labels + confidence
+    // weights) is therefore identical too.
+    let (ts, tp) = (serial.training_set(), pooled.training_set());
+    assert_eq!(ts.indices, tp.indices);
+    assert_eq!(ts.labels, tp.labels);
+    for (a, b) in ts.weights.iter().zip(&tp.weights) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }

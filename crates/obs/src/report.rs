@@ -296,6 +296,59 @@ pub fn render_report(records: &[Json]) -> String {
         }
     }
 
+    // ---- weak supervision --------------------------------------------------
+    if let Some(pairs) = counter_val("weak.pairs_labeled") {
+        out.push_str("\n== weak supervision ==\n");
+        let covered = counter_val("weak.pairs_covered").unwrap_or(0.0);
+        let conflicted = counter_val("weak.pairs_conflicted").unwrap_or(0.0);
+        let pct = |part: f64| {
+            if pairs > 0.0 {
+                100.0 * part / pairs
+            } else {
+                0.0
+            }
+        };
+        out.push_str(&format!(
+            "pairs labeled={pairs} votes={} covered={covered} ({:.1}%) conflicted={conflicted} ({:.1}%)\n",
+            counter_val("weak.lf_votes").unwrap_or(0.0),
+            pct(covered),
+            pct(conflicted),
+        ));
+        if let Some(fits) = counter_val("weak.label_model_fits") {
+            out.push_str(&format!(
+                "label model: fits={fits} EM iterations={}\n",
+                counter_val("weak.label_model_iters").unwrap_or(0.0),
+            ));
+        }
+        // Per-LF table from the `weak.lf` events (last record per LF name
+        // wins — re-runs overwrite earlier stats, like counters do).
+        let mut lf_rows: Vec<(&str, &Json)> = Vec::new();
+        for r in records {
+            if kind(r) == "event" && r.get("event").and_then(Json::as_str) == Some("weak.lf") {
+                let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+                match lf_rows.iter_mut().find(|(n, _)| *n == name) {
+                    Some(row) => row.1 = r,
+                    None => lf_rows.push((name, r)),
+                }
+            }
+        }
+        if !lf_rows.is_empty() {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10}\n",
+                "labeling function", "votes", "coverage", "accuracy", "propensity"
+            ));
+            for (name, r) in lf_rows {
+                out.push_str(&format!(
+                    "{name:<28} {:>8} {:>9.1}% {:>10.3} {:>10.3}\n",
+                    num(r, "votes"),
+                    100.0 * num(r, "coverage"),
+                    num(r, "accuracy"),
+                    num(r, "propensity"),
+                ));
+            }
+        }
+    }
+
     // ---- metrics -----------------------------------------------------------
     let counters: Vec<&Json> = records.iter().filter(|r| kind(r) == "counter").collect();
     let hists: Vec<&Json> = records.iter().filter(|r| kind(r) == "hist").collect();
@@ -462,6 +515,32 @@ pub fn render_json(records: &[Json]) -> Json {
                     .map(|(n, v)| (n.to_string(), Json::from(v)))
                     .collect(),
             ),
+        ));
+    }
+    // Weak supervision: per-LF stats from the `weak.lf` events (last record
+    // per LF name wins, mirroring the text report's table).
+    let mut lf_rows: Vec<(&str, &Json)> = Vec::new();
+    for r in records {
+        if kind(r) == "event" && r.get("event").and_then(Json::as_str) == Some("weak.lf") {
+            let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+            match lf_rows.iter_mut().find(|(n, _)| *n == name) {
+                Some(row) => row.1 = r,
+                None => lf_rows.push((name, r)),
+            }
+        }
+    }
+    if !lf_rows.is_empty() {
+        obj.push((
+            "weak_lfs".to_string(),
+            Json::arr(lf_rows.into_iter().map(|(name, r)| {
+                Json::obj([
+                    ("name", Json::from(name)),
+                    ("votes", Json::from(num(r, "votes"))),
+                    ("coverage", Json::from(num(r, "coverage"))),
+                    ("accuracy", Json::from(num(r, "accuracy"))),
+                    ("propensity", Json::from(num(r, "propensity"))),
+                ])
+            })),
         ));
     }
     let mut hist_last: HashMap<&str, &Json> = HashMap::new();
@@ -666,6 +745,49 @@ mod tests {
         assert_eq!(search.get("best_trial").and_then(Json::as_f64), Some(3.0));
         // The summary round-trips through the JSON parser.
         Json::parse(&j.render()).expect("valid json");
+    }
+
+    #[test]
+    fn weak_supervision_section_renders_lf_table() {
+        let trace = [
+            r#"{"kind":"counter","name":"weak.pairs_labeled","value":200}"#,
+            r#"{"kind":"counter","name":"weak.lf_votes","value":340}"#,
+            r#"{"kind":"counter","name":"weak.pairs_covered","value":180}"#,
+            r#"{"kind":"counter","name":"weak.pairs_conflicted","value":20}"#,
+            r#"{"kind":"counter","name":"weak.label_model_fits","value":1}"#,
+            r#"{"kind":"counter","name":"weak.label_model_iters","value":12}"#,
+            r#"{"kind":"event","event":"weak.lf","t":10,"thread":0,"name":"name_sim_high","votes":150,"positive":150,"coverage":0.75,"accuracy":0.5,"propensity":0.75}"#,
+            r#"{"kind":"event","event":"weak.lf","t":20,"thread":0,"name":"name_sim_high","votes":150,"positive":150,"coverage":0.75,"accuracy":0.91,"propensity":0.75}"#,
+            r#"{"kind":"event","event":"weak.lf","t":30,"thread":0,"name":"city_equal","votes":190,"positive":60,"coverage":0.95,"accuracy":0.62,"propensity":0.95}"#,
+        ]
+        .join("\n");
+        let records = parse_trace(&trace).unwrap();
+        let report = render_report(&records);
+        assert!(report.contains("== weak supervision =="), "{report}");
+        assert!(
+            report
+                .contains("pairs labeled=200 votes=340 covered=180 (90.0%) conflicted=20 (10.0%)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("label model: fits=1 EM iterations=12"),
+            "{report}"
+        );
+        // Last record per LF name wins: the re-fit accuracy (0.910)
+        // replaces the first flush's 0.500.
+        assert!(report.contains("name_sim_high"), "{report}");
+        assert!(report.contains("0.910"), "{report}");
+        assert!(!report.contains("0.500"), "{report}");
+
+        let j = render_json(&records);
+        let lfs = j.get("weak_lfs").and_then(Json::as_arr).expect("weak_lfs");
+        assert_eq!(lfs.len(), 2);
+        assert_eq!(
+            lfs[0].get("name").and_then(Json::as_str),
+            Some("name_sim_high")
+        );
+        assert_eq!(lfs[0].get("accuracy").and_then(Json::as_f64), Some(0.91));
+        assert_eq!(lfs[1].get("coverage").and_then(Json::as_f64), Some(0.95));
     }
 
     #[test]

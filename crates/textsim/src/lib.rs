@@ -45,7 +45,7 @@ pub use profile::{
     monge_elkan_profiles, needleman_wunsch_chars, smith_waterman_chars, ProfileDraft, SimScratch,
     TokenInterner, TokenProfile, PROFILE_QGRAM,
 };
-pub use setsim::{cosine, dice, jaccard, overlap_coefficient};
+pub use setsim::{cosine, dice, jaccard, overlap_coefficient, overlap_size};
 pub use tokenize::{qgrams, Tokenizer};
 
 /// A string-to-string similarity measure (Table I/II "String" rows).
@@ -80,6 +80,9 @@ pub enum StringSimilarity {
     Cosine(Tokenizer),
     /// Jaccard similarity over token sets.
     Jaccard(Tokenizer),
+    /// Raw shared-token count `|A ∩ B|` (unnormalized; used by blocking-
+    /// overlap labeling functions, not part of the Table II battery).
+    OverlapSize(Tokenizer),
 }
 
 impl StringSimilarity {
@@ -98,6 +101,7 @@ impl StringSimilarity {
             StringSimilarity::Dice(t) => dice(a, b, t),
             StringSimilarity::Cosine(t) => cosine(a, b, t),
             StringSimilarity::Jaccard(t) => jaccard(a, b, t),
+            StringSimilarity::OverlapSize(t) => overlap_size(a, b, t),
         }
     }
 
@@ -116,6 +120,7 @@ impl StringSimilarity {
             StringSimilarity::Dice(t) => format!("dice_{}", t.name()),
             StringSimilarity::Cosine(t) => format!("cosine_{}", t.name()),
             StringSimilarity::Jaccard(t) => format!("jaccard_{}", t.name()),
+            StringSimilarity::OverlapSize(t) => format!("overlap_size_{}", t.name()),
         }
     }
 

@@ -481,6 +481,17 @@ impl StringSimilarity {
                     self.apply(&sa, &sb)
                 }
             },
+            // Raw count: no normalization, and both-empty is 0 shared
+            // tokens (not the 1.0 the normalized measures conventionally
+            // return), so it bypasses set_measure's early exits.
+            StringSimilarity::OverlapSize(t) => match (a.token_ids(t), b.token_ids(t)) {
+                (Some(ia), Some(ib)) => intersection_size_sorted(ia, ib) as f64,
+                _ => {
+                    let sa: String = a.chars.iter().collect();
+                    let sb: String = b.chars.iter().collect();
+                    self.apply(&sa, &sb)
+                }
+            },
         }
     }
 }
@@ -576,6 +587,8 @@ mod tests {
             Dice(Tokenizer::QGram(3)),
             Cosine(Tokenizer::QGram(3)),
             Jaccard(Tokenizer::QGram(3)),
+            OverlapSize(Tokenizer::Whitespace),
+            OverlapSize(Tokenizer::QGram(3)),
         ];
         let mut scratch = SimScratch::new();
         for (a, b) in cases {

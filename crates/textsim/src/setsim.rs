@@ -69,6 +69,19 @@ pub fn cosine(a: &str, b: &str, tok: Tokenizer) -> f64 {
     intersection_size(&sa, &sb) as f64 / ((sa.len() as f64) * (sb.len() as f64)).sqrt()
 }
 
+/// Raw shared-token count `|A ∩ B|` over token sets (unnormalized).
+///
+/// This is the quantity blocking already computes when it counts shared
+/// tokens between candidate records; exposing it as a similarity lets
+/// labeling functions threshold on "at least k tokens in common" without
+/// the normalization of Jaccard/Dice/cosine. Not part of the Table II
+/// feature battery.
+pub fn overlap_size(a: &str, b: &str, tok: Tokenizer) -> f64 {
+    let sa = tok.sorted_tokens(a);
+    let sb = tok.sorted_tokens(b);
+    intersection_size(&sa, &sb) as f64
+}
+
 /// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over token sets.
 pub fn overlap_coefficient(a: &str, b: &str, tok: Tokenizer) -> f64 {
     let sa = tok.sorted_tokens(a);
@@ -125,6 +138,14 @@ mod tests {
     #[test]
     fn overlap_subset_is_one() {
         assert_eq!(overlap_coefficient("a b", "a b c d", WS), 1.0);
+    }
+
+    #[test]
+    fn overlap_size_counts_shared_distinct_tokens() {
+        assert_eq!(overlap_size("a b c", "b c d", WS), 2.0);
+        assert_eq!(overlap_size("a a b", "a", WS), 1.0);
+        assert_eq!(overlap_size("a b", "c d", WS), 0.0);
+        assert_eq!(overlap_size("", "", WS), 0.0);
     }
 
     #[test]

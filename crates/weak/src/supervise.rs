@@ -1,0 +1,185 @@
+//! End-to-end weak supervision: labeling functions → label model →
+//! probabilistic training set → AutoML-EM pipeline search, with zero hand
+//! labels.
+//!
+//! [`WeakSupervision::run`] ties the DSL and model together on one set of
+//! candidate pairs; [`weak_automl`] consumes the result the way the paper's
+//! active loop consumes oracle labels — hard labels from thresholded
+//! posteriors, posterior confidence as per-sample weight through
+//! [`AutoMlEm::fit_weighted`] — so the two label-acquisition strategies are
+//! comparable under one harness at equal budget.
+
+use crate::lf::{LfSet, VoteMatrix, VoteStats};
+use crate::model::{LabelModel, LabelModelOptions};
+use automl_em::{AutoMlEm, AutoMlEmOptions, AutoMlEmResult};
+use em_ml::{stratified_train_test_indices, Matrix};
+use em_rt::Json;
+use em_table::{RecordPair, Table};
+
+/// Labeling functions applied, denoised, and summarized on one set of
+/// candidate pairs.
+#[derive(Debug, Clone)]
+pub struct WeakSupervision {
+    /// The raw votes.
+    pub votes: VoteMatrix,
+    /// Coverage/conflict statistics of the votes.
+    pub stats: VoteStats,
+    /// The fitted label model.
+    pub model: LabelModel,
+    /// Posterior `P(match)` per pair.
+    pub posteriors: Vec<f64>,
+}
+
+impl WeakSupervision {
+    /// Compile `lfs` against the schema, vote on every pair, fit the label
+    /// model, and emit one `weak.lf` trace event per labeling function
+    /// (name, coverage, learned accuracy) for `obs_report`.
+    pub fn run(
+        lfs: &LfSet,
+        a: &Table,
+        b: &Table,
+        pairs: &[RecordPair],
+        opts: &LabelModelOptions,
+    ) -> Result<WeakSupervision, String> {
+        let compiled = lfs.compile(a.schema())?;
+        let votes = compiled.apply(a, b, pairs);
+        let stats = votes.stats();
+        let model = LabelModel::fit(&votes, opts);
+        let posteriors = model.posteriors(&votes);
+        for (j, lf) in compiled.lfs().iter().enumerate() {
+            em_obs::event("weak.lf", || {
+                vec![
+                    ("name", Json::from(lf.name.as_str())),
+                    ("votes", Json::from(stats.lf_votes[j])),
+                    ("positive", Json::from(stats.lf_positive[j])),
+                    ("coverage", Json::from(stats.lf_coverage(j))),
+                    ("accuracy", Json::from(model.accuracies[j])),
+                    ("propensity", Json::from(model.propensities[j])),
+                ]
+            });
+        }
+        Ok(WeakSupervision {
+            votes,
+            stats,
+            model,
+            posteriors,
+        })
+    }
+
+    /// Probabilistic labels thresholded into a training set: covered pairs
+    /// only (uncovered pairs carry nothing but the prior), hard label
+    /// `posterior >= 0.5`, and the posterior confidence `max(p, 1-p)` as
+    /// the per-sample weight.
+    pub fn training_set(&self) -> WeakTrainingSet {
+        let mut indices = Vec::new();
+        let mut labels = Vec::new();
+        let mut weights = Vec::new();
+        for (i, &p) in self.posteriors.iter().enumerate() {
+            if self.votes.row(i).iter().all(|&v| v == 0) {
+                continue;
+            }
+            indices.push(i);
+            labels.push((p >= 0.5) as usize);
+            weights.push(p.max(1.0 - p));
+        }
+        WeakTrainingSet {
+            indices,
+            labels,
+            weights,
+        }
+    }
+}
+
+/// Hard labels + confidence weights over the covered subset of the pairs a
+/// [`WeakSupervision`] was run on (`indices` are positions in that pair
+/// list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeakTrainingSet {
+    /// Positions (into the supervised pair list) of the covered pairs.
+    pub indices: Vec<usize>,
+    /// Hard 0/1 labels (`posterior >= 0.5`).
+    pub labels: Vec<usize>,
+    /// Posterior confidence `max(p, 1-p)` per covered pair.
+    pub weights: Vec<f64>,
+}
+
+impl WeakTrainingSet {
+    /// Number of weakly labeled pairs.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no pair was covered.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Fraction of weak labels that are matches.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.labels.iter().sum::<usize>() as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+/// Result of [`weak_automl`].
+pub struct WeakAutoMlResult {
+    /// The pipeline search outcome (fitted on all weak labels).
+    pub automl: AutoMlEmResult,
+    /// Weakly labeled pairs used for training (after the holdout split).
+    pub n_train: usize,
+    /// Weakly labeled pairs held out for search validation.
+    pub n_valid: usize,
+}
+
+/// Run a full AutoML-EM pipeline search supervised only by weak labels.
+///
+/// `x_pool` holds the feature rows of exactly the pairs `training` indexes
+/// into (row `i` = pair `i` of the supervised pool). The weak training set
+/// is split `1 - valid_fraction` / `valid_fraction` stratified by weak
+/// label; candidate pipelines train on the first part (confidence-weighted)
+/// and are selected on F1 against the weak labels of the second — no hand
+/// labels anywhere.
+pub fn weak_automl(
+    x_pool: &Matrix,
+    training: &WeakTrainingSet,
+    options: AutoMlEmOptions,
+    valid_fraction: f64,
+    seed: u64,
+) -> Result<WeakAutoMlResult, String> {
+    if training.is_empty() {
+        return Err("no pair received a labeling-function vote".to_owned());
+    }
+    let n_pos = training.labels.iter().sum::<usize>();
+    if n_pos == 0 || n_pos == training.labels.len() {
+        return Err("weak labels are single-class; cannot train a matcher".to_owned());
+    }
+    let (train, valid) = stratified_train_test_indices(&training.labels, valid_fraction, seed);
+    if train.is_empty() || valid.is_empty() {
+        return Err("weak training set too small to split".to_owned());
+    }
+    let gather = |ids: &[usize]| -> (Matrix, Vec<usize>, Vec<f64>) {
+        let rows: Vec<usize> = ids.iter().map(|&k| training.indices[k]).collect();
+        let x = x_pool.select_rows(&rows);
+        let y: Vec<usize> = ids.iter().map(|&k| training.labels[k]).collect();
+        let w: Vec<f64> = ids.iter().map(|&k| training.weights[k]).collect();
+        (x, y, w)
+    };
+    let (x_train, y_train, w_train) = gather(&train);
+    let (x_valid, y_valid, w_valid) = gather(&valid);
+    let automl = AutoMlEm::new(options).fit_weighted(
+        &x_train,
+        &y_train,
+        Some(&w_train),
+        &x_valid,
+        &y_valid,
+        Some(&w_valid),
+    );
+    Ok(WeakAutoMlResult {
+        automl,
+        n_train: train.len(),
+        n_valid: valid.len(),
+    })
+}

@@ -1,10 +1,16 @@
 #!/bin/sh
-# Figures 13-15 at scale 0.3 (single-core-friendly; pools of ~2 400 pairs
-# still dwarf init = 500). Part of ./run_experiments.sh at higher scale.
+# Labeling-scenario experiments at scale 0.3 (single-core-friendly; pools of
+# ~2 400 pairs still dwarf init = 500): figures 13-15, the design-choice
+# ablation, and the weak-vs-active supervision comparison. Also the shared
+# tail of scripts/run_experiments.sh, which invokes this script instead of
+# duplicating the runs.
 set -x
+cd "$(dirname "$0")/.." || exit 1
 R="results"
+mkdir -p $R
 cargo run --release -p em-bench --bin exp_fig13 -q -- --scale 0.3 --budget 12 > $R/fig13_labeling_budget.txt 2>&1
 cargo run --release -p em-bench --bin exp_fig14 -q -- --scale 0.3 --budget 12 > $R/fig14_init_size.txt 2>&1
 cargo run --release -p em-bench --bin exp_fig15 -q -- --scale 0.3 --budget 12 > $R/fig15_st_batch.txt 2>&1
 cargo run --release -p em-bench --bin exp_ablation -q -- --scale 0.3 --budget 12 > $R/ablation_design_choices.txt 2>&1
+cargo run --release -p em-bench --bin exp_weak -q -- --scale 0.3 --budget 12 > $R/weak_vs_active.txt 2>&1
 echo ACTIVE_EXPERIMENTS_DONE

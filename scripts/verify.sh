@@ -81,6 +81,22 @@ echo "== determinism harness under the EM_BINNED override (on, then off) =="
 EM_BINNED=on cargo test -q --offline -p automl-em --test determinism
 EM_BINNED=off EM_THREADS=8 cargo test -q --offline -p automl-em --test determinism
 
+echo "== weak supervision smoke (LF set -> label model -> AutoML, 1 and 8 threads) =="
+# End to end with zero hand labels: apply an LF set, fit the generative
+# label model, train AutoML-EM through the sample-weight path. The test
+# asserts test F1 above a 0.6 floor; the exp_weak run prints the
+# weak-vs-active comparison from the real binary. Run at both pool sizes:
+# LF application and the label-model fit guarantee bit-identical results at
+# any EM_THREADS (the determinism harness asserts the equality).
+EM_THREADS=1 cargo test -q --offline -p em-weak --test weak_props \
+    weak_automl_labels_fodors_zagats_with_zero_hand_labels
+EM_THREADS=8 cargo test -q --offline -p em-weak --test weak_props \
+    weak_automl_labels_fodors_zagats_with_zero_hand_labels
+EM_THREADS=1 cargo run -q --release --offline -p em-bench --bin exp_weak -- \
+    --scale 0.3 --budget 4 --only fodors
+EM_THREADS=8 cargo run -q --release --offline -p em-bench --bin exp_weak -- \
+    --scale 0.3 --budget 4 --only fodors
+
 echo "== serve smoke test (search -> save/load artifact -> stream -> in-memory parity) =="
 # serve_demo searches a small pipeline, round-trips it through a model
 # artifact, streams the full 110-record query table through
